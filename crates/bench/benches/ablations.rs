@@ -1,0 +1,95 @@
+//! Harness throughput under the mechanism-ablation knobs (DESIGN.md
+//! A1–A3): Criterion measures how fast the *simulator* runs each swept
+//! configuration. The architecture-level results (simulated cycles per
+//! knob) come from the `ablation` binary; these benches catch host-side
+//! performance regressions in the hot event loops.
+//!
+//! * A1 — revitalize-broadcast delay: how sensitive the S machine is to
+//!   the per-iteration revitalization cost (§4.3 amortizes it by
+//!   unrolling).
+//! * A2 — L0 data-store latency: the value of 1-cycle table access for
+//!   blowfish (§4.4).
+//! * A3 — LMW width: how much wide fetch matters for streaming kernels
+//!   (§4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlp_core::{run_kernel, ExperimentParams, MachineConfig};
+use dlp_kernels::suite;
+
+const RECORDS: usize = 32;
+
+fn ablation_revitalize_delay(c: &mut Criterion) {
+    let kernels = suite();
+    let kernel = kernels.iter().find(|k| k.name() == "convert").expect("kernel");
+    let mut group = c.benchmark_group("A1_revitalize_delay");
+    group.sample_size(10);
+    for delay_cycles in [1u64, 5, 20, 80] {
+        let mut params = ExperimentParams::default();
+        params.timing.fetch.revitalize_delay = delay_cycles * 2;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(delay_cycles),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    let out = run_kernel(kernel.as_ref(), MachineConfig::S, RECORDS, params)
+                        .expect("run succeeds");
+                    assert!(out.verified());
+                    out.stats.cycles()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_l0_latency(c: &mut Criterion) {
+    let kernels = suite();
+    let kernel = kernels.iter().find(|k| k.name() == "blowfish").expect("kernel");
+    let mut group = c.benchmark_group("A2_l0_latency");
+    group.sample_size(10);
+    for lat_cycles in [1u64, 3, 8] {
+        let mut params = ExperimentParams::default();
+        params.timing.mem.l0_latency = lat_cycles * 2;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(lat_cycles),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    let out = run_kernel(kernel.as_ref(), MachineConfig::SOD, RECORDS, params)
+                        .expect("run succeeds");
+                    assert!(out.verified());
+                    out.stats.cycles()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablation_lmw_width(c: &mut Criterion) {
+    let kernels = suite();
+    let kernel = kernels.iter().find(|k| k.name() == "highpassfilter").expect("kernel");
+    let mut group = c.benchmark_group("A3_lmw_width");
+    group.sample_size(10);
+    for width in [1u32, 2, 4, 8] {
+        let mut params = ExperimentParams::default();
+        params.timing.mem.lmw_max_words = width;
+        group.bench_with_input(BenchmarkId::from_parameter(width), &params, |b, params| {
+            b.iter(|| {
+                let out = run_kernel(kernel.as_ref(), MachineConfig::SO, RECORDS, params)
+                    .expect("run succeeds");
+                assert!(out.verified());
+                out.stats.cycles()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_revitalize_delay,
+    ablation_l0_latency,
+    ablation_lmw_width
+);
+criterion_main!(benches);

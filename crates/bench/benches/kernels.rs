@@ -1,0 +1,81 @@
+//! Criterion benches: simulator throughput per kernel × configuration.
+//!
+//! These measure the *harness* (how fast the simulation of each
+//! table/figure experiment runs), complementing the table binaries that
+//! report the *simulated* performance numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlp_core::{run_kernel, ExperimentParams, MachineConfig};
+use dlp_kernels::suite;
+
+/// Small fixed record counts keep bench iterations meaningful but quick.
+const RECORDS: usize = 32;
+
+fn bench_configs(c: &mut Criterion) {
+    let params = ExperimentParams::default();
+    let kernels = suite();
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    // One representative kernel per domain (Figure 5's grouping).
+    for name in ["convert", "fft", "blowfish", "vertex-skinning"] {
+        let kernel = kernels.iter().find(|k| k.name() == name).expect("kernel");
+        for config in [
+            MachineConfig::Baseline,
+            MachineConfig::S,
+            MachineConfig::SO,
+            MachineConfig::SOD,
+            MachineConfig::MD,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, config),
+                &config,
+                |b, &config| {
+                    b.iter(|| {
+                        let out = run_kernel(kernel.as_ref(), config, RECORDS, &params)
+                            .expect("run succeeds");
+                        assert!(out.verified());
+                        out.stats.cycles()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    use dlp_kernels::memmap;
+    use trips_sched::{schedule_dataflow, LayoutPlan, ScheduleOptions};
+
+    let params = ExperimentParams::default();
+    let layout = LayoutPlan {
+        base_in: memmap::BASE_IN,
+        base_out: memmap::BASE_OUT,
+        table_base: memmap::TABLE_BASE,
+    };
+    let kernels = suite();
+    let mut group = c.benchmark_group("schedule");
+    group.sample_size(10);
+    for name in ["convert", "dct", "rijndael"] {
+        let ir = kernels.iter().find(|k| k.name() == name).expect("kernel").ir();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                schedule_dataflow(
+                    &ir,
+                    params.grid,
+                    &params.timing,
+                    MachineConfig::SO.target(),
+                    layout,
+                    ScheduleOptions::default(),
+                )
+                .expect("schedules")
+                .block
+                .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configs, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Mechanism ablations in *simulated cycles* (experiments A1–A3 of
+//! DESIGN.md): sweep one knob per mechanism and report the simulated
+//! cost, verified. (The Criterion benches measure harness wall-time; this
+//! binary reports the architecture-level quantity.)
+//!
+//! Pass `--quick` for smoke-scale workloads.
+
+use dlp_bench::{quick_flag, records_for};
+use dlp_core::{run_kernel, ExperimentParams, MachineConfig};
+use dlp_kernels::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = quick_flag();
+    let kernels = suite();
+    let get = |name: &str| kernels.iter().find(|k| k.name() == name).expect("kernel");
+
+    // A1: revitalize-broadcast delay on the S machine (convert).
+    println!("A1: revitalize delay sweep — convert on S (simulated cycles)");
+    let kernel = get("convert");
+    let records = records_for("convert", quick);
+    for delay_cycles in [1u64, 5, 20, 80] {
+        let mut params = ExperimentParams::default();
+        params.timing.fetch.revitalize_delay = delay_cycles * 2;
+        let out = run_kernel(kernel.as_ref(), MachineConfig::S, records, &params)?;
+        assert!(out.verified());
+        println!("  delay {delay_cycles:>3} cycles: {:>8} cycles", out.stats.cycles());
+    }
+
+    // A2: L0 access latency on the S-O-D machine (blowfish).
+    println!("\nA2: L0 latency sweep — blowfish on S-O-D (simulated cycles)");
+    let kernel = get("blowfish");
+    let records = records_for("blowfish", quick);
+    for lat in [1u64, 3, 8] {
+        let mut params = ExperimentParams::default();
+        params.timing.mem.l0_latency = lat * 2;
+        let out = run_kernel(kernel.as_ref(), MachineConfig::SOD, records, &params)?;
+        assert!(out.verified());
+        println!("  latency {lat:>2} cycles: {:>8} cycles", out.stats.cycles());
+    }
+
+    // A3: LMW width on the S-O machine (highpassfilter).
+    println!("\nA3: LMW width sweep — highpassfilter on S-O (simulated cycles)");
+    let kernel = get("highpassfilter");
+    let records = records_for("highpassfilter", quick);
+    for width in [1u32, 2, 4, 8] {
+        let mut params = ExperimentParams::default();
+        params.timing.mem.lmw_max_words = width;
+        let out = run_kernel(kernel.as_ref(), MachineConfig::SO, records, &params)?;
+        assert!(out.verified());
+        println!("  width {width} words: {:>8} cycles", out.stats.cycles());
+    }
+    Ok(())
+}

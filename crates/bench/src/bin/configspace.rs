@@ -1,0 +1,47 @@
+//! The full configuration space: the paper notes the mechanisms "can be
+//! combined in different ways … to produce as many as 20 different
+//! run-time machine configurations" (§5.3) but evaluates five. This sweep
+//! runs a representative kernel from each Figure 5 preference group on
+//! *every* coherent mechanism combination, confirming that the named
+//! Table 5 configurations dominate the space for their kernels.
+//!
+//! Pass `--quick` for smoke-scale workloads.
+
+use dlp_bench::{quick_flag, records_for};
+use dlp_core::{run_kernel_mech, ExperimentParams};
+use dlp_kernels::suite;
+use trips_sim::MechanismSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = quick_flag();
+    let params = ExperimentParams::default();
+    let kernels = suite();
+    let space = MechanismSet::all_coherent();
+
+    for name in ["fft", "convert", "blowfish", "vertex-skinning"] {
+        let kernel = kernels.iter().find(|k| k.name() == name).expect("kernel");
+        let records = records_for(name, quick);
+        println!("{name} ({records} records): cycles per configuration");
+        let mut rows = Vec::new();
+        for mech in &space {
+            match run_kernel_mech(kernel.as_ref(), *mech, records, &params) {
+                Ok((stats, None)) => rows.push((mech.to_string(), stats.cycles())),
+                Ok((_, Some(at))) => {
+                    println!("  {mech:<40} WRONG OUTPUT at word {at}");
+                }
+                Err(e) => println!("  {mech:<40} unsupported: {e}"),
+            }
+        }
+        rows.sort_by_key(|(_, c)| *c);
+        for (i, (mech, cycles)) in rows.iter().enumerate() {
+            let marker = if i == 0 { "  <= best" } else { "" };
+            println!("  {mech:<40} {cycles:>10}{marker}");
+        }
+        println!();
+    }
+    println!(
+        "the named Table 5 configurations (smc+inst-revit[+op-revit][+l0-data],\n\
+         smc+local-pc[+l0-data]) should appear at or near the top of each list."
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Technology scalability: the paper's central premise for choosing the
+//! grid substrate is that it scales — "an execution substrate with a large
+//! number of functional units … and technology scalability" (§4). This
+//! sweep runs representative kernels on 4×4 through 16×16 arrays and
+//! reports sustained throughput; streaming kernels should scale close to
+//! linearly with ALU count on their preferred configuration.
+//!
+//! Pass `--quick` for smoke-scale workloads.
+
+use dlp_bench::{quick_flag, records_for};
+use dlp_common::GridShape;
+use dlp_core::{recommend, run_kernel, ExperimentParams};
+use dlp_kernels::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = quick_flag();
+    let kernels = suite();
+    println!(
+        "array-size scaling (useful ops/cycle on each kernel's recommended config){}\n",
+        if quick { " [--quick]" } else { "" }
+    );
+    println!("{:<18} {:>8} {:>8} {:>8} {:>8}", "kernel", "4x4", "8x8", "12x12", "16x16");
+    for name in ["convert", "fft", "blowfish", "vertex-simple"] {
+        let kernel = kernels.iter().find(|k| k.name() == name).expect("kernel");
+        let config = recommend(&kernel.ir().attributes()).config;
+        let records = records_for(name, quick);
+        let mut cells = Vec::new();
+        for dim in [4u8, 8, 12, 16] {
+            let mut params = ExperimentParams::default();
+            params.grid = GridShape::new(dim, dim);
+            let out = run_kernel(kernel.as_ref(), config, records, &params)?;
+            assert!(out.verified(), "{name} on {dim}x{dim}");
+            cells.push(out.stats.ops_per_cycle().0);
+        }
+        println!(
+            "{:<18} {:>8.1} {:>8.1} {:>8.1} {:>8.1}   ({config})",
+            name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+    println!("\nthroughput should grow with the array; perfectly linear scaling would");
+    println!("quadruple from 4x4 to 8x8 and again to 16x16 (memory ports scale with rows).");
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Regenerates the Section 3 survey: classic vector / SIMD / coarse-MIMD
+//! first-order estimates per benchmark (Figure 2's qualitative story).
+
+use dlp_classic::survey;
+use dlp_kernels::suite;
+
+fn main() {
+    println!("Section 3: classic data-parallel architectures (first-order estimates)\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12}   best fixed model",
+        "benchmark", "vector", "simd", "coarse-mimd"
+    );
+    for k in suite() {
+        let attrs = k.ir().attributes();
+        let s = survey(&attrs);
+        let best = s.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("3");
+        println!(
+            "{:<22} {:>10.2} {:>10.2} {:>12.2}   {}",
+            attrs.name, s[0].1, s[1].1, s[2].1, best.0
+        );
+    }
+    println!("\nestimated cycles/record; smaller is better");
+}

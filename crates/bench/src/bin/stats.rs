@@ -1,0 +1,59 @@
+//! Diagnostic: print the full statistics record for one kernel on one
+//! configuration. Usage: `stats <kernel> <config> [records]`.
+
+use dlp_core::{run_kernel, ExperimentParams, MachineConfig};
+use dlp_kernels::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel_name = args.get(1).map_or("convert", String::as_str);
+    let config = match args.get(2).map(String::as_str) {
+        Some("S") => MachineConfig::S,
+        Some("S-O") => MachineConfig::SO,
+        Some("S-O-D") => MachineConfig::SOD,
+        Some("M") => MachineConfig::M,
+        Some("M-D") => MachineConfig::MD,
+        Some("baseline") | None => MachineConfig::Baseline,
+        Some(other) => {
+            eprintln!("unknown config `{other}`; expected baseline, S, S-O, S-O-D, M or M-D");
+            std::process::exit(2);
+        }
+    };
+    let records: usize = match args.get(3) {
+        None => 512,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("bad record count `{s}`; expected a positive integer");
+            std::process::exit(2);
+        }),
+    };
+
+    let params = ExperimentParams::default();
+    let kernels = suite();
+    let Some(kernel) = kernels.iter().find(|k| k.name() == kernel_name) else {
+        eprintln!(
+            "unknown kernel `{kernel_name}`; available: {}",
+            kernels.iter().map(|k| k.name()).collect::<Vec<_>>().join(", ")
+        );
+        std::process::exit(2);
+    };
+    let out = run_kernel(kernel.as_ref(), config, records, &params)?;
+    let s = &out.stats;
+    println!("{kernel_name} on {config}, {records} records (verified={})", out.verified());
+    println!("  cycles            {:>12}", s.cycles());
+    println!("  cycles/record     {:>12.2}", out.cycles_per_record());
+    println!("  useful ops        {:>12}   ({} ops/cycle)", s.useful_ops, s.ops_per_cycle());
+    println!("  overhead ops      {:>12}", s.overhead_ops);
+    println!("  loads / stores    {:>12} / {}", s.loads, s.stores);
+    println!("  lmw words         {:>12}", s.lmw_words);
+    println!("  l1 acc / miss     {:>12} / {}", s.l1_accesses, s.l1_misses);
+    println!("  smc accesses      {:>12}", s.smc_accesses);
+    println!("  l0 accesses       {:>12}", s.l0_accesses);
+    println!("  reg reads/writes  {:>12} / {}", s.reg_reads, s.reg_writes);
+    println!("  net msgs / hops   {:>12} / {}", s.net_msgs, s.net_hops);
+    println!("  blocks fetched    {:>12}", s.blocks_fetched);
+    println!("  revitalizations   {:>12}", s.revitalizations);
+    println!("  iterations        {:>12}", s.iterations);
+    println!("  mimd fetches      {:>12}", s.mimd_fetches);
+    println!("  mem stall cycles  {:>12}", s.mem_stall_node_cycles);
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 1: the benchmark suite descriptions.
+
+use dlp_kernel_ir::Domain;
+use dlp_kernels::suite;
+
+fn main() {
+    println!("Table 1: benchmark description\n");
+    let groups = [
+        (Domain::Multimedia, "Multimedia processing"),
+        (Domain::Scientific, "Scientific codes"),
+        (Domain::Network, "Network processing, security (1500 byte packets)"),
+        (Domain::Graphics, "Real-time graphics processing"),
+    ];
+    let kernels = suite();
+    for (domain, title) in groups {
+        println!("{title}");
+        for k in &kernels {
+            if k.ir().domain() == domain {
+                println!("  {:<22} {}", k.name(), k.description());
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table 2: kernel attributes computed from the IR.
+
+use dlp_kernel_ir::KernelAttributes;
+use dlp_kernels::suite;
+
+fn main() {
+    println!("Table 2: benchmark attributes (computed from the kernel IR)\n");
+    println!("{}", KernelAttributes::header());
+    for k in suite() {
+        println!("{}", k.ir().attributes());
+    }
+    println!(
+        "\nNotes: instruction counts are for fully unrolled kernel instances\n\
+         (internal loops expanded, data-dependent loops expanded to their\n\
+         maximum trip count with select merges), as in the paper."
+    );
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table 5: the machine configurations.
+
+use dlp_core::MachineConfig;
+
+fn main() {
+    println!("Table 5: machine configurations\n");
+    println!(
+        "{:<9} {:^6} {:^6} {:^6} {:^6}  architecture model",
+        "config", "L0-I", "L0-D", "i-rev", "o-rev"
+    );
+    for c in MachineConfig::ALL {
+        println!("{}", c.table5_row());
+    }
+    println!(
+        "\nAll five DLP configurations devote one L2 bank per row to the software\n\
+         managed cache (SMC) with store buffers and row streaming channels (§5.3)."
+    );
+}

@@ -1,0 +1,104 @@
+//! # dlp-bench
+//!
+//! The experiment harness. Each binary regenerates one of the paper's
+//! tables or figures (see DESIGN.md's per-experiment index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — benchmark descriptions |
+//! | `table2` | Table 2 — kernel attributes from the IR |
+//! | `table3` | Table 3 — attribute → mechanism map |
+//! | `table4` | Table 4 — baseline TRIPS ops/cycle |
+//! | `table5` | Table 5 — machine configurations |
+//! | `table6` | Table 6 — comparison to specialized hardware |
+//! | `figure5` | Figure 5 — per-config speedups + flexible summary |
+//! | `section3` | §3 — classic-architecture survey |
+//!
+//! The Criterion benches (`cargo bench`) measure simulator throughput per
+//! kernel/configuration and sweep the mechanism ablations (revitalize
+//! delay, L0 latency, LMW width).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dlp_core::{run_kernel, ExperimentParams, MachineConfig, RunOutcome};
+use dlp_kernels::{suite, DlpKernel};
+use parking_lot::Mutex;
+
+/// Whether `--quick` was passed (smoke-scale workloads).
+#[must_use]
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Record count for a kernel honoring `--quick`.
+#[must_use]
+pub fn records_for(kernel: &str, quick: bool) -> usize {
+    if quick {
+        24
+    } else {
+        dlp_core::default_records(kernel, 1)
+    }
+}
+
+/// Run every performance-suite kernel on `config` in parallel (one worker
+/// per kernel via crossbeam scoped threads), verified, results in suite
+/// order.
+///
+/// # Panics
+///
+/// Panics if any kernel fails to run or verify — the harness must not
+/// print tables from a broken simulation.
+#[must_use]
+pub fn run_suite_on(config: MachineConfig, quick: bool) -> Vec<RunOutcome> {
+    let params = ExperimentParams::default();
+    let kernels: Vec<Box<dyn DlpKernel>> =
+        suite().into_iter().filter(|k| k.in_perf_suite()).collect();
+    let results: Mutex<Vec<(usize, RunOutcome)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for (i, kernel) in kernels.iter().enumerate() {
+            let results = &results;
+            let params = &params;
+            scope.spawn(move |_| {
+                let records = records_for(kernel.name(), quick);
+                let out = run_kernel(kernel.as_ref(), config, records, params)
+                    .unwrap_or_else(|e| panic!("{} on {config}: {e}", kernel.name()));
+                assert!(
+                    out.verified(),
+                    "{} on {config}: mismatch at {:?}",
+                    kernel.name(),
+                    out.mismatch
+                );
+                results.lock().push((i, out));
+            });
+        }
+    })
+    .expect("worker threads join");
+    let mut rows = results.into_inner();
+    rows.sort_by_key(|(i, _)| *i);
+    rows.into_iter().map(|(_, o)| o).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_for_honors_quick() {
+        assert_eq!(records_for("convert", true), 24);
+        assert!(records_for("convert", false) > 24);
+    }
+
+    #[test]
+    fn suite_runs_in_parallel_and_stays_ordered() {
+        let outs = run_suite_on(MachineConfig::S, true);
+        assert_eq!(outs.len(), 13);
+        let names: Vec<&str> = outs.iter().map(|o| o.kernel.as_str()).collect();
+        let expected: Vec<String> = suite()
+            .into_iter()
+            .filter(|k| k.in_perf_suite())
+            .map(|k| k.name().to_string())
+            .collect();
+        assert_eq!(names, expected.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+}

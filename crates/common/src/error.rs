@@ -1,0 +1,93 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors shared across the `dlp-mech` crates.
+///
+/// Each layer (scheduler, simulator, kernel library) converts its own
+/// failures into a `DlpError`, so user-facing entry points return a single
+/// error type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DlpError {
+    /// A kernel does not fit the machine resources it was scheduled onto
+    /// (reservation stations, L0 instruction store, register budget).
+    CapacityExceeded {
+        /// Which resource overflowed.
+        resource: &'static str,
+        /// How much was requested.
+        needed: usize,
+        /// How much the machine provides.
+        available: usize,
+    },
+    /// A machine configuration does not support a kernel requirement
+    /// (e.g., running a data-dependent-loop kernel on a configuration
+    /// without predication or local PCs).
+    Unsupported {
+        /// What was required.
+        what: String,
+    },
+    /// An ill-formed program was handed to the simulator (dangling target,
+    /// operand port collision, unplaced instruction).
+    MalformedProgram {
+        /// Description of the defect.
+        detail: String,
+    },
+    /// The simulator reached its watchdog limit without completing,
+    /// indicating deadlock or livelock in the simulated program.
+    Watchdog {
+        /// Ticks elapsed when the watchdog fired.
+        ticks: u64,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlpError::CapacityExceeded { resource, needed, available } => {
+                write!(f, "capacity exceeded: {resource} needs {needed}, machine has {available}")
+            }
+            DlpError::Unsupported { what } => write!(f, "unsupported on this configuration: {what}"),
+            DlpError::MalformedProgram { detail } => write!(f, "malformed program: {detail}"),
+            DlpError::Watchdog { ticks } => {
+                write!(f, "simulation watchdog fired after {ticks} ticks (deadlock?)")
+            }
+            DlpError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DlpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs = [
+            DlpError::CapacityExceeded { resource: "reservation stations", needed: 10, available: 4 },
+            DlpError::Unsupported { what: "data-dependent branch".into() },
+            DlpError::MalformedProgram { detail: "dangling target".into() },
+            DlpError::Watchdog { ticks: 100 },
+            DlpError::InvalidConfig { detail: "zero rows".into() },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DlpError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! # dlp-core
+//!
+//! The top layer of the `dlp-mech` workspace: everything from
+//! *"Universal Mechanisms for Data-Parallel Architectures"* (MICRO 2003)
+//! assembled behind one API.
+//!
+//! * [`MachineConfig`] — the paper's Table 5 run-time machine
+//!   configurations (baseline, **S**, **S-O**, **S-O-D**, **M**, **M-D**),
+//!   each a combination of the universal mechanisms.
+//! * [`recommend`] — the Table 3 logic: map a kernel's measured attributes
+//!   to the mechanisms (and configuration) that serve it best.
+//! * [`run_kernel`] — the experiment driver: schedule a benchmark kernel
+//!   onto a configuration, stage its workload, simulate, and *verify the
+//!   outputs against the kernel's reference implementation*.
+//! * [`flexible`] — the Figure 5 experiment: per-kernel speedups of every
+//!   configuration over the baseline, plus the harmonic-mean comparison of
+//!   the flexible architecture against each fixed one (the paper's
+//!   5%–55% headline).
+//! * [`specialized`] — the Table 6 comparison against published
+//!   specialized-hardware numbers (MPC7447, Imagine, Tarantula,
+//!   CryptoManiac, QuadroFX).
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use dlp_core::{run_kernel, MachineConfig, ExperimentParams};
+//! use dlp_kernels::suite;
+//!
+//! let params = ExperimentParams::default();
+//! for kernel in suite() {
+//!     if !kernel.in_perf_suite() {
+//!         continue;
+//!     }
+//!     let out = run_kernel(kernel.as_ref(), MachineConfig::SO, 64, &params)?;
+//!     assert!(out.verified(), "{} must compute correct results", kernel.name());
+//!     println!("{}: {} ops/cycle", kernel.name(), out.stats.ops_per_cycle());
+//! }
+//! # Ok::<(), dlp_common::DlpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod energy;
+mod flexible;
+mod recommend;
+mod runner;
+pub mod specialized;
+
+pub use config::MachineConfig;
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use flexible::{flexible, Figure5, Figure5Row, FlexibleSummary};
+pub use recommend::{recommend, Recommendation};
+pub use runner::{default_records, run_kernel, run_kernel_mech, ExperimentParams, RunOutcome};

@@ -1,0 +1,211 @@
+//! Pure functional semantics of the opcode vocabulary.
+//!
+//! Both simulator engines (dataflow and MIMD) call [`eval`], so a kernel
+//! computes bit-identical results in either execution model — the property
+//! the integration suite leans on when cross-checking simulated kernels
+//! against their reference implementations.
+
+use dlp_common::Value;
+
+use crate::Opcode;
+
+/// Evaluate a non-memory opcode.
+///
+/// `l`, `r`, `p` are the left, right and predicate operands; unary ops read
+/// only `l`, and only [`Opcode::Sel`] reads `p`. Memory opcodes and the
+/// engine-provided [`Opcode::MovI`]/[`Opcode::Iter`] are not evaluated here.
+///
+/// # Panics
+///
+/// Panics when called with a memory opcode or `MovI`/`Iter`/`Nop` — those
+/// are the engine's responsibility, and reaching here indicates a simulator
+/// bug rather than a program bug.
+#[must_use]
+pub fn eval(op: Opcode, l: Value, r: Value, p: Value) -> Value {
+    use Opcode::*;
+    match op {
+        Add => Value::from_u64(l.as_u64().wrapping_add(r.as_u64())),
+        Sub => Value::from_u64(l.as_u64().wrapping_sub(r.as_u64())),
+        Mul => Value::from_u64(l.as_u64().wrapping_mul(r.as_u64())),
+        Div => Value::from_u64(l.as_u64().checked_div(r.as_u64()).unwrap_or(0)),
+        Rem => Value::from_u64(l.as_u64().checked_rem(r.as_u64()).unwrap_or(0)),
+        Add32 => Value::from_u32(l.as_u32().wrapping_add(r.as_u32())),
+        Sub32 => Value::from_u32(l.as_u32().wrapping_sub(r.as_u32())),
+        Mul32 => Value::from_u32(l.as_u32().wrapping_mul(r.as_u32())),
+        RotL32 => Value::from_u32(l.as_u32().rotate_left(r.as_u32() % 32)),
+        RotR32 => Value::from_u32(l.as_u32().rotate_right(r.as_u32() % 32)),
+        And => Value::from_u64(l.as_u64() & r.as_u64()),
+        Or => Value::from_u64(l.as_u64() | r.as_u64()),
+        Xor => Value::from_u64(l.as_u64() ^ r.as_u64()),
+        Not => Value::from_u64(!l.as_u64()),
+        Shl => Value::from_u64(l.as_u64() << (r.as_u64() & 63)),
+        Shr => Value::from_u64(l.as_u64() >> (r.as_u64() & 63)),
+        Sra => Value::from_i64(l.as_i64() >> (r.as_u64() & 63)),
+        Teq => bool_val(l.as_u64() == r.as_u64()),
+        Tne => bool_val(l.as_u64() != r.as_u64()),
+        Tlt => bool_val(l.as_i64() < r.as_i64()),
+        Tle => bool_val(l.as_i64() <= r.as_i64()),
+        Tgt => bool_val(l.as_i64() > r.as_i64()),
+        Tge => bool_val(l.as_i64() >= r.as_i64()),
+        Tltu => bool_val(l.as_u64() < r.as_u64()),
+        Tgeu => bool_val(l.as_u64() >= r.as_u64()),
+        FAdd => Value::from_f32(l.as_f32() + r.as_f32()),
+        FSub => Value::from_f32(l.as_f32() - r.as_f32()),
+        FMul => Value::from_f32(l.as_f32() * r.as_f32()),
+        FDiv => Value::from_f32(l.as_f32() / r.as_f32()),
+        FSqrt => Value::from_f32(l.as_f32().sqrt()),
+        FMin => Value::from_f32(l.as_f32().min(r.as_f32())),
+        FMax => Value::from_f32(l.as_f32().max(r.as_f32())),
+        FNeg => Value::from_f32(-l.as_f32()),
+        FAbs => Value::from_f32(l.as_f32().abs()),
+        FFloor => Value::from_f32(l.as_f32().floor()),
+        FTeq => bool_val(l.as_f32() == r.as_f32()),
+        FTlt => bool_val(l.as_f32() < r.as_f32()),
+        FTle => bool_val(l.as_f32() <= r.as_f32()),
+        I2F => Value::from_f32(l.as_i32() as f32),
+        F2I => {
+            let x = l.as_f32();
+            let i = if x.is_nan() {
+                0
+            } else if x >= i32::MAX as f32 {
+                i32::MAX
+            } else if x <= i32::MIN as f32 {
+                i32::MIN
+            } else {
+                x as i32
+            };
+            Value::from_i32(i)
+        }
+        Mov => l,
+        Sel => {
+            if p.is_true() {
+                l
+            } else {
+                r
+            }
+        }
+        MovI | Iter | Nop | Load(_) | Store(_) | Lmw | Lut => {
+            panic!("opcode {op} is engine-evaluated, not ALU-evaluated")
+        }
+    }
+}
+
+fn bool_val(b: bool) -> Value {
+    Value::from_u64(u64::from(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v64(x: u64) -> Value {
+        Value::from_u64(x)
+    }
+
+    fn e(op: Opcode, l: Value, r: Value) -> Value {
+        eval(op, l, r, Value::ZERO)
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(e(Opcode::Add, v64(3), v64(4)).as_u64(), 7);
+        assert_eq!(e(Opcode::Sub, v64(3), v64(4)).as_u64(), u64::MAX);
+        assert_eq!(e(Opcode::Mul, v64(3), v64(4)).as_u64(), 12);
+        assert_eq!(e(Opcode::Div, v64(9), v64(2)).as_u64(), 4);
+        assert_eq!(e(Opcode::Div, v64(9), v64(0)).as_u64(), 0);
+        assert_eq!(e(Opcode::Rem, v64(9), v64(4)).as_u64(), 1);
+    }
+
+    #[test]
+    fn wrap32_semantics() {
+        assert_eq!(
+            e(Opcode::Add32, Value::from_u32(0xFFFF_FFFF), Value::from_u32(2)).as_u32(),
+            1
+        );
+        // Result is zero-extended: no garbage in high bits.
+        assert_eq!(
+            e(Opcode::Add32, Value::from_bits(0xAAAA_0000_0000_0001), Value::from_u32(1)).bits(),
+            2
+        );
+        assert_eq!(e(Opcode::RotL32, Value::from_u32(0x8000_0000), Value::from_u32(1)).as_u32(), 1);
+        assert_eq!(e(Opcode::RotR32, Value::from_u32(1), Value::from_u32(1)).as_u32(), 0x8000_0000);
+    }
+
+    #[test]
+    fn comparisons_are_canonical() {
+        assert_eq!(e(Opcode::Tlt, Value::from_i64(-1), v64(0)).as_u64(), 1);
+        assert_eq!(e(Opcode::Tltu, Value::from_i64(-1), v64(0)).as_u64(), 0);
+        assert_eq!(e(Opcode::Teq, v64(5), v64(5)).as_u64(), 1);
+        assert_eq!(e(Opcode::Tne, v64(5), v64(5)).as_u64(), 0);
+        assert_eq!(e(Opcode::Tge, Value::from_i64(-3), Value::from_i64(-3)).as_u64(), 1);
+    }
+
+    #[test]
+    fn float_ops() {
+        let a = Value::from_f32(1.5);
+        let b = Value::from_f32(2.0);
+        assert_eq!(e(Opcode::FAdd, a, b).as_f32(), 3.5);
+        assert_eq!(e(Opcode::FMul, a, b).as_f32(), 3.0);
+        assert_eq!(e(Opcode::FDiv, b, a).as_f32(), 2.0 / 1.5);
+        assert_eq!(e(Opcode::FSqrt, Value::from_f32(9.0), Value::ZERO).as_f32(), 3.0);
+        assert_eq!(e(Opcode::FNeg, a, Value::ZERO).as_f32(), -1.5);
+        assert_eq!(e(Opcode::FAbs, Value::from_f32(-4.0), Value::ZERO).as_f32(), 4.0);
+        assert_eq!(e(Opcode::FFloor, Value::from_f32(2.7), Value::ZERO).as_f32(), 2.0);
+        assert_eq!(e(Opcode::FTlt, a, b).as_u64(), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(e(Opcode::I2F, Value::from_i32(-7), Value::ZERO).as_f32(), -7.0);
+        assert_eq!(e(Opcode::F2I, Value::from_f32(-7.9), Value::ZERO).as_i32(), -7);
+        assert_eq!(e(Opcode::F2I, Value::from_f32(f32::NAN), Value::ZERO).as_i32(), 0);
+        assert_eq!(e(Opcode::F2I, Value::from_f32(1e30), Value::ZERO).as_i32(), i32::MAX);
+    }
+
+    #[test]
+    fn select_reads_predicate() {
+        let a = v64(10);
+        let b = v64(20);
+        assert_eq!(eval(Opcode::Sel, a, b, v64(1)).as_u64(), 10);
+        assert_eq!(eval(Opcode::Sel, a, b, v64(0)).as_u64(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine-evaluated")]
+    fn memory_ops_panic() {
+        e(Opcode::Lmw, Value::ZERO, Value::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_wrapping(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(e(Opcode::Add, v64(a), v64(b)).as_u64(), a.wrapping_add(b));
+        }
+
+        #[test]
+        fn xor_is_involutive(a in any::<u64>(), b in any::<u64>()) {
+            let x = e(Opcode::Xor, v64(a), v64(b));
+            prop_assert_eq!(e(Opcode::Xor, x, v64(b)).as_u64(), a);
+        }
+
+        #[test]
+        fn rot32_roundtrip(a in any::<u32>(), n in 0u32..32) {
+            let r = e(Opcode::RotL32, Value::from_u32(a), Value::from_u32(n));
+            prop_assert_eq!(e(Opcode::RotR32, r, Value::from_u32(n)).as_u32(), a);
+        }
+
+        #[test]
+        fn comparisons_are_total_order_consistent(a in any::<i64>(), b in any::<i64>()) {
+            let lt = e(Opcode::Tlt, Value::from_i64(a), Value::from_i64(b)).is_true();
+            let ge = e(Opcode::Tge, Value::from_i64(a), Value::from_i64(b)).is_true();
+            prop_assert_ne!(lt, ge);
+        }
+
+        #[test]
+        fn sel_picks_one_side(a in any::<u64>(), b in any::<u64>(), p in any::<u64>()) {
+            let out = eval(Opcode::Sel, v64(a), v64(b), v64(p)).as_u64();
+            prop_assert!(out == a || out == b);
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Textual MIMD assembly: parse the listing format
+//! [`MimdProgram::disassemble`] emits.
+//!
+//! The paper's kernels were "hand-coded in the TRIPS instruction set"; this
+//! module lets this reproduction's MIMD programs be written, stored and
+//! diffed as text. Round-tripping `parse ∘ disassemble = id` is enforced by
+//! property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use trips_isa::parse_mimd;
+//!
+//! let prog = parse_mimd(
+//!     "li r1, #10\n\
+//!      addi r2, r1, #5\n\
+//!      st.smc [r2 + 0], r1\n\
+//!      halt\n",
+//! )?;
+//! assert_eq!(prog.len(), 4);
+//! # Ok::<(), dlp_common::DlpError>(())
+//! ```
+
+use dlp_common::DlpError;
+
+use crate::{MemSpace, MimdInst, MimdOp, MimdProgram, OpRole, Opcode};
+
+/// Every register-to-register opcode the MIMD `Alu`/`AluI` forms accept,
+/// used to map mnemonics back to opcodes.
+const ALU_OPS: [Opcode; 43] = [
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Rem,
+    Opcode::Add32,
+    Opcode::Sub32,
+    Opcode::Mul32,
+    Opcode::RotL32,
+    Opcode::RotR32,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Not,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Sra,
+    Opcode::Teq,
+    Opcode::Tne,
+    Opcode::Tlt,
+    Opcode::Tle,
+    Opcode::Tgt,
+    Opcode::Tge,
+    Opcode::Tltu,
+    Opcode::Tgeu,
+    Opcode::FAdd,
+    Opcode::FSub,
+    Opcode::FMul,
+    Opcode::FDiv,
+    Opcode::FSqrt,
+    Opcode::FMin,
+    Opcode::FMax,
+    Opcode::FNeg,
+    Opcode::FAbs,
+    Opcode::FFloor,
+    Opcode::FTeq,
+    Opcode::FTlt,
+    Opcode::FTle,
+    Opcode::I2F,
+    Opcode::F2I,
+    Opcode::Mov,
+    Opcode::Sel,
+    Opcode::Nop,
+];
+
+fn alu_by_mnemonic(m: &str) -> Option<Opcode> {
+    ALU_OPS.into_iter().find(|op| op.mnemonic() == m)
+}
+
+fn err(line_no: usize, detail: impl std::fmt::Display) -> DlpError {
+    DlpError::MalformedProgram { detail: format!("mimd asm line {}: {detail}", line_no + 1) }
+}
+
+fn parse_reg(tok: &str, line_no: usize) -> Result<u8, DlpError> {
+    let tok = tok.trim().trim_end_matches(',');
+    let digits = tok.strip_prefix('r').ok_or_else(|| err(line_no, format!("expected register, got `{tok}`")))?;
+    let r: u8 =
+        digits.parse().map_err(|_| err(line_no, format!("bad register `{tok}`")))?;
+    if r >= 32 {
+        return Err(err(line_no, format!("register r{r} out of range")));
+    }
+    Ok(r)
+}
+
+fn parse_imm(tok: &str, line_no: usize) -> Result<i64, DlpError> {
+    let tok = tok.trim().trim_start_matches('#').trim_end_matches(',');
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line_no, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parse `[rX + off]` (the load/store address form).
+fn parse_addr(text: &str, line_no: usize) -> Result<(u8, i64), DlpError> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line_no, format!("expected [reg + off], got `{text}`")))?;
+    let (reg, off) = inner
+        .split_once('+')
+        .ok_or_else(|| err(line_no, format!("expected `reg + off` in `{text}`")))?;
+    Ok((parse_reg(reg, line_no)?, parse_imm(off, line_no)?))
+}
+
+fn mem_space(suffix: &str, line_no: usize) -> Result<MemSpace, DlpError> {
+    match suffix {
+        "smc" => Ok(MemSpace::Smc),
+        "l1" => Ok(MemSpace::L1),
+        other => Err(err(line_no, format!("unknown memory space `{other}`"))),
+    }
+}
+
+/// Parse a textual MIMD program (the [`MimdProgram::disassemble`] format;
+/// leading `N:` line numbers and blank lines are ignored, `;` starts a
+/// comment).
+///
+/// Branch targets are absolute instruction indices, exactly as the
+/// disassembly prints them.
+///
+/// # Errors
+///
+/// Returns [`DlpError::MalformedProgram`] naming the offending line.
+pub fn parse_mimd(text: &str) -> Result<MimdProgram, DlpError> {
+    let mut insts = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Strip an optional leading "N:" listing index.
+        let line = match line.split_once(':') {
+            Some((idx, rest)) if idx.trim().parse::<usize>().is_ok() => rest.trim(),
+            _ => line,
+        };
+        let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        let inst = parse_inst(mnemonic, rest, line_no)?;
+        insts.push(inst);
+    }
+    // Validate branch targets via the assembler's rules by re-checking.
+    for (i, inst) in insts.iter().enumerate() {
+        if let MimdOp::Jmp | MimdOp::Bez | MimdOp::Bnz = inst.op {
+            if inst.imm < 0 || inst.imm as usize > insts.len() {
+                return Err(DlpError::MalformedProgram {
+                    detail: format!("mimd asm: instruction {i} branches to {} (out of range)", inst.imm),
+                });
+            }
+        }
+    }
+    Ok(MimdProgram::from_insts(insts))
+}
+
+fn parse_inst(mnemonic: &str, rest: &str, line_no: usize) -> Result<MimdInst, DlpError> {
+    let mut inst = MimdInst { op: MimdOp::Halt, rd: 0, ra: 0, rb: 0, imm: 0, role: OpRole::Useful };
+    let args: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    match mnemonic {
+        "halt" => {}
+        "li" => {
+            inst.op = MimdOp::Li;
+            if args.len() != 2 {
+                return Err(err(line_no, "li takes `rd, #imm`"));
+            }
+            inst.rd = parse_reg(args[0], line_no)?;
+            inst.imm = parse_imm(args[1], line_no)?;
+        }
+        "jmp" => {
+            inst.op = MimdOp::Jmp;
+            inst.imm = parse_imm(rest, line_no)?;
+        }
+        "bez" | "bnz" => {
+            inst.op = if mnemonic == "bez" { MimdOp::Bez } else { MimdOp::Bnz };
+            if args.len() != 2 {
+                return Err(err(line_no, "branch takes `ra, target`"));
+            }
+            inst.ra = parse_reg(args[0], line_no)?;
+            inst.imm = parse_imm(args[1], line_no)?;
+        }
+        "lut" => {
+            inst.op = MimdOp::Lut;
+            if args.len() != 2 {
+                return Err(err(line_no, "lut takes `rd, [ra + off]`"));
+            }
+            inst.rd = parse_reg(args[0], line_no)?;
+            let (ra, off) = parse_addr(args[1], line_no)?;
+            inst.ra = ra;
+            inst.imm = off;
+        }
+        "send" => {
+            // `send rA -> node N`
+            inst.op = MimdOp::Send;
+            let (reg, node) = rest
+                .split_once("->")
+                .ok_or_else(|| err(line_no, "send takes `ra -> node N`"))?;
+            inst.ra = parse_reg(reg, line_no)?;
+            let node = node.trim().strip_prefix("node").unwrap_or(node).trim();
+            inst.imm = parse_imm(node, line_no)?;
+        }
+        "recv" => {
+            // `recv rD <- node N`
+            inst.op = MimdOp::Recv;
+            let (reg, node) = rest
+                .split_once("<-")
+                .ok_or_else(|| err(line_no, "recv takes `rd <- node N`"))?;
+            inst.rd = parse_reg(reg, line_no)?;
+            let node = node.trim().strip_prefix("node").unwrap_or(node).trim();
+            inst.imm = parse_imm(node, line_no)?;
+        }
+        m if m.starts_with("ld.") || m.starts_with("st.") => {
+            let space = mem_space(&m[3..], line_no)?;
+            if args.len() != 2 {
+                return Err(err(line_no, "memory ops take two operands"));
+            }
+            if m.starts_with("ld.") {
+                inst.op = MimdOp::Ld(space);
+                inst.rd = parse_reg(args[0], line_no)?;
+                let (ra, off) = parse_addr(args[1], line_no)?;
+                inst.ra = ra;
+                inst.imm = off;
+            } else {
+                inst.op = MimdOp::St(space);
+                let (ra, off) = parse_addr(args[0], line_no)?;
+                inst.ra = ra;
+                inst.imm = off;
+                inst.rb = parse_reg(args[1], line_no)?;
+            }
+        }
+        m => {
+            // ALU register or immediate form: `add rd, ra, rb` /
+            // `addi rd, ra, #imm`.
+            let (base, imm_form) = match alu_by_mnemonic(m) {
+                Some(op) => (op, false),
+                None => {
+                    let stripped = m.strip_suffix('i').unwrap_or(m);
+                    let op = alu_by_mnemonic(stripped)
+                        .ok_or_else(|| err(line_no, format!("unknown mnemonic `{m}`")))?;
+                    (op, true)
+                }
+            };
+            if args.len() != 3 {
+                return Err(err(line_no, format!("`{m}` takes `rd, ra, <rb|#imm>`")));
+            }
+            inst.rd = parse_reg(args[0], line_no)?;
+            inst.ra = parse_reg(args[1], line_no)?;
+            if imm_form {
+                inst.op = MimdOp::AluI(base);
+                inst.imm = parse_imm(args[2], line_no)?;
+            } else {
+                inst.op = MimdOp::Alu(base);
+                inst.rb = parse_reg(args[2], line_no)?;
+            }
+        }
+    }
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MimdAsm;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_every_form() {
+        let text = "\
+             0: li r1, #0x10\n\
+             1: add r2, r1, r1\n\
+             2: subi r3, r2, #-4\n\
+             3: ld.smc r4, [r3 + 2]\n\
+             4: st.l1 [r3 + 8], r4\n\
+             5: lut r5, [r4 + 1024]\n\
+             6: bez r5, 9\n\
+             7: send r5 -> node 3\n\
+             8: recv r6 <- node 1\n\
+             9: jmp 10\n\
+            10: halt\n";
+        let p = parse_mimd(text).unwrap();
+        assert_eq!(p.len(), 11);
+        assert_eq!(p.insts()[0].imm, 0x10);
+        assert!(matches!(p.insts()[2].op, MimdOp::AluI(Opcode::Sub)));
+        assert_eq!(p.insts()[2].imm, -4);
+        assert!(matches!(p.insts()[3].op, MimdOp::Ld(MemSpace::Smc)));
+        assert!(matches!(p.insts()[4].op, MimdOp::St(MemSpace::L1)));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse_mimd("; a comment\n\nli r1, #1 ; trailing\nhalt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_mimd("frobnicate r1, r2, r3").is_err());
+        assert!(parse_mimd("li r99, #1").is_err());
+        assert!(parse_mimd("jmp 500").is_err());
+        assert!(parse_mimd("ld.tcm r1, [r2 + 0]").is_err());
+    }
+
+    #[test]
+    fn disassemble_parse_roundtrip_handwritten() {
+        let mut asm = MimdAsm::new();
+        asm.li(1, 5);
+        asm.label("top");
+        asm.alui(Opcode::Sub, 1, 1, 1);
+        asm.lut(2, 1, 7);
+        asm.st(MemSpace::Smc, 1, 3, 2);
+        asm.bnz(1, "top");
+        asm.send(2, 1);
+        asm.recv(3, 0);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let q = parse_mimd(&p.disassemble()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    /// Strategy over single well-formed instructions.
+    fn inst_strategy() -> impl Strategy<Value = MimdInst> {
+        let reg = 0u8..32;
+        let alu_idx = 0usize..super::ALU_OPS.len();
+        prop_oneof![
+            (alu_idx.clone(), reg.clone(), reg.clone(), reg.clone()).prop_map(|(i, d, a, b)| MimdInst {
+                op: MimdOp::Alu(super::ALU_OPS[i]),
+                rd: d,
+                ra: a,
+                rb: b,
+                imm: 0,
+                role: OpRole::Useful,
+            }),
+            (alu_idx, reg.clone(), reg.clone(), -1000i64..1000).prop_map(|(i, d, a, imm)| MimdInst {
+                op: MimdOp::AluI(super::ALU_OPS[i]),
+                rd: d,
+                ra: a,
+                rb: 0,
+                imm,
+                role: OpRole::Useful,
+            }),
+            (reg.clone(), 0i64..1_000_000).prop_map(|(d, imm)| MimdInst {
+                op: MimdOp::Li,
+                rd: d,
+                ra: 0,
+                rb: 0,
+                imm,
+                role: OpRole::Useful,
+            }),
+            (reg.clone(), reg.clone(), 0i64..4096, any::<bool>()).prop_map(|(d, a, off, smc)| MimdInst {
+                op: MimdOp::Ld(if smc { MemSpace::Smc } else { MemSpace::L1 }),
+                rd: d,
+                ra: a,
+                rb: 0,
+                imm: off,
+                role: OpRole::Useful,
+            }),
+            (reg.clone(), reg.clone(), 0i64..4096, any::<bool>()).prop_map(|(a, b, off, smc)| MimdInst {
+                op: MimdOp::St(if smc { MemSpace::Smc } else { MemSpace::L1 }),
+                rd: 0,
+                ra: a,
+                rb: b,
+                imm: off,
+                role: OpRole::Useful,
+            }),
+            (reg.clone(), reg.clone(), 0i64..2048).prop_map(|(d, a, off)| MimdInst {
+                op: MimdOp::Lut,
+                rd: d,
+                ra: a,
+                rb: 0,
+                imm: off,
+                role: OpRole::Useful,
+            }),
+            (reg, 0i64..64).prop_map(|(a, n)| MimdInst {
+                op: MimdOp::Send,
+                rd: 0,
+                ra: a,
+                rb: 0,
+                imm: n,
+                role: OpRole::Useful,
+            }),
+        ]
+    }
+
+    proptest! {
+        /// parse(disassemble(p)) == p, modulo the role field (text does not
+        /// carry roles).
+        #[test]
+        fn random_programs_roundtrip(
+            insts in proptest::collection::vec(inst_strategy(), 1..40)
+        ) {
+            let mut insts = insts;
+            // Terminate so the program is plausible; branches not generated
+            // (their targets depend on length), jmp 0 is valid.
+            insts.push(MimdInst { op: MimdOp::Halt, rd: 0, ra: 0, rb: 0, imm: 0, role: OpRole::Useful });
+            let p = MimdProgram::from_insts(insts);
+            let q = parse_mimd(&p.disassemble()).unwrap();
+            prop_assert_eq!(p.len(), q.len());
+            for (a, b) in p.insts().iter().zip(q.insts()) {
+                prop_assert_eq!(a.op, b.op);
+                prop_assert_eq!(a.rd, b.rd);
+                prop_assert_eq!(a.ra, b.ra);
+                prop_assert_eq!(a.rb, b.rb);
+                prop_assert_eq!(a.imm, b.imm);
+            }
+        }
+    }
+}

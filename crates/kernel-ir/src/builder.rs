@@ -1,0 +1,268 @@
+//! Fluent construction of [`KernelIr`] DAGs.
+
+use dlp_common::{DlpError, Value};
+use trips_isa::{OpRole, Opcode};
+
+use crate::{ControlClass, Domain, IrNode, IrOp, IrRef, KernelIr, TableSpec};
+
+/// Builds a [`KernelIr`] node by node.
+///
+/// Nodes are appended in topological order (an operand must already exist
+/// when it is referenced), which the type of [`IrRef`] enforces naturally:
+/// the only way to get one is to have built the node.
+///
+/// All emitting methods default to [`OpRole::Useful`]; address arithmetic
+/// and other plumbing should go through [`IrBuilder::bin_overhead`] /
+/// [`IrBuilder::un_overhead`] so the ops/cycle metric matches the paper's
+/// definition.
+#[derive(Debug)]
+pub struct IrBuilder {
+    name: String,
+    domain: Domain,
+    nodes: Vec<IrNode>,
+    outputs: Vec<(u16, IrRef)>,
+    record_in_words: u16,
+    record_out_words: u16,
+    constants: Vec<(String, Value)>,
+    tables: Vec<TableSpec>,
+}
+
+impl IrBuilder {
+    /// Start a kernel with the given record shape (sizes in 64-bit words).
+    #[must_use]
+    pub fn new(name: impl Into<String>, domain: Domain, record_in: u16, record_out: u16) -> Self {
+        IrBuilder {
+            name: name.into(),
+            domain,
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+            record_in_words: record_in,
+            record_out_words: record_out,
+            constants: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, op: IrOp, role: OpRole) -> IrRef {
+        let r = IrRef(self.nodes.len() as u32);
+        self.nodes.push(IrNode { op, role });
+        r
+    }
+
+    /// Register a named scalar constant and return a node reading it.
+    pub fn constant(&mut self, name: impl Into<String>, value: Value) -> IrRef {
+        let idx = self.constants.len() as u16;
+        self.constants.push((name.into(), value));
+        self.push(IrOp::Const(idx), OpRole::Overhead)
+    }
+
+    /// A node reading an already registered constant (for re-reads that
+    /// should not grow the constant pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has not been registered.
+    pub fn const_ref(&mut self, idx: u16) -> IrRef {
+        assert!((idx as usize) < self.constants.len(), "constant {idx} not registered");
+        self.push(IrOp::Const(idx), OpRole::Overhead)
+    }
+
+    /// Register a lookup table (indexed named constants); returns its id.
+    pub fn table(&mut self, name: impl Into<String>, entries: Vec<Value>) -> u16 {
+        let idx = self.tables.len() as u16;
+        self.tables.push(TableSpec { name: name.into(), entries });
+        idx
+    }
+
+    /// Word `i` of the input record.
+    pub fn input(&mut self, i: u16) -> IrRef {
+        self.push(IrOp::RecordIn(i), OpRole::Overhead)
+    }
+
+    /// An in-kernel literal.
+    pub fn imm(&mut self, v: Value) -> IrRef {
+        self.push(IrOp::Imm(v), OpRole::Overhead)
+    }
+
+    /// Read entry `index` of `table`.
+    pub fn table_read(&mut self, table: u16, index: IrRef) -> IrRef {
+        self.push(IrOp::TableRead { table, index }, OpRole::Useful)
+    }
+
+    /// An irregular load from a kernel-computed word address.
+    pub fn irregular_load(&mut self, addr: IrRef) -> IrRef {
+        self.push(IrOp::IrregularLoad { addr }, OpRole::Useful)
+    }
+
+    /// A unary ALU op.
+    pub fn un(&mut self, op: Opcode, a: IrRef) -> IrRef {
+        self.push(IrOp::Un { op, a }, OpRole::Useful)
+    }
+
+    /// A unary ALU op that is overhead (plumbing, address math).
+    pub fn un_overhead(&mut self, op: Opcode, a: IrRef) -> IrRef {
+        self.push(IrOp::Un { op, a }, OpRole::Overhead)
+    }
+
+    /// A binary ALU op.
+    pub fn bin(&mut self, op: Opcode, a: IrRef, b: IrRef) -> IrRef {
+        self.push(IrOp::Bin { op, a, b }, OpRole::Useful)
+    }
+
+    /// A binary ALU op that is overhead (address math, loop tests).
+    pub fn bin_overhead(&mut self, op: Opcode, a: IrRef, b: IrRef) -> IrRef {
+        self.push(IrOp::Bin { op, a, b }, OpRole::Overhead)
+    }
+
+    /// Select `p ? a : b` — the predication idiom (counted as overhead,
+    /// since it exists only to emulate control flow on synchronized
+    /// machines).
+    pub fn sel(&mut self, p: IrRef, a: IrRef, b: IrRef) -> IrRef {
+        self.push(IrOp::Sel { p, a, b }, OpRole::Overhead)
+    }
+
+    /// Write node `v` to word `i` of the output record.
+    pub fn output(&mut self, i: u16, v: IrRef) {
+        self.outputs.push((i, v));
+    }
+
+    /// Number of nodes so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finish and validate the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlpError::MalformedProgram`] if the DAG fails
+    /// [`KernelIr::validate`].
+    pub fn finish(self, control: ControlClass) -> Result<KernelIr, DlpError> {
+        let ir = KernelIr {
+            name: self.name,
+            domain: self.domain,
+            nodes: self.nodes,
+            outputs: self.outputs,
+            record_in_words: self.record_in_words,
+            record_out_words: self.record_out_words,
+            constants: self.constants,
+            tables: self.tables,
+            control,
+        };
+        ir.validate()?;
+        Ok(ir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> KernelIr {
+        let mut b = IrBuilder::new("toy", Domain::Multimedia, 2, 1);
+        let c = b.constant("c", Value::from_u64(10));
+        let x = b.input(0);
+        let y = b.input(1);
+        let s = b.bin(Opcode::Add, x, c);
+        let t = b.bin(Opcode::Mul, s, y);
+        b.output(0, t);
+        b.finish(ControlClass::Straight).unwrap()
+    }
+
+    #[test]
+    fn builds_and_evaluates() {
+        let k = toy();
+        let out = k.eval_record(&[Value::from_u64(5), Value::from_u64(3)], &|_| Value::ZERO);
+        assert_eq!(out[0].as_u64(), 45); // (5+10)*3
+    }
+
+    #[test]
+    fn missing_output_rejected() {
+        let mut b = IrBuilder::new("bad", Domain::Network, 1, 2);
+        let x = b.input(0);
+        b.output(0, x);
+        // word 1 never written
+        assert!(b.finish(ControlClass::Straight).is_err());
+    }
+
+    #[test]
+    fn double_output_rejected() {
+        let mut b = IrBuilder::new("bad", Domain::Network, 1, 1);
+        let x = b.input(0);
+        b.output(0, x);
+        b.output(0, x);
+        assert!(b.finish(ControlClass::Straight).is_err());
+    }
+
+    #[test]
+    fn out_of_record_input_rejected() {
+        let mut b = IrBuilder::new("bad", Domain::Network, 1, 1);
+        let x = b.input(5);
+        b.output(0, x);
+        assert!(b.finish(ControlClass::Straight).is_err());
+    }
+
+    #[test]
+    fn memory_opcode_in_bin_rejected() {
+        let mut b = IrBuilder::new("bad", Domain::Network, 2, 1);
+        let x = b.input(0);
+        let y = b.input(1);
+        let z = b.bin(Opcode::Lmw, x, y);
+        b.output(0, z);
+        assert!(b.finish(ControlClass::Straight).is_err());
+    }
+
+    #[test]
+    fn table_read_resolves_entries() {
+        let mut b = IrBuilder::new("lut", Domain::Network, 1, 1);
+        let t = b.table("sq", (0..16).map(|i| Value::from_u64(i * i)).collect());
+        let x = b.input(0);
+        let v = b.table_read(t, x);
+        b.output(0, v);
+        let k = b.finish(ControlClass::Straight).unwrap();
+        let out = k.eval_record(&[Value::from_u64(7)], &|_| Value::ZERO);
+        assert_eq!(out[0].as_u64(), 49);
+        assert_eq!(k.table_entries(), 16);
+    }
+
+    #[test]
+    fn irregular_load_uses_callback() {
+        let mut b = IrBuilder::new("tex", Domain::Graphics, 1, 1);
+        let a = b.input(0);
+        let v = b.irregular_load(a);
+        b.output(0, v);
+        let k = b.finish(ControlClass::Straight).unwrap();
+        let out = k.eval_record(&[Value::from_u64(123)], &|addr| Value::from_u64(addr * 2));
+        assert_eq!(out[0].as_u64(), 246);
+    }
+
+    #[test]
+    fn sel_merges_paths() {
+        let mut b = IrBuilder::new("cond", Domain::Graphics, 2, 1);
+        let x = b.input(0);
+        let y = b.input(1);
+        let zero = b.imm(Value::ZERO);
+        let p = b.bin(Opcode::Tgt, x, zero);
+        let m = b.sel(p, x, y);
+        b.output(0, m);
+        let k = b.finish(ControlClass::Straight).unwrap();
+        let pos = k.eval_record(&[Value::from_i64(5), Value::from_i64(9)], &|_| Value::ZERO);
+        let neg = k.eval_record(&[Value::from_i64(-5), Value::from_i64(9)], &|_| Value::ZERO);
+        assert_eq!(pos[0].as_i64(), 5);
+        assert_eq!(neg[0].as_i64(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn const_ref_requires_registration() {
+        let mut b = IrBuilder::new("bad", Domain::Network, 1, 1);
+        b.const_ref(3);
+    }
+}

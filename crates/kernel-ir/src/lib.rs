@@ -1,0 +1,55 @@
+//! # dlp-kernel-ir
+//!
+//! The machine-independent representation of a data-parallel *kernel* — the
+//! loop body that executes once per record of the input stream (§2.1).
+//!
+//! A [`KernelIr`] is a dataflow DAG over one record: stream inputs come in
+//! through [`IrOp::RecordIn`], named scalar constants through
+//! [`IrOp::Const`], indexed constants through [`IrOp::TableRead`], irregular
+//! memory through [`IrOp::IrregularLoad`], and results leave through record
+//! outputs. Kernels with internal loops are expressed **unrolled** (the form
+//! vector/SIMD machines execute; the paper's Table 2 counts instructions the
+//! same way — e.g. `dct` is 1728 instructions after unrolling its 16
+//! iterations); data-dependent control is unrolled to its maximum trip count
+//! with [`select`](IrBuilder::sel) merges, which is exactly the
+//! masking/predication cost the paper ascribes to globally synchronized
+//! machines. The rolled, branching form of a kernel lives separately as a
+//! MIMD program (see `trips-isa`).
+//!
+//! [`KernelAttributes`] computes the paper's Table 2 row for a kernel
+//! directly from its IR: instruction count, inherent ILP (instructions ÷
+//! dataflow-graph height), record sizes, irregular-access count, constant
+//! counts, and loop-bound class.
+//!
+//! # Example
+//!
+//! ```
+//! use dlp_kernel_ir::{IrBuilder, ControlClass, Domain};
+//! use trips_isa::Opcode;
+//!
+//! // A toy kernel: out[0] = in[0] * c0 + in[1]
+//! let mut b = IrBuilder::new("toy", Domain::Multimedia, 2, 1);
+//! let c0 = b.constant("gain", 3.0_f32.into());
+//! let x = b.input(0);
+//! let y = b.input(1);
+//! let prod = b.bin(Opcode::FMul, x, c0);
+//! let sum = b.bin(Opcode::FAdd, prod, y);
+//! b.output(0, sum);
+//! let ir = b.finish(ControlClass::Straight)?;
+//!
+//! let attrs = ir.attributes();
+//! assert_eq!(attrs.insts, 2);
+//! assert_eq!(attrs.constants, 1);
+//! # Ok::<(), dlp_common::DlpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod builder;
+mod ir;
+
+pub use analysis::KernelAttributes;
+pub use builder::IrBuilder;
+pub use ir::{ControlClass, Domain, IrNode, IrOp, IrRef, KernelIr, TableSpec};

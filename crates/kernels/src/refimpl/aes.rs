@@ -1,0 +1,218 @@
+//! AES-128 (FIPS-197 "Rijndael") reference implementation, from scratch.
+//!
+//! The S-box is *computed* (multiplicative inverse in GF(2⁸) followed by
+//! the affine transform) rather than embedded, and the encryption path is
+//! the classic 32-bit T-table formulation — the same table structure the
+//! paper's `rijndael` kernel indexes (4 × 256 entries = the 1024 indexed
+//! constants of Table 2).
+
+/// GF(2⁸) multiplication modulo the AES polynomial x⁸+x⁴+x³+x+1.
+#[must_use]
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut out = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            out ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    out
+}
+
+/// Multiplicative inverse in GF(2⁸) (0 maps to 0), by exhaustive search —
+/// run once at table-construction time.
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    for b in 1..=255u8 {
+        if gf_mul(a, b) == 1 {
+            return b;
+        }
+    }
+    unreachable!("every nonzero GF(2^8) element has an inverse")
+}
+
+/// The AES S-box, computed from first principles (memoized — construction
+/// involves an exhaustive GF(2⁸) inverse search per entry).
+#[must_use]
+pub fn sbox() -> [u8; 256] {
+    static SBOX: std::sync::OnceLock<[u8; 256]> = std::sync::OnceLock::new();
+    *SBOX.get_or_init(|| {
+        let mut s = [0u8; 256];
+        for (x, slot) in s.iter_mut().enumerate() {
+            let inv = gf_inv(x as u8);
+            let mut y = inv;
+            let mut result = inv;
+            for _ in 0..4 {
+                y = y.rotate_left(1);
+                result ^= y;
+            }
+            *slot = result ^ 0x63;
+        }
+        s
+    })
+}
+
+/// The four encryption T-tables. `t[0][x] = (2·s, s, s, 3·s)` packed as a
+/// big-endian u32 `(2s)<<24 | s<<16 | s<<8 | 3s`; `t[i]` is `t[0]` rotated
+/// right by `8·i` bits.
+#[must_use]
+pub fn t_tables() -> [[u32; 256]; 4] {
+    static TT: std::sync::OnceLock<[[u32; 256]; 4]> = std::sync::OnceLock::new();
+    *TT.get_or_init(|| {
+        let s = sbox();
+        let mut t = [[0u32; 256]; 4];
+        for x in 0..256 {
+            let sv = s[x];
+            let t0 = (u32::from(gf_mul(sv, 2)) << 24)
+                | (u32::from(sv) << 16)
+                | (u32::from(sv) << 8)
+                | u32::from(gf_mul(sv, 3));
+            t[0][x] = t0;
+            t[1][x] = t0.rotate_right(8);
+            t[2][x] = t0.rotate_right(16);
+            t[3][x] = t0.rotate_right(24);
+        }
+        t
+    })
+}
+
+/// AES-128 round keys: 11 round keys of four big-endian words each.
+#[must_use]
+pub fn key_schedule(key: &[u8; 16]) -> [[u32; 4]; 11] {
+    let s = sbox();
+    let mut w = [0u32; 44];
+    for i in 0..4 {
+        w[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    let mut rcon = 1u8;
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp = temp.rotate_left(8);
+            temp = (u32::from(s[(temp >> 24) as usize]) << 24)
+                | (u32::from(s[((temp >> 16) & 0xFF) as usize]) << 16)
+                | (u32::from(s[((temp >> 8) & 0xFF) as usize]) << 8)
+                | u32::from(s[(temp & 0xFF) as usize]);
+            temp ^= u32::from(rcon) << 24;
+            rcon = gf_mul(rcon, 2);
+        }
+        w[i] = w[i - 4] ^ temp;
+    }
+    let mut rk = [[0u32; 4]; 11];
+    for r in 0..11 {
+        rk[r].copy_from_slice(&w[4 * r..4 * r + 4]);
+    }
+    rk
+}
+
+/// Encrypt one 16-byte block (T-table formulation).
+#[must_use]
+pub fn encrypt_block(rk: &[[u32; 4]; 11], block: &[u8; 16]) -> [u8; 16] {
+    let t = t_tables();
+    let s = sbox();
+    let mut st = [0u32; 4];
+    for i in 0..4 {
+        st[i] = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]) ^ rk[0][i];
+    }
+    for round in 1..10 {
+        let mut next = [0u32; 4];
+        for (i, slot) in next.iter_mut().enumerate() {
+            *slot = t[0][(st[i] >> 24) as usize]
+                ^ t[1][((st[(i + 1) % 4] >> 16) & 0xFF) as usize]
+                ^ t[2][((st[(i + 2) % 4] >> 8) & 0xFF) as usize]
+                ^ t[3][(st[(i + 3) % 4] & 0xFF) as usize]
+                ^ rk[round][i];
+        }
+        st = next;
+    }
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    let mut out = [0u8; 16];
+    for i in 0..4 {
+        let word = (u32::from(s[(st[i] >> 24) as usize]) << 24)
+            | (u32::from(s[((st[(i + 1) % 4] >> 16) & 0xFF) as usize]) << 16)
+            | (u32::from(s[((st[(i + 2) % 4] >> 8) & 0xFF) as usize]) << 8)
+            | u32::from(s[(st[(i + 3) % 4] & 0xFF) as usize]);
+        let word = word ^ rk[10][i];
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_entries() {
+        let s = sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7C);
+        assert_eq!(s[0x53], 0xED);
+        assert_eq!(s[0xFF], 0x16);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B: key 2b7e1516..., plaintext 3243f6a8...
+        let key = [
+            0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE, 0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88, 0x09, 0xCF,
+            0x4F, 0x3C,
+        ];
+        let pt = [
+            0x32, 0x43, 0xF6, 0xA8, 0x88, 0x5A, 0x30, 0x8D, 0x31, 0x31, 0x98, 0xA2, 0xE0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1D, 0x02, 0xDC, 0x09, 0xFB, 0xDC, 0x11, 0x85, 0x97, 0x19, 0x6A,
+            0x0B, 0x32,
+        ];
+        let rk = key_schedule(&key);
+        assert_eq!(encrypt_block(&rk, &pt), expect);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expect = [
+            0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
+            0xC5, 0x5A,
+        ];
+        let rk = key_schedule(&key);
+        assert_eq!(encrypt_block(&rk, &pt), expect);
+    }
+
+    #[test]
+    fn gf_mul_is_commutative_and_distributive() {
+        for a in [1u8, 3, 0x53, 0xCA] {
+            for b in [2u8, 7, 0x11, 0xFE] {
+                assert_eq!(gf_mul(a, b), gf_mul(b, a));
+                for c in [5u8, 0x80] {
+                    assert_eq!(gf_mul(a, b ^ c), gf_mul(a, b) ^ gf_mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_tables_are_rotations() {
+        let t = t_tables();
+        for x in [0usize, 1, 0x7F, 0xFF] {
+            assert_eq!(t[1][x], t[0][x].rotate_right(8));
+            assert_eq!(t[3][x], t[0][x].rotate_right(24));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! MD5 (RFC 1321) reference implementation, from scratch.
+
+/// Per-round left-rotation amounts.
+pub const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// The sine-derived additive constants `K[i] = floor(2^32 · |sin(i+1)|)`.
+#[must_use]
+pub fn k_table() -> [u32; 64] {
+    let mut k = [0u32; 64];
+    for (i, slot) in k.iter_mut().enumerate() {
+        *slot = (f64::from(i as u32 + 1).sin().abs() * 4_294_967_296.0) as u32;
+    }
+    k
+}
+
+/// Message-word index used at step `i`.
+#[must_use]
+pub fn g_index(i: usize) -> usize {
+    match i / 16 {
+        0 => i,
+        1 => (5 * i + 1) % 16,
+        2 => (3 * i + 5) % 16,
+        _ => (7 * i) % 16,
+    }
+}
+
+/// The standard initial state (A, B, C, D).
+pub const INIT: [u32; 4] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476];
+
+/// One MD5 compression: absorb a 16-word message block into `state`.
+#[must_use]
+pub fn transform(state: [u32; 4], m: &[u32; 16]) -> [u32; 4] {
+    let k = k_table();
+    let (mut a, mut b, mut c, mut d) = (state[0], state[1], state[2], state[3]);
+    for i in 0..64 {
+        let f = match i / 16 {
+            0 => (b & c) | (!b & d),
+            1 => (d & b) | (!d & c),
+            2 => b ^ c ^ d,
+            _ => c ^ (b | !d),
+        };
+        let tmp = d;
+        d = c;
+        c = b;
+        let sum = a
+            .wrapping_add(f)
+            .wrapping_add(k[i])
+            .wrapping_add(m[g_index(i)]);
+        b = b.wrapping_add(sum.rotate_left(S[i]));
+        a = tmp;
+    }
+    [
+        state[0].wrapping_add(a),
+        state[1].wrapping_add(b),
+        state[2].wrapping_add(c),
+        state[3].wrapping_add(d),
+    ]
+}
+
+/// Full MD5 digest of a byte message (padding per RFC 1321), little-endian
+/// digest bytes.
+#[must_use]
+pub fn digest(msg: &[u8]) -> [u8; 16] {
+    let mut padded = msg.to_vec();
+    let bit_len = (msg.len() as u64).wrapping_mul(8);
+    padded.push(0x80);
+    while padded.len() % 64 != 56 {
+        padded.push(0);
+    }
+    padded.extend_from_slice(&bit_len.to_le_bytes());
+
+    let mut state = INIT;
+    for chunk in padded.chunks_exact(64) {
+        let mut m = [0u32; 16];
+        for (i, w) in chunk.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+        }
+        state = transform(state, &m);
+    }
+    let mut out = [0u8; 16];
+    for (i, s) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&s.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: [u8; 16]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc1321_test_vectors() {
+        assert_eq!(hex(digest(b"")), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex(digest(b"a")), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex(digest(b"abc")), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(hex(digest(b"message digest")), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            hex(digest(b"abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+    }
+
+    #[test]
+    fn k_table_matches_known_values() {
+        let k = k_table();
+        assert_eq!(k[0], 0xD76A_A478);
+        assert_eq!(k[1], 0xE8C7_B756);
+        assert_eq!(k[63], 0xEB86_D391);
+    }
+
+    #[test]
+    fn g_index_covers_all_words_each_round() {
+        for round in 0..4 {
+            let mut seen = [false; 16];
+            for i in round * 16..(round + 1) * 16 {
+                seen[g_index(i)] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "round {round} misses words");
+        }
+    }
+}

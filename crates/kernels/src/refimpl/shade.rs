@@ -1,0 +1,215 @@
+//! Graphics reference math: the lighting, reflection, skinning and
+//! texture-filtering computations behind the five shader kernels.
+//!
+//! All arithmetic is `f32` with explicitly ordered accumulation so the
+//! reference matches the kernel DAGs closely (outputs are still compared
+//! with tolerance, since MIMD forms may reassociate).
+
+/// A 3-vector of f32.
+pub type V3 = [f32; 3];
+
+/// Dot product, left-to-right accumulation.
+#[must_use]
+pub fn dot(a: V3, b: V3) -> f32 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+/// Component-wise ops.
+#[must_use]
+pub fn add(a: V3, b: V3) -> V3 {
+    [a[0] + b[0], a[1] + b[1], a[2] + b[2]]
+}
+
+/// `a - b`.
+#[must_use]
+pub fn sub(a: V3, b: V3) -> V3 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+/// `a * s`.
+#[must_use]
+pub fn scale(a: V3, s: f32) -> V3 {
+    [a[0] * s, a[1] * s, a[2] * s]
+}
+
+/// Component-wise product.
+#[must_use]
+pub fn mul(a: V3, b: V3) -> V3 {
+    [a[0] * b[0], a[1] * b[1], a[2] * b[2]]
+}
+
+/// `max(x, 0)`.
+#[must_use]
+pub fn clamp0(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Row-major 3×3 matrix × vector (each row dot).
+#[must_use]
+pub fn mat3_mul(m: &[f32; 9], v: V3) -> V3 {
+    [
+        m[0] * v[0] + m[1] * v[1] + m[2] * v[2],
+        m[3] * v[0] + m[4] * v[1] + m[5] * v[2],
+        m[6] * v[0] + m[7] * v[1] + m[8] * v[2],
+    ]
+}
+
+/// Row-major 3×4 matrix × (vector, 1): affine transform.
+#[must_use]
+pub fn mat34_mul(m: &[f32; 12], v: V3) -> V3 {
+    [
+        m[0] * v[0] + m[1] * v[1] + m[2] * v[2] + m[3],
+        m[4] * v[0] + m[5] * v[1] + m[6] * v[2] + m[7],
+        m[8] * v[0] + m[9] * v[1] + m[10] * v[2] + m[11],
+    ]
+}
+
+/// x⁸ via three squarings (the specular exponent used by the shaders).
+#[must_use]
+pub fn pow8(x: f32) -> f32 {
+    let x2 = x * x;
+    let x4 = x2 * x2;
+    x4 * x4
+}
+
+/// Reflect `i` about unit normal `n`: `i − 2(n·i)n`.
+#[must_use]
+pub fn reflect(i: V3, n: V3) -> V3 {
+    let d = dot(n, i);
+    sub(i, scale(n, 2.0 * d))
+}
+
+/// Phong-style lighting: ambient + diffuse·max(N·L,0) + specular·(N·H)⁸,
+/// plus emissive. All vectors assumed pre-normalized by the host.
+#[must_use]
+pub fn phong(
+    n: V3,
+    l: V3,
+    h: V3,
+    ambient: V3,
+    diffuse: V3,
+    specular: V3,
+    emissive: V3,
+) -> V3 {
+    let ndl = clamp0(dot(n, l));
+    let ndh = clamp0(dot(n, h));
+    let spec = pow8(ndh);
+    let mut c = add(ambient, emissive);
+    c = add(c, scale(diffuse, ndl));
+    add(c, scale(specular, spec))
+}
+
+/// The texel word offset of `(u, v)` in a `size × size` texture wrapping
+/// out-of-range coordinates (power-of-two `size`).
+#[must_use]
+pub fn texel_offset(u: i32, v: i32, size: u32) -> u64 {
+    let mask = size - 1;
+    let ui = (u as u32) & mask;
+    let vi = (v as u32) & mask;
+    u64::from(vi * size + ui)
+}
+
+/// Bilinear filter of a texture stored one f32 texel per word.
+///
+/// `fetch` returns the texel value at a word offset (the kernels route this
+/// through irregular loads). Coordinates are in texel units.
+#[must_use]
+pub fn bilinear(u: f32, v: f32, size: u32, fetch: &dyn Fn(u64) -> f32) -> f32 {
+    let u0 = u.floor();
+    let v0 = v.floor();
+    let fu = u - u0;
+    let fv = v - v0;
+    let (iu, iv) = (u0 as i32, v0 as i32);
+    let t00 = fetch(texel_offset(iu, iv, size));
+    let t10 = fetch(texel_offset(iu + 1, iv, size));
+    let t01 = fetch(texel_offset(iu, iv + 1, size));
+    let t11 = fetch(texel_offset(iu + 1, iv + 1, size));
+    let top = t00 + (t10 - t00) * fu;
+    let bot = t01 + (t11 - t01) * fu;
+    top + (bot - top) * fv
+}
+
+/// Face selection for a cube-map direction: returns `(face, u, v)` with
+/// `u, v` in `[0, 1]`-ish texture space (major-axis projection).
+#[must_use]
+pub fn cubemap_face(d: V3) -> (u32, f32, f32) {
+    let ax = d[0].abs();
+    let ay = d[1].abs();
+    let az = d[2].abs();
+    if ax >= ay && ax >= az {
+        let face = if d[0] >= 0.0 { 0 } else { 1 };
+        (face, 0.5 + 0.5 * d[2] / ax.max(1e-6), 0.5 + 0.5 * d[1] / ax.max(1e-6))
+    } else if ay >= az {
+        let face = if d[1] >= 0.0 { 2 } else { 3 };
+        (face, 0.5 + 0.5 * d[0] / ay.max(1e-6), 0.5 + 0.5 * d[2] / ay.max(1e-6))
+    } else {
+        let face = if d[2] >= 0.0 { 4 } else { 5 };
+        (face, 0.5 + 0.5 * d[0] / az.max(1e-6), 0.5 + 0.5 * d[1] / az.max(1e-6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_friends() {
+        assert_eq!(dot([1.0, 2.0, 3.0], [4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(add([1.0, 1.0, 1.0], [2.0, 3.0, 4.0]), [3.0, 4.0, 5.0]);
+        assert_eq!(scale([1.0, 2.0, 3.0], 2.0), [2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn pow8_matches_powi() {
+        for x in [0.0f32, 0.5, 0.9, 1.0] {
+            assert!((pow8(x) - x.powi(8)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reflect_mirrors_about_normal() {
+        // Incoming straight down onto an up-facing normal bounces up.
+        let r = reflect([0.0, -1.0, 0.0], [0.0, 1.0, 0.0]);
+        assert_eq!(r, [0.0, 1.0, 0.0]);
+        // Grazing along the surface is unchanged.
+        let r = reflect([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        assert_eq!(r, [1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn phong_dark_when_light_behind() {
+        let c = phong(
+            [0.0, 1.0, 0.0],
+            [0.0, -1.0, 0.0],
+            [0.0, -1.0, 0.0],
+            [0.1, 0.1, 0.1],
+            [1.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [0.0, 0.0, 0.0],
+        );
+        assert_eq!(c, [0.1, 0.1, 0.1], "only ambient survives");
+    }
+
+    #[test]
+    fn texel_offset_wraps() {
+        assert_eq!(texel_offset(-1, 0, 8), 7);
+        assert_eq!(texel_offset(8, 8, 8), 0);
+        assert_eq!(texel_offset(3, 2, 8), 19);
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoint() {
+        // 2x2-ish pattern in an 8x8 texture: value = x coordinate.
+        let fetch = |off: u64| (off % 8) as f32;
+        let v = bilinear(2.5, 3.0, 8, &fetch);
+        assert!((v - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cubemap_picks_major_axis() {
+        assert_eq!(cubemap_face([1.0, 0.1, 0.1]).0, 0);
+        assert_eq!(cubemap_face([-1.0, 0.1, 0.1]).0, 1);
+        assert_eq!(cubemap_face([0.0, 2.0, 0.1]).0, 2);
+        assert_eq!(cubemap_face([0.0, 0.0, -3.0]).0, 5);
+    }
+}

@@ -1,0 +1,213 @@
+//! DSP/scientific reference math: color conversion, DCT, convolution,
+//! FFT butterfly, LU elimination update.
+
+/// The RGB→YIQ conversion matrix (NTSC).
+pub const YIQ: [[f32; 3]; 3] = [
+    [0.299, 0.587, 0.114],
+    [0.595_716, -0.274_453, -0.321_263],
+    [0.211_456, -0.522_591, 0.311_135],
+];
+
+/// RGB → YIQ (matrix–vector product, row-major accumulation order).
+#[must_use]
+pub fn rgb_to_yiq(rgb: [f32; 3]) -> [f32; 3] {
+    let mut out = [0.0f32; 3];
+    for (row, o) in YIQ.iter().zip(out.iter_mut()) {
+        // Left-to-right accumulation, matching the kernel DAG.
+        *o = row[0] * rgb[0] + row[1] * rgb[1] + row[2] * rgb[2];
+    }
+    out
+}
+
+/// DCT-II coefficient `c(k, n) = s(k) · cos((2n+1)kπ/16)` for the 8-point
+/// transform, with the orthonormal scale `s(0)=√(1/8)`, `s(k)=√(2/8)`.
+#[must_use]
+pub fn dct8_coeff(k: usize, n: usize) -> f32 {
+    let s = if k == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+    (s * ((2 * n + 1) as f64 * k as f64 * std::f64::consts::PI / 16.0).cos()) as f32
+}
+
+/// 1-D 8-point DCT-II with left-to-right accumulation (matches the DAG).
+#[must_use]
+pub fn dct8(x: &[f32; 8]) -> [f32; 8] {
+    let mut out = [0.0f32; 8];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = x[0] * dct8_coeff(k, 0);
+        for n in 1..8 {
+            acc += x[n] * dct8_coeff(k, n);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// 2-D 8×8 DCT: rows first, then columns (separable, same order as the
+/// kernel DAG). Input and output are row-major.
+#[must_use]
+pub fn dct8x8(block: &[f32; 64]) -> [f32; 64] {
+    let mut tmp = [0.0f32; 64];
+    for r in 0..8 {
+        let row: [f32; 8] = core::array::from_fn(|c| block[r * 8 + c]);
+        let t = dct8(&row);
+        tmp[r * 8..r * 8 + 8].copy_from_slice(&t);
+    }
+    let mut out = [0.0f32; 64];
+    for c in 0..8 {
+        let col: [f32; 8] = core::array::from_fn(|r| tmp[r * 8 + c]);
+        let t = dct8(&col);
+        for r in 0..8 {
+            out[r * 8 + c] = t[r];
+        }
+    }
+    out
+}
+
+/// The 3×3 high-pass convolution coefficients (Laplacian sharpen).
+pub const HIGHPASS: [f32; 9] = [-1.0, -1.0, -1.0, -1.0, 9.0, -1.0, -1.0, -1.0, -1.0];
+
+/// Apply the 3×3 high-pass filter to one neighborhood (row-major,
+/// tree-reduced in the same order as the kernel DAG — which is what gives
+/// the kernel its Table 2 ILP of 3.4 rather than a serial chain).
+#[must_use]
+pub fn highpass(nbhd: &[f32; 9]) -> f32 {
+    let t: [f32; 9] = core::array::from_fn(|i| nbhd[i] * HIGHPASS[i]);
+    let s01 = t[0] + t[1];
+    let s23 = t[2] + t[3];
+    let s45 = t[4] + t[5];
+    let s67 = t[6] + t[7];
+    let a = s01 + s23;
+    let b = s45 + s67;
+    (a + b) + t[8]
+}
+
+/// One radix-2 decimation-in-time FFT butterfly:
+/// `a' = a + w·b`, `b' = a − w·b` over complex f32.
+#[must_use]
+pub fn fft_butterfly(ar: f32, ai: f32, br: f32, bi: f32, wr: f32, wi: f32) -> [f32; 4] {
+    let tr = wr * br - wi * bi;
+    let ti = wr * bi + wi * br;
+    [ar + tr, ai + ti, ar - tr, ai - ti]
+}
+
+/// LU elimination update `x' = x − l·u` (the inner kernel of dense LU
+/// decomposition's rank-1 update).
+#[must_use]
+pub fn lu_update(x: f32, l: f32, u: f32) -> f32 {
+    x - l * u
+}
+
+/// Run a full complex FFT (radix-2 DIT, naturally ordered output) using
+/// only [`fft_butterfly`] — used by the `fft_pipeline` example and the
+/// stage-generation workload code.
+///
+/// `re`/`im` are modified in place; length must be a power of two.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a power of two.
+pub fn fft_inplace(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    assert_eq!(n, im.len(), "mismatched component lengths");
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let angle = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                let (wr, wi) = (angle.cos() as f32, angle.sin() as f32);
+                let i = start + k;
+                let j = i + half;
+                let out = fft_butterfly(re[i], im[i], re[j], im[j], wr, wi);
+                re[i] = out[0];
+                im[i] = out[1];
+                re[j] = out[2];
+                im[j] = out[3];
+            }
+        }
+        len *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yiq_of_white_is_luma_only() {
+        let out = rgb_to_yiq([1.0, 1.0, 1.0]);
+        assert!((out[0] - 1.0).abs() < 1e-5);
+        assert!(out[1].abs() < 1e-5);
+        assert!(out[2].abs() < 1e-5);
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let block = [4.0f32; 64];
+        let out = dct8x8(&block);
+        assert!((out[0] - 32.0).abs() < 1e-3, "DC = 8·avg = {}", out[0]);
+        for (i, &v) in out.iter().enumerate().skip(1) {
+            assert!(v.abs() < 1e-3, "AC coefficient {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn dct_is_orthonormal_ish() {
+        // Parseval: energy preserved.
+        let block: [f32; 64] = core::array::from_fn(|i| ((i * 7 % 13) as f32) - 6.0);
+        let out = dct8x8(&block);
+        let e_in: f32 = block.iter().map(|v| v * v).sum();
+        let e_out: f32 = out.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-4);
+    }
+
+    #[test]
+    fn highpass_flat_region_keeps_center_value() {
+        // Sum of coefficients is 1, so a flat region passes through.
+        assert!((highpass(&[5.0; 9]) - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn butterfly_identity_twiddle() {
+        let out = fft_butterfly(1.0, 2.0, 3.0, 4.0, 1.0, 0.0);
+        assert_eq!(out, [4.0, 6.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn full_fft_of_impulse_is_flat() {
+        let mut re = vec![0.0f32; 16];
+        let mut im = vec![0.0f32; 16];
+        re[0] = 1.0;
+        fft_inplace(&mut re, &mut im);
+        for k in 0..16 {
+            assert!((re[k] - 1.0).abs() < 1e-5);
+            assert!(im[k].abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn full_fft_of_dc_is_impulse() {
+        let mut re = vec![1.0f32; 8];
+        let mut im = vec![0.0f32; 8];
+        fft_inplace(&mut re, &mut im);
+        assert!((re[0] - 8.0).abs() < 1e-4);
+        for k in 1..8 {
+            assert!(re[k].abs() < 1e-4 && im[k].abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn lu_update_basics() {
+        assert_eq!(lu_update(10.0, 2.0, 3.0), 4.0);
+    }
+}

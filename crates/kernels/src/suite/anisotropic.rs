@@ -1,0 +1,357 @@
+//! `anisotropic-filter` — anisotropic texture filtering fragment shader
+//! (Table 1, real-time graphics; after Pharr & Humphreys).
+//!
+//! Characterization-only: the paper's footnote 1 excludes this kernel from
+//! all performance tables ("we did not have sufficient infrastructure and
+//! datasets for a realistic simulation"), and so do we — but its Table 2
+//! row (9/1 record, ≤50 irregular accesses, 6 constants, 128 indexed
+//! constants, variable loop bounds) is regenerated from the IR, and the
+//! kernel is fully implemented and tested like the others.
+//!
+//! The filter walks up to 16 sample positions along the anisotropy axis,
+//! takes 3 taps per sample (48 ≤ the paper's ≤50), and weights each sample
+//! by a 128-entry filter table.
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::memmap;
+use crate::util::{MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// Texture edge length (texels).
+pub const TEX_SIZE: u32 = 64;
+/// Maximum samples along the anisotropy axis.
+pub const MAX_SAMPLES: usize = 16;
+/// Filter-weight table entries.
+pub const WEIGHT_ENTRIES: usize = 128;
+
+/// The deterministic filter-weight table (a broad Gaussian-ish falloff
+/// sampled at 128 points).
+#[must_use]
+pub fn weight_table() -> Vec<f32> {
+    (0..WEIGHT_ENTRIES)
+        .map(|i| {
+            let x = i as f32 / WEIGHT_ENTRIES as f32;
+            (-3.0 * x * x).exp()
+        })
+        .collect()
+}
+
+/// Scene constants (6 scalars).
+pub struct Scene {
+    /// Texture base word address.
+    pub tex_base: u64,
+    /// Texture row stride in words.
+    pub stride: u64,
+    /// Tap offsets relative to the sample texel.
+    pub tap1_off: u64,
+    /// Second tap offset.
+    pub tap2_off: u64,
+    /// Per-tap mixing weights (center gets the remainder).
+    pub side_w: f32,
+    /// Output gain.
+    pub gain: f32,
+}
+
+/// The fixed benchmark scene.
+#[must_use]
+pub fn scene() -> Scene {
+    Scene {
+        tex_base: memmap::TEX_BASE,
+        stride: u64::from(TEX_SIZE),
+        tap1_off: 1,
+        tap2_off: u64::from(TEX_SIZE),
+        side_w: 0.25,
+        gain: 1.0,
+    }
+}
+
+/// One record, decoded.
+#[derive(Clone, Copy, Debug)]
+pub struct FilterIn {
+    /// Base texel coordinates.
+    pub u: f32,
+    /// Base v.
+    pub v: f32,
+    /// Per-sample step along the anisotropy axis.
+    pub step_u: f32,
+    /// v-step.
+    pub step_v: f32,
+    /// Live sample count (1..=MAX_SAMPLES).
+    pub n: u32,
+    /// Base index into the weight table.
+    pub wsel: u32,
+}
+
+/// Reference anisotropic filtering. Matches the masked unrolled form:
+/// samples `n..MAX_SAMPLES` contribute with weight 0.
+#[must_use]
+pub fn filter(s: &Scene, f: &FilterIn, tex: &[f32], weights: &[f32]) -> f32 {
+    let fetch = |off: u64| tex.get(off as usize).copied().unwrap_or(0.0);
+    let mut acc = 0.0f32;
+    for k in 0..MAX_SAMPLES {
+        let live = (k as u32) < f.n;
+        let su = f.u + k as f32 * f.step_u;
+        let sv = f.v + k as f32 * f.step_v;
+        let ui = su as i32 as u64;
+        let vi = sv as i32 as u64;
+        let off = vi * s.stride + ui;
+        let center = fetch(off);
+        let t1 = fetch(off + s.tap1_off);
+        let t2 = fetch(off + s.tap2_off);
+        let mixed = center * (1.0 - 2.0 * s.side_w) + t1 * s.side_w + t2 * s.side_w;
+        let w = weights[(f.wsel as usize + k) % WEIGHT_ENTRIES];
+        let contrib = if live { mixed * w } else { 0.0 };
+        acc += contrib;
+    }
+    acc * s.gain
+}
+
+/// The anisotropic-filter kernel.
+pub struct Anisotropic;
+
+impl DlpKernel for Anisotropic {
+    fn name(&self) -> &'static str {
+        "anisotropic-filter"
+    }
+
+    fn description(&self) -> &'static str {
+        "a fragment shader implementing anisotropic texture filtering"
+    }
+
+    fn in_perf_suite(&self) -> bool {
+        false // the paper's footnote 1
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn ir(&self) -> KernelIr {
+        let s = scene();
+        let mut b = IrBuilder::new("anisotropic-filter", Domain::Graphics, 9, 1);
+        let wt = b.table("weights", weight_table().iter().map(|&w| Value::from_f32(w)).collect());
+        let tbase = b.constant("tex_base", Value::from_u64(s.tex_base));
+        let stride = b.constant("stride", Value::from_u64(s.stride));
+        let tap1 = b.constant("tap1", Value::from_u64(s.tap1_off));
+        let tap2 = b.constant("tap2", Value::from_u64(s.tap2_off));
+        let sidew = b.constant("side_w", Value::from_f32(s.side_w));
+        let gain = b.constant("gain", Value::from_f32(s.gain));
+
+        let u = b.input(0);
+        let v = b.input(1);
+        let du = b.input(2);
+        let dv = b.input(3);
+        let n = b.input(4);
+        let wsel = b.input(5);
+        // Pads 6..9 kept live via a zero-multiply checksum.
+        let pads: Vec<_> = (6..9).map(|i| b.input(i)).collect();
+
+        let zero_f = b.imm(Value::from_f32(0.0));
+        let one = b.imm(Value::from_f32(1.0));
+        let two = b.imm(Value::from_f32(2.0));
+        let two_side = b.bin(Opcode::FMul, two, sidew);
+        let center_w = b.bin(Opcode::FSub, one, two_side);
+
+        let mut acc = None;
+        for k in 0..MAX_SAMPLES {
+            let kimm = b.imm(Value::from_u64(k as u64));
+            let live = b.bin_overhead(Opcode::Tltu, kimm, n);
+            let kf = b.imm(Value::from_f32(k as f32));
+            let ou = b.bin(Opcode::FMul, kf, du);
+            let su = b.bin(Opcode::FAdd, u, ou);
+            let ov = b.bin(Opcode::FMul, kf, dv);
+            let sv = b.bin(Opcode::FAdd, v, ov);
+            let ui = b.un_overhead(Opcode::F2I, su);
+            let vi = b.un_overhead(Opcode::F2I, sv);
+            let row = b.bin_overhead(Opcode::Mul, vi, stride);
+            let off = b.bin_overhead(Opcode::Add, row, ui);
+            let a0 = b.bin_overhead(Opcode::Add, off, tbase);
+            let a1 = b.bin_overhead(Opcode::Add, a0, tap1);
+            let a2 = b.bin_overhead(Opcode::Add, a0, tap2);
+            let c = b.irregular_load(a0);
+            let t1 = b.irregular_load(a1);
+            let t2 = b.irregular_load(a2);
+            let mc = b.bin(Opcode::FMul, c, center_w);
+            let m1 = b.bin(Opcode::FMul, t1, sidew);
+            let s1 = b.bin(Opcode::FAdd, mc, m1);
+            let m2 = b.bin(Opcode::FMul, t2, sidew);
+            let mixed = b.bin(Opcode::FAdd, s1, m2);
+            // weight index = (wsel + k) % 128 — power-of-two mask.
+            let widx0 = b.bin_overhead(Opcode::Add, wsel, kimm);
+            let wmask = b.imm(Value::from_u64(WEIGHT_ENTRIES as u64 - 1));
+            let widx = b.bin_overhead(Opcode::And, widx0, wmask);
+            let w = b.table_read(wt, widx);
+            let weighted = b.bin(Opcode::FMul, mixed, w);
+            let contrib = b.sel(live, weighted, zero_f);
+            acc = Some(match acc {
+                None => contrib,
+                Some(prev) => b.bin(Opcode::FAdd, prev, contrib),
+            });
+        }
+        let total = acc.expect("at least one sample");
+        let scaled = b.bin(Opcode::FMul, total, gain);
+        // Pad liveness.
+        let mut padsum = pads[0];
+        for &p in &pads[1..] {
+            padsum = b.bin_overhead(Opcode::Or, padsum, p);
+        }
+        let z = b.imm(Value::from_u64(0));
+        let padz = b.bin_overhead(Opcode::And, padsum, z);
+        let out = b.bin_overhead(Opcode::Or, scaled, padz);
+        b.output(0, out);
+        b.finish(ControlClass::VariableLoop { max_iters: MAX_SAMPLES as u32 })
+            .expect("anisotropic IR is well-formed")
+    }
+
+    fn mimd_program(&self, target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        let s = scene();
+        // Rolled loop over the actual sample count with a real branch.
+        // r1=u, r2=v, r3=du, r4=dv, r5=n, r6=wsel, r7=k, r8=acc,
+        // r9..r13 temps.
+        MimdStream::build(
+            9,
+            1,
+            |_| {},
+            |asm| {
+                for i in 0..6u8 {
+                    asm.ld(MemSpace::Smc, 1 + i, R_IN_ADDR, i64::from(i));
+                }
+                asm.lif(8, 0.0);
+                asm.li(7, 0);
+                asm.label("sample");
+                asm.alu(Opcode::Tgeu, 9, 7, 5);
+                asm.bnz(9, "done");
+                // su/sv
+                asm.alu(Opcode::I2F, 9, 7, 0);
+                asm.alu(Opcode::FMul, 10, 9, 3);
+                asm.alu(Opcode::FAdd, 10, 1, 10);
+                asm.alu(Opcode::FMul, 11, 9, 4);
+                asm.alu(Opcode::FAdd, 11, 2, 11);
+                asm.alu(Opcode::F2I, 10, 10, 0);
+                asm.alu(Opcode::F2I, 11, 11, 0);
+                asm.alui(Opcode::Mul, 11, 11, s.stride as i64);
+                asm.alu(Opcode::Add, 10, 10, 11);
+                asm.alui(Opcode::Add, 10, 10, s.tex_base as i64);
+                asm.ld(MemSpace::L1, 11, 10, 0); // center
+                asm.ld(MemSpace::L1, 12, 10, s.tap1_off as i64);
+                asm.ld(MemSpace::L1, 13, 10, s.tap2_off as i64);
+                asm.lif(9, 1.0 - 2.0 * s.side_w);
+                asm.alu(Opcode::FMul, 11, 11, 9);
+                asm.lif(9, s.side_w);
+                asm.alu(Opcode::FMul, 12, 12, 9);
+                asm.alu(Opcode::FAdd, 11, 11, 12);
+                asm.alu(Opcode::FMul, 13, 13, 9);
+                asm.alu(Opcode::FAdd, 11, 11, 13); // mixed
+                // weight
+                asm.alu(Opcode::Add, 9, 6, 7);
+                asm.alui(Opcode::And, 9, 9, WEIGHT_ENTRIES as i64 - 1);
+                target.table_read(asm, 9, 9, 0);
+                asm.alu(Opcode::FMul, 11, 11, 9);
+                asm.alu(Opcode::FAdd, 8, 8, 11);
+                asm.alui(Opcode::Add, 7, 7, 1);
+                asm.jmp("sample");
+                asm.label("done");
+                asm.lif(9, s.gain);
+                asm.alu(Opcode::FMul, 8, 8, 9);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 0, 8);
+            },
+        )
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let s = scene();
+        let weights = weight_table();
+        let mut rng = SplitMix64::new(seed ^ 0xA150);
+        let tex: Vec<f32> =
+            (0..(TEX_SIZE * TEX_SIZE) as usize).map(|_| rng.f32_in(0.0, 1.0)).collect();
+        let mut input_words = Vec::with_capacity(records * 9);
+        let mut expected = Vec::with_capacity(records);
+        for _ in 0..records {
+            // Keep the sample walk inside the texture (taps reach +1 col,
+            // +1 row).
+            let f = FilterIn {
+                u: rng.f32_in(1.0, 24.0),
+                v: rng.f32_in(1.0, 24.0),
+                step_u: rng.f32_in(0.0, 2.0),
+                step_v: rng.f32_in(0.0, 2.0),
+                n: 1 + rng.below(MAX_SAMPLES as u64) as u32,
+                wsel: rng.below(WEIGHT_ENTRIES as u64) as u32,
+            };
+            input_words.push(Value::from_f32(f.u));
+            input_words.push(Value::from_f32(f.v));
+            input_words.push(Value::from_f32(f.step_u));
+            input_words.push(Value::from_f32(f.step_v));
+            input_words.push(Value::from_u64(u64::from(f.n)));
+            input_words.push(Value::from_u64(u64::from(f.wsel)));
+            for _ in 0..3 {
+                input_words.push(Value::ZERO);
+            }
+            expected.push(Value::from_f32(filter(&s, &f, &tex, &weights)));
+        }
+        let tex_words = tex.iter().map(|&t| Value::from_f32(t)).collect();
+        Workload { records, input_words, tex_words, expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::F32Approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_match_paper_row() {
+        let a = Anisotropic.ir().attributes();
+        // Paper: 80 insts (rolled counting), ≤50 irregular, 6 constants,
+        // 128 indexed, variable loop.
+        assert_eq!(a.record_read, 9);
+        assert_eq!(a.record_write, 1);
+        assert_eq!(a.constants, 6);
+        assert_eq!(a.indexed_constants, 128);
+        assert!(a.irregular <= 50, "paper bound: ≤50, got {}", a.irregular);
+        assert_eq!(a.irregular, 48);
+        assert!(a.control.is_data_dependent());
+    }
+
+    #[test]
+    fn excluded_from_perf_suite() {
+        assert!(!Anisotropic.in_perf_suite());
+    }
+
+    #[test]
+    fn ir_matches_reference() {
+        let k = Anisotropic;
+        let ir = k.ir();
+        let w = k.workload(16, 3);
+        let tex = w.tex_words.clone();
+        let fetch = move |addr: u64| {
+            let off = addr.wrapping_sub(memmap::TEX_BASE) as usize;
+            tex.get(off).copied().unwrap_or(Value::ZERO)
+        };
+        for r in 0..16 {
+            let rec = &w.input_words[r * 9..r * 9 + 9];
+            let got = ir.eval_record(rec, &fetch);
+            let g = got[0].as_f32();
+            let e = w.expected[r].as_f32();
+            assert!((g - e).abs() <= 1e-3 * e.abs().max(1.0), "rec {r}: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn sample_count_changes_output() {
+        let s = scene();
+        let weights = weight_table();
+        let tex: Vec<f32> = (0..(TEX_SIZE * TEX_SIZE) as usize).map(|i| i as f32 * 0.001).collect();
+        let base = FilterIn { u: 4.0, v: 4.0, step_u: 1.0, step_v: 0.5, n: 2, wsel: 0 };
+        let more = FilterIn { n: 8, ..base };
+        assert_ne!(filter(&s, &base, &tex, &weights), filter(&s, &more, &tex, &weights));
+    }
+
+    #[test]
+    fn mimd_program_fits_l0_store() {
+        let p = Anisotropic.mimd_program(MimdTarget::with_l0()).unwrap();
+        assert!(p.len() <= 256, "program has {} insts", p.len());
+    }
+}

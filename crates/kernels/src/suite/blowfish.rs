@@ -1,0 +1,223 @@
+//! `blowfish` — Blowfish packet encryption (Table 1, network/security).
+//!
+//! Record: one 64-bit cipher block per word (halves packed low/high), one
+//! word in / one out — Table 2's `blowfish` row (1/1, 16-round internal
+//! loop). The P-array enters as named scalar constants; the four S-boxes
+//! are the indexed-constant tables whose placement (L0 store vs L1) drives
+//! the S-O-D/M-D results in §5.3.
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, IrRef, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::refimpl::blowfish::Blowfish as BlowfishRef;
+use crate::util::{MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// The fixed benchmark key (the paper encrypts synthetic packet streams;
+/// any key exercises the same data path).
+pub const KEY: &[u8] = b"TRIPSDLP";
+
+/// The Blowfish encryption kernel.
+pub struct Blowfish;
+
+fn cipher() -> &'static BlowfishRef {
+    static CIPHER: std::sync::OnceLock<BlowfishRef> = std::sync::OnceLock::new();
+    CIPHER.get_or_init(|| BlowfishRef::new(KEY))
+}
+
+fn pack(l: u32, r: u32) -> Value {
+    Value::from_u64(u64::from(l) | (u64::from(r) << 32))
+}
+
+impl DlpKernel for Blowfish {
+    fn name(&self) -> &'static str {
+        "blowfish"
+    }
+
+    fn description(&self) -> &'static str {
+        "Blowfish packet encryption (1500-byte packets)"
+    }
+
+    fn ir(&self) -> KernelIr {
+        let bf = cipher();
+        let mut b = IrBuilder::new("blowfish", Domain::Network, 1, 1);
+        let pref: Vec<IrRef> = bf
+            .p
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| b.constant(format!("p{i}"), Value::from_u32(v)))
+            .collect();
+        let sbox: Vec<u16> = (0..4)
+            .map(|i| {
+                b.table(format!("s{i}"), bf.s[i].iter().map(|&v| Value::from_u32(v)).collect())
+            })
+            .collect();
+        let mask32 = b.imm(Value::from_u64(0xFFFF_FFFF));
+        let sh32 = b.imm(Value::from_u64(32));
+        let w = b.input(0);
+        let mut l = b.bin_overhead(Opcode::And, w, mask32);
+        let mut r = b.bin_overhead(Opcode::Shr, w, sh32);
+
+        let byte_mask = b.imm(Value::from_u64(0xFF));
+        for round in 0..16 {
+            l = b.bin(Opcode::Xor, l, pref[round]);
+            // F(l)
+            let sh24 = b.imm(Value::from_u64(24));
+            let a = b.bin(Opcode::Shr, l, sh24);
+            let sh16 = b.imm(Value::from_u64(16));
+            let t = b.bin(Opcode::Shr, l, sh16);
+            let bb = b.bin(Opcode::And, t, byte_mask);
+            let sh8 = b.imm(Value::from_u64(8));
+            let t = b.bin(Opcode::Shr, l, sh8);
+            let cc = b.bin(Opcode::And, t, byte_mask);
+            let dd = b.bin(Opcode::And, l, byte_mask);
+            let s0 = b.table_read(sbox[0], a);
+            let s1 = b.table_read(sbox[1], bb);
+            let s2 = b.table_read(sbox[2], cc);
+            let s3 = b.table_read(sbox[3], dd);
+            let t = b.bin(Opcode::Add32, s0, s1);
+            let t = b.bin(Opcode::Xor, t, s2);
+            let f = b.bin(Opcode::Add32, t, s3);
+            r = b.bin(Opcode::Xor, r, f);
+            std::mem::swap(&mut l, &mut r);
+        }
+        std::mem::swap(&mut l, &mut r);
+        r = b.bin(Opcode::Xor, r, pref[16]);
+        l = b.bin(Opcode::Xor, l, pref[17]);
+        let hi = b.bin_overhead(Opcode::Shl, r, sh32);
+        let out = b.bin_overhead(Opcode::Or, l, hi);
+        b.output(0, out);
+        b.finish(ControlClass::FixedLoop { iters: 16 }).expect("blowfish IR is well-formed")
+    }
+
+    fn mimd_program(&self, target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        // Table layout: S0..S3 at 0..1024, P at 1024..1042.
+        // Registers: l=r1, r=r2, i=r3, idx=r4, sval=r5, acc=r6, tmp=r7.
+        MimdStream::build(
+            1,
+            1,
+            |_| {},
+            |asm| {
+                asm.ld(MemSpace::Smc, 7, R_IN_ADDR, 0);
+                asm.alui(Opcode::And, 1, 7, 0xFFFF_FFFF);
+                asm.alui(Opcode::Shr, 2, 7, 32);
+                asm.li(3, 0);
+                asm.label("round");
+                target.table_read(asm, 7, 3, 1024); // P[i]
+                asm.alu(Opcode::Xor, 1, 1, 7);
+                // F(l)
+                asm.alui(Opcode::Shr, 4, 1, 24);
+                target.table_read(asm, 6, 4, 0); // S0[a]
+                asm.alui(Opcode::Shr, 4, 1, 16);
+                asm.alui(Opcode::And, 4, 4, 0xFF);
+                target.table_read(asm, 5, 4, 256); // S1[b]
+                asm.alu(Opcode::Add32, 6, 6, 5);
+                asm.alui(Opcode::Shr, 4, 1, 8);
+                asm.alui(Opcode::And, 4, 4, 0xFF);
+                target.table_read(asm, 5, 4, 512); // S2[c]
+                asm.alu(Opcode::Xor, 6, 6, 5);
+                asm.alui(Opcode::And, 4, 1, 0xFF);
+                target.table_read(asm, 5, 4, 768); // S3[d]
+                asm.alu(Opcode::Add32, 6, 6, 5);
+                asm.alu(Opcode::Xor, 2, 2, 6); // r ^= F
+                // swap
+                asm.alu(Opcode::Mov, 7, 1, 0);
+                asm.alu(Opcode::Mov, 1, 2, 0);
+                asm.alu(Opcode::Mov, 2, 7, 0);
+                asm.alui(Opcode::Add, 3, 3, 1);
+                asm.alui(Opcode::Tlt, 7, 3, 16);
+                asm.bnz(7, "round");
+                // undo last swap, final whitening
+                asm.alu(Opcode::Mov, 7, 1, 0);
+                asm.alu(Opcode::Mov, 1, 2, 0);
+                asm.alu(Opcode::Mov, 2, 7, 0);
+                asm.li(4, 16);
+                target.table_read(asm, 7, 4, 1024);
+                asm.alu(Opcode::Xor, 2, 2, 7); // r ^= P[16]
+                asm.li(4, 17);
+                target.table_read(asm, 7, 4, 1024);
+                asm.alu(Opcode::Xor, 1, 1, 7); // l ^= P[17]
+                asm.alui(Opcode::Shl, 2, 2, 32);
+                asm.alu(Opcode::Or, 1, 1, 2);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 0, 1);
+            },
+        )
+    }
+
+    fn mimd_table_image(&self) -> Vec<Value> {
+        let bf = cipher();
+        let mut t: Vec<Value> = bf
+            .s
+            .iter()
+            .flat_map(|sbox| sbox.iter().map(|&v| Value::from_u32(v)))
+            .collect();
+        t.extend(bf.p.iter().map(|&v| Value::from_u32(v)));
+        t
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let bf = cipher();
+        let mut rng = SplitMix64::new(seed ^ 0xB70F);
+        let mut input_words = Vec::with_capacity(records);
+        let mut expected = Vec::with_capacity(records);
+        for _ in 0..records {
+            let l = rng.next_u32();
+            let r = rng.next_u32();
+            input_words.push(pack(l, r));
+            let (el, er) = bf.encrypt_words(l, r);
+            expected.push(pack(el, er));
+        }
+        Workload { records, input_words, tex_words: Vec::new(), expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::ExactBits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_are_close_to_paper_row() {
+        let a = Blowfish.ir().attributes();
+        // Paper: 364 insts, record 1/1, 256 indexed constants (one S-box
+        // counted), loop 16. Full Blowfish has 4 S-boxes and an 18-entry
+        // P-array; see EXPERIMENTS.md.
+        assert!(a.insts >= 230 && a.insts <= 400, "got {}", a.insts);
+        assert_eq!(a.record_read, 1);
+        assert_eq!(a.record_write, 1);
+        assert_eq!(a.constants, 18);
+        assert_eq!(a.indexed_constants, 1024);
+        assert_eq!(a.control, ControlClass::FixedLoop { iters: 16 });
+        assert!(a.ilp < 3.0, "paper reports ILP 1.98, got {}", a.ilp);
+    }
+
+    #[test]
+    fn ir_is_bit_exact_against_reference() {
+        let k = Blowfish;
+        let ir = k.ir();
+        let w = k.workload(8, 2);
+        for r in 0..8 {
+            let got = ir.eval_record(&w.input_words[r..=r], &|_| Value::ZERO);
+            assert_eq!(got[0].bits(), w.expected[r].bits(), "record {r}");
+        }
+    }
+
+    #[test]
+    fn mimd_table_concatenates_sboxes_then_p() {
+        let bf = cipher();
+        let t = Blowfish.mimd_table_image();
+        assert_eq!(t.len(), 1042);
+        assert_eq!(t[0].as_u32(), bf.s[0][0]);
+        assert_eq!(t[1024].as_u32(), bf.p[0]);
+    }
+
+    #[test]
+    fn mimd_program_fits_l0_store() {
+        let p = Blowfish.mimd_program(MimdTarget::with_l0()).unwrap();
+        assert!(p.len() <= 256, "program has {} insts", p.len());
+    }
+}

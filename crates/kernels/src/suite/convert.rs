@@ -1,0 +1,145 @@
+//! `convert` — RGB to YIQ color conversion (Table 1, multimedia).
+//!
+//! The paper's smallest kernel: a 3×3 matrix–vector product per pixel.
+//! 15 instructions (9 multiplies + 6 adds), 9 scalar constants, record
+//! 3 words in / 3 out — matching Table 2's `convert` row exactly.
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::refimpl::transform::{rgb_to_yiq, YIQ};
+use crate::util::{MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// The RGB→YIQ kernel.
+pub struct Convert;
+
+impl DlpKernel for Convert {
+    fn name(&self) -> &'static str {
+        "convert"
+    }
+
+    fn description(&self) -> &'static str {
+        "RGB to YIQ conversion"
+    }
+
+    fn ir(&self) -> KernelIr {
+        let mut b = IrBuilder::new("convert", Domain::Multimedia, 3, 3);
+        // Register the 9 matrix coefficients as named constants.
+        let consts: Vec<_> = YIQ
+            .iter()
+            .enumerate()
+            .flat_map(|(r, row)| {
+                row.iter()
+                    .enumerate()
+                    .map(move |(c, &v)| (format!("m{r}{c}"), v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let cref: Vec<_> =
+            consts.iter().map(|(n, v)| b.constant(n.clone(), Value::from_f32(*v))).collect();
+        let rgb = [b.input(0), b.input(1), b.input(2)];
+        for row in 0..3 {
+            // acc = m0*r + m1*g + m2*b, left-to-right.
+            let t0 = b.bin(Opcode::FMul, rgb[0], cref[row * 3]);
+            let t1 = b.bin(Opcode::FMul, rgb[1], cref[row * 3 + 1]);
+            let mut acc = b.bin(Opcode::FAdd, t0, t1);
+            let t2 = b.bin(Opcode::FMul, rgb[2], cref[row * 3 + 2]);
+            acc = b.bin(Opcode::FAdd, acc, t2);
+            b.output(row as u16, acc);
+        }
+        b.finish(ControlClass::Straight).expect("convert IR is well-formed")
+    }
+
+    fn mimd_program(&self, _target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        // r20..r28 hold the matrix... 9 coefficients need r17..r25; keep the
+        // three inputs and two temporaries in r1..r5.
+        MimdStream::build(
+            3,
+            3,
+            |asm| {
+                for (i, row) in YIQ.iter().enumerate() {
+                    for (j, &v) in row.iter().enumerate() {
+                        asm.lif((17 + i * 3 + j) as u8, v);
+                    }
+                }
+            },
+            |asm| {
+                asm.ld(MemSpace::Smc, 1, R_IN_ADDR, 0);
+                asm.ld(MemSpace::Smc, 2, R_IN_ADDR, 1);
+                asm.ld(MemSpace::Smc, 3, R_IN_ADDR, 2);
+                for row in 0..3u8 {
+                    asm.alu(Opcode::FMul, 4, 1, 17 + row * 3);
+                    asm.alu(Opcode::FMul, 5, 2, 18 + row * 3);
+                    asm.alu(Opcode::FAdd, 4, 4, 5);
+                    asm.alu(Opcode::FMul, 5, 3, 19 + row * 3);
+                    asm.alu(Opcode::FAdd, 4, 4, 5);
+                    asm.st(MemSpace::Smc, R_OUT_ADDR, i64::from(row), 4);
+                }
+            },
+        )
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let mut rng = SplitMix64::new(seed ^ 0xC04);
+        let mut input_words = Vec::with_capacity(records * 3);
+        let mut expected = Vec::with_capacity(records * 3);
+        for _ in 0..records {
+            let rgb = [rng.next_f32(), rng.next_f32(), rng.next_f32()];
+            for c in rgb {
+                input_words.push(Value::from_f32(c));
+            }
+            for y in rgb_to_yiq(rgb) {
+                expected.push(Value::from_f32(y));
+            }
+        }
+        Workload { records, input_words, tex_words: Vec::new(), expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::F32Approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_match_paper_row() {
+        let a = Convert.ir().attributes();
+        assert_eq!(a.insts, 15);
+        assert_eq!(a.record_read, 3);
+        assert_eq!(a.record_write, 3);
+        assert_eq!(a.constants, 9);
+        assert_eq!(a.irregular, 0);
+        assert_eq!(a.indexed_constants, 0);
+        assert_eq!(a.control, ControlClass::Straight);
+        assert!(a.ilp > 4.0, "paper reports ILP 5, got {}", a.ilp);
+    }
+
+    #[test]
+    fn ir_matches_reference_exactly() {
+        let k = Convert;
+        let ir = k.ir();
+        let w = k.workload(32, 1);
+        for r in 0..32 {
+            let rec = &w.input_words[r * 3..r * 3 + 3];
+            let got = ir.eval_record(rec, &|_| Value::ZERO);
+            for c in 0..3 {
+                assert_eq!(
+                    got[c].bits(),
+                    w.expected[r * 3 + c].bits(),
+                    "record {r} channel {c}: same op order must be bit-exact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mimd_program_fits_l0_store() {
+        let p = Convert.mimd_program(MimdTarget::with_l0()).unwrap();
+        assert!(p.len() <= 256, "program has {} insts", p.len());
+    }
+}

@@ -1,0 +1,137 @@
+//! `fft` — the complex radix-2 butterfly of a 1024-point FFT (Table 1,
+//! scientific).
+//!
+//! The kernel is one butterfly: record in = (aᵣ, aᵢ, bᵣ, bᵢ, wᵣ, wᵢ),
+//! record out = (a′ᵣ, a′ᵢ, b′ᵣ, b′ᵢ) with `a′ = a + w·b`, `b′ = a − w·b`.
+//! 10 instructions, no constants (the twiddle arrives in the record) —
+//! Table 2's `fft` row. A full FFT is a sequence of such butterfly streams
+//! (see the `fft_pipeline` example).
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::refimpl::transform::fft_butterfly;
+use crate::util::{MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// The FFT butterfly kernel.
+pub struct Fft;
+
+impl DlpKernel for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn description(&self) -> &'static str {
+        "1024-point complex FFT (butterfly stream)"
+    }
+
+    fn ir(&self) -> KernelIr {
+        let mut b = IrBuilder::new("fft", Domain::Scientific, 6, 4);
+        let ar = b.input(0);
+        let ai = b.input(1);
+        let br = b.input(2);
+        let bi = b.input(3);
+        let wr = b.input(4);
+        let wi = b.input(5);
+        // t = w * b (complex): tr = wr*br - wi*bi ; ti = wr*bi + wi*br.
+        let p0 = b.bin(Opcode::FMul, wr, br);
+        let p1 = b.bin(Opcode::FMul, wi, bi);
+        let tr = b.bin(Opcode::FSub, p0, p1);
+        let p2 = b.bin(Opcode::FMul, wr, bi);
+        let p3 = b.bin(Opcode::FMul, wi, br);
+        let ti = b.bin(Opcode::FAdd, p2, p3);
+        let oar = b.bin(Opcode::FAdd, ar, tr);
+        let oai = b.bin(Opcode::FAdd, ai, ti);
+        let obr = b.bin(Opcode::FSub, ar, tr);
+        let obi = b.bin(Opcode::FSub, ai, ti);
+        b.output(0, oar);
+        b.output(1, oai);
+        b.output(2, obr);
+        b.output(3, obi);
+        b.finish(ControlClass::Straight).expect("fft IR is well-formed")
+    }
+
+    fn mimd_program(&self, _target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        MimdStream::build(
+            6,
+            4,
+            |_| {},
+            |asm| {
+                for i in 0..6u8 {
+                    asm.ld(MemSpace::Smc, 1 + i, R_IN_ADDR, i64::from(i));
+                }
+                // r1..r6 = ar ai br bi wr wi
+                asm.alu(Opcode::FMul, 7, 5, 3); // wr*br
+                asm.alu(Opcode::FMul, 8, 6, 4); // wi*bi
+                asm.alu(Opcode::FSub, 7, 7, 8); // tr
+                asm.alu(Opcode::FMul, 8, 5, 4); // wr*bi
+                asm.alu(Opcode::FMul, 9, 6, 3); // wi*br
+                asm.alu(Opcode::FAdd, 8, 8, 9); // ti
+                asm.alu(Opcode::FAdd, 10, 1, 7);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 0, 10);
+                asm.alu(Opcode::FAdd, 10, 2, 8);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 1, 10);
+                asm.alu(Opcode::FSub, 10, 1, 7);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 2, 10);
+                asm.alu(Opcode::FSub, 10, 2, 8);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 3, 10);
+            },
+        )
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let mut rng = SplitMix64::new(seed ^ 0xFF7);
+        let mut input_words = Vec::with_capacity(records * 6);
+        let mut expected = Vec::with_capacity(records * 4);
+        for _ in 0..records {
+            let vals: [f32; 4] = core::array::from_fn(|_| rng.f32_in(-1.0, 1.0));
+            // Twiddle on the unit circle, like a real FFT stage.
+            let angle = rng.f32_in(0.0, std::f32::consts::TAU);
+            let (wi, wr) = angle.sin_cos();
+            for v in vals {
+                input_words.push(Value::from_f32(v));
+            }
+            input_words.push(Value::from_f32(wr));
+            input_words.push(Value::from_f32(wi));
+            for o in fft_butterfly(vals[0], vals[1], vals[2], vals[3], wr, wi) {
+                expected.push(Value::from_f32(o));
+            }
+        }
+        Workload { records, input_words, tex_words: Vec::new(), expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::F32Approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_match_paper_row() {
+        let a = Fft.ir().attributes();
+        assert_eq!(a.insts, 10);
+        assert_eq!(a.record_read, 6);
+        assert_eq!(a.record_write, 4);
+        assert_eq!(a.constants, 0);
+        assert!(a.ilp > 2.5, "paper reports ILP 3.3, got {}", a.ilp);
+    }
+
+    #[test]
+    fn ir_is_bit_exact_against_reference() {
+        let k = Fft;
+        let ir = k.ir();
+        let w = k.workload(16, 5);
+        for r in 0..16 {
+            let rec = &w.input_words[r * 6..r * 6 + 6];
+            let got = ir.eval_record(rec, &|_| Value::ZERO);
+            for c in 0..4 {
+                assert_eq!(got[c].bits(), w.expected[r * 4 + c].bits(), "record {r} out {c}");
+            }
+        }
+    }
+}

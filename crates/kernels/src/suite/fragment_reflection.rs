@@ -1,0 +1,353 @@
+//! `fragment-reflection` — fragment shader rendering a reflective surface
+//! using cube maps (Table 1, real-time graphics).
+//!
+//! Record: reflection direction + Fresnel blend + pad = 5 words in; RGB =
+//! 3 words out (Table 2: 5/3, 7 constants, 4 irregular accesses). The
+//! cube-map face selection runs as a select cascade on the dataflow
+//! configurations — the masking cost the paper attributes to synchronized
+//! machines — and the four taps are irregular L1 accesses.
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, IrRef, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::memmap;
+use crate::refimpl::shade::{bilinear, cubemap_face, V3};
+use crate::util::{MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// Cube-map face edge length (texels).
+pub const FACE_SIZE: u32 = 32;
+/// Words per face.
+pub const FACE_WORDS: u64 = (FACE_SIZE as u64) * (FACE_SIZE as u64);
+
+/// Scene constants (7 scalars).
+pub struct Scene {
+    /// Cube-map base word address.
+    pub cube_base: u64,
+    /// Base (surface) color.
+    pub base: V3,
+    /// Sky contribution floor added to the sampled value.
+    pub sky_floor: f32,
+    /// Texel scale: maps `[0,1]` face coordinates to the sampled texel
+    /// range (leaves a 1-texel border so the four taps stay on the face).
+    pub texel_scale: f32,
+    /// Epsilon guarding the major-axis division.
+    pub eps: f32,
+}
+
+/// The fixed benchmark scene.
+#[must_use]
+pub fn scene() -> Scene {
+    Scene {
+        cube_base: memmap::TEX_BASE,
+        base: [0.25, 0.3, 0.35],
+        sky_floor: 0.05,
+        texel_scale: (FACE_SIZE - 2) as f32,
+        eps: 1e-6,
+    }
+}
+
+/// Reference shading: cube-map sample along `d`, blended by `fr`.
+#[must_use]
+pub fn shade_reflection(s: &Scene, d: V3, fr: f32, cube: &[f32]) -> [f32; 3] {
+    let (face, u01, v01) = cubemap_face(d);
+    let u = u01 * s.texel_scale;
+    let v = v01 * s.texel_scale;
+    let base_off = u64::from(face) * FACE_WORDS;
+    let fetch = |off: u64| cube.get((base_off + off) as usize).copied().unwrap_or(0.0);
+    let t = bilinear(u, v, FACE_SIZE, &fetch) + s.sky_floor;
+    core::array::from_fn(|c| s.base[c] + (t - s.base[c]) * fr)
+}
+
+/// The fragment-reflection kernel.
+pub struct FragmentReflection;
+
+impl DlpKernel for FragmentReflection {
+    fn name(&self) -> &'static str {
+        "fragment-reflection"
+    }
+
+    fn description(&self) -> &'static str {
+        "fragment shader rendering a reflective surface using cube maps"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn ir(&self) -> KernelIr {
+        let s = scene();
+        let mut b = IrBuilder::new("fragment-reflection", Domain::Graphics, 5, 3);
+        let cbase = b.constant("cube_base", Value::from_u64(s.cube_base));
+        let basec: [IrRef; 3] = core::array::from_fn(|i| {
+            b.constant(format!("base{i}"), Value::from_f32(s.base[i]))
+        });
+        let skyf = b.constant("sky_floor", Value::from_f32(s.sky_floor));
+        let tscale = b.constant("texel_scale", Value::from_f32(s.texel_scale));
+        let eps = b.constant("eps", Value::from_f32(s.eps));
+
+        let d: [IrRef; 3] = core::array::from_fn(|i| b.input(i as u16));
+        let fr = b.input(3);
+        let _pad = b.input(4); // pad kept live through a zero-multiply below
+
+        let ax = b.un(Opcode::FAbs, d[0]);
+        let ay = b.un(Opcode::FAbs, d[1]);
+        let az = b.un(Opcode::FAbs, d[2]);
+        // Case x: u = .5 + .5*dz/max(ax,eps), v = .5 + .5*dy/max(ax,eps).
+        let half = b.imm(Value::from_f32(0.5));
+        let zero_f = b.imm(Value::from_f32(0.0));
+        let case = |b: &mut IrBuilder, a: IrRef, nu: IrRef, nv: IrRef, dax: IrRef, fpos: u32| {
+            let den = b.bin(Opcode::FMax, a, eps);
+            let qu = b.bin(Opcode::FDiv, nu, den);
+            let qv = b.bin(Opcode::FDiv, nv, den);
+            let hu = b.bin(Opcode::FMul, half, qu);
+            let u = b.bin(Opcode::FAdd, half, hu);
+            let hv = b.bin(Opcode::FMul, half, qv);
+            let v = b.bin(Opcode::FAdd, half, hv);
+            let pos = b.bin(Opcode::FTle, zero_f, dax);
+            let fp = b.imm(Value::from_u64(u64::from(fpos)));
+            let fneg = b.imm(Value::from_u64(u64::from(fpos) + 1));
+            let face = b.sel(pos, fp, fneg);
+            (u, v, face)
+        };
+        let (ux, vx, fx) = case(&mut b, ax, d[2], d[1], d[0], 0);
+        let (uy, vy, fy) = case(&mut b, ay, d[0], d[2], d[1], 2);
+        let (uz, vz, fz) = case(&mut b, az, d[0], d[1], d[2], 4);
+        // Axis choice: x when ax>=ay && ax>=az, else y when ay>=az, else z.
+        let t0 = b.bin(Opcode::FTle, ay, ax);
+        let t1 = b.bin(Opcode::FTle, az, ax);
+        let cx = b.bin(Opcode::And, t0, t1);
+        let cy = b.bin(Opcode::FTle, az, ay);
+        let su = {
+            let yz = b.sel(cy, uy, uz);
+            b.sel(cx, ux, yz)
+        };
+        let sv = {
+            let yz = b.sel(cy, vy, vz);
+            b.sel(cx, vx, yz)
+        };
+        let face = {
+            let yz = b.sel(cy, fy, fz);
+            b.sel(cx, fx, yz)
+        };
+        // Texel coordinates and bilinear taps on the selected face.
+        let uu = b.bin(Opcode::FMul, su, tscale);
+        let vv = b.bin(Opcode::FMul, sv, tscale);
+        let u0 = b.un(Opcode::FFloor, uu);
+        let v0 = b.un(Opcode::FFloor, vv);
+        let fu = b.bin(Opcode::FSub, uu, u0);
+        let fv = b.bin(Opcode::FSub, vv, v0);
+        let ui = b.un_overhead(Opcode::F2I, u0);
+        let vi = b.un_overhead(Opcode::F2I, v0);
+        let fsz = b.imm(Value::from_u64(u64::from(FACE_SIZE)));
+        let row = b.bin_overhead(Opcode::Mul, vi, fsz);
+        let off = b.bin_overhead(Opcode::Add, row, ui);
+        let fw = b.imm(Value::from_u64(FACE_WORDS));
+        let foff = b.bin_overhead(Opcode::Mul, face, fw);
+        let a0 = b.bin_overhead(Opcode::Add, off, foff);
+        let a00 = b.bin_overhead(Opcode::Add, a0, cbase);
+        let one = b.imm(Value::from_u64(1));
+        let a10 = b.bin_overhead(Opcode::Add, a00, one);
+        let szi = b.imm(Value::from_u64(u64::from(FACE_SIZE)));
+        let a01 = b.bin_overhead(Opcode::Add, a00, szi);
+        let szp = b.imm(Value::from_u64(u64::from(FACE_SIZE) + 1));
+        let a11 = b.bin_overhead(Opcode::Add, a00, szp);
+        let t00 = b.irregular_load(a00);
+        let t10 = b.irregular_load(a10);
+        let t01 = b.irregular_load(a01);
+        let t11 = b.irregular_load(a11);
+        let dd = b.bin(Opcode::FSub, t10, t00);
+        let m = b.bin(Opcode::FMul, dd, fu);
+        let top = b.bin(Opcode::FAdd, t00, m);
+        let dd = b.bin(Opcode::FSub, t11, t01);
+        let m = b.bin(Opcode::FMul, dd, fu);
+        let bot = b.bin(Opcode::FAdd, t01, m);
+        let dd = b.bin(Opcode::FSub, bot, top);
+        let m = b.bin(Opcode::FMul, dd, fv);
+        let t_raw = b.bin(Opcode::FAdd, top, m);
+        let t = b.bin(Opcode::FAdd, t_raw, skyf);
+        // Keep the pad word live without affecting results.
+        let padz = b.bin(Opcode::FMul, _pad, zero_f);
+        let t = b.bin(Opcode::FAdd, t, padz);
+        // color = base + (t - base)*fr
+        for c in 0..3 {
+            let dd = b.bin(Opcode::FSub, t, basec[c]);
+            let m = b.bin(Opcode::FMul, dd, fr);
+            let out = b.bin(Opcode::FAdd, basec[c], m);
+            b.output(c as u16, out);
+        }
+        b.finish(ControlClass::Straight).expect("fragment-reflection IR is well-formed")
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn mimd_program(&self, _target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        let s = scene();
+        // MIMD uses *real branches* for the face selection — the fine-grain
+        // data-dependent control the local-PC mechanism exists for.
+        MimdStream::build(
+            5,
+            3,
+            |_| {},
+            |asm| {
+                // r1..r3 = d, r4 = fr.
+                for i in 0..4u8 {
+                    asm.ld(MemSpace::Smc, 1 + i, R_IN_ADDR, i64::from(i));
+                }
+                asm.alu(Opcode::FAbs, 5, 1, 0); // ax
+                asm.alu(Opcode::FAbs, 6, 2, 0); // ay
+                asm.alu(Opcode::FAbs, 7, 3, 0); // az
+                // Pick the axis with branches; set r8=den-axis, r9=nu,
+                // r10=nv, r11=face-base, r12=sign source.
+                asm.alu(Opcode::FTle, 12, 6, 5);
+                asm.bez(12, "not_x");
+                asm.alu(Opcode::FTle, 12, 7, 5);
+                asm.bez(12, "not_x");
+                asm.alu(Opcode::Mov, 8, 5, 0);
+                asm.alu(Opcode::Mov, 9, 3, 0);
+                asm.alu(Opcode::Mov, 10, 2, 0);
+                asm.li(11, 0);
+                asm.alu(Opcode::Mov, 12, 1, 0);
+                asm.jmp("axis_done");
+                asm.label("not_x");
+                asm.alu(Opcode::FTle, 12, 7, 6);
+                asm.bez(12, "use_z");
+                asm.alu(Opcode::Mov, 8, 6, 0);
+                asm.alu(Opcode::Mov, 9, 1, 0);
+                asm.alu(Opcode::Mov, 10, 3, 0);
+                asm.li(11, 2);
+                asm.alu(Opcode::Mov, 12, 2, 0);
+                asm.jmp("axis_done");
+                asm.label("use_z");
+                asm.alu(Opcode::Mov, 8, 7, 0);
+                asm.alu(Opcode::Mov, 9, 1, 0);
+                asm.alu(Opcode::Mov, 10, 2, 0);
+                asm.li(11, 4);
+                asm.alu(Opcode::Mov, 12, 3, 0);
+                asm.label("axis_done");
+                // face += (d_axis < 0)
+                asm.lif(13, 0.0);
+                asm.alu(Opcode::FTlt, 12, 12, 13);
+                asm.alu(Opcode::Add, 11, 11, 12);
+                // u = .5 + .5*nu/max(den,eps); v likewise.
+                asm.lif(13, s.eps);
+                asm.alu(Opcode::FMax, 8, 8, 13);
+                asm.alu(Opcode::FDiv, 9, 9, 8);
+                asm.alu(Opcode::FDiv, 10, 10, 8);
+                asm.lif(13, 0.5);
+                asm.alu(Opcode::FMul, 9, 9, 13);
+                asm.alu(Opcode::FAdd, 9, 9, 13);
+                asm.alu(Opcode::FMul, 10, 10, 13);
+                asm.alu(Opcode::FAdd, 10, 10, 13);
+                // Texel coords, bilinear taps through L1.
+                asm.lif(13, s.texel_scale);
+                asm.alu(Opcode::FMul, 9, 9, 13);
+                asm.alu(Opcode::FMul, 10, 10, 13);
+                asm.alu(Opcode::FFloor, 5, 9, 0);
+                asm.alu(Opcode::FSub, 6, 9, 5); // fu
+                asm.alu(Opcode::F2I, 5, 5, 0); // ui
+                asm.alu(Opcode::FFloor, 7, 10, 0);
+                asm.alu(Opcode::FSub, 13, 10, 7); // fv (r13)
+                asm.alu(Opcode::F2I, 7, 7, 0); // vi
+                asm.alui(Opcode::Mul, 7, 7, i64::from(FACE_SIZE));
+                asm.alu(Opcode::Add, 7, 7, 5);
+                asm.alui(Opcode::Mul, 11, 11, FACE_WORDS as i64);
+                asm.alu(Opcode::Add, 7, 7, 11);
+                asm.alui(Opcode::Add, 7, 7, s.cube_base as i64);
+                asm.ld(MemSpace::L1, 1, 7, 0); // t00 (d dead now)
+                asm.ld(MemSpace::L1, 2, 7, 1); // t10
+                asm.ld(MemSpace::L1, 3, 7, i64::from(FACE_SIZE)); // t01
+                asm.ld(MemSpace::L1, 5, 7, i64::from(FACE_SIZE) + 1); // t11
+                asm.alu(Opcode::FSub, 2, 2, 1);
+                asm.alu(Opcode::FMul, 2, 2, 6);
+                asm.alu(Opcode::FAdd, 1, 1, 2); // top
+                asm.alu(Opcode::FSub, 5, 5, 3);
+                asm.alu(Opcode::FMul, 5, 5, 6);
+                asm.alu(Opcode::FAdd, 3, 3, 5); // bot
+                asm.alu(Opcode::FSub, 3, 3, 1);
+                asm.alu(Opcode::FMul, 3, 3, 13);
+                asm.alu(Opcode::FAdd, 1, 1, 3); // t
+                asm.lif(2, s.sky_floor);
+                asm.alu(Opcode::FAdd, 1, 1, 2);
+                for c in 0..3usize {
+                    asm.lif(2, s.base[c]);
+                    asm.alu(Opcode::FSub, 3, 1, 2);
+                    asm.alu(Opcode::FMul, 3, 3, 4);
+                    asm.alu(Opcode::FAdd, 3, 2, 3);
+                    asm.st(MemSpace::Smc, R_OUT_ADDR, c as i64, 3);
+                }
+            },
+        )
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let s = scene();
+        let mut rng = SplitMix64::new(seed ^ 0xF4EF);
+        let cube: Vec<f32> =
+            (0..(6 * FACE_WORDS) as usize).map(|_| rng.f32_in(0.0, 1.0)).collect();
+        let mut input_words = Vec::with_capacity(records * 5);
+        let mut expected = Vec::with_capacity(records * 3);
+        for _ in 0..records {
+            let mut d: V3 = core::array::from_fn(|_| rng.f32_in(-1.0, 1.0));
+            // Avoid degenerate all-tiny directions.
+            if d.iter().all(|c| c.abs() < 0.05) {
+                d[0] = 0.5;
+            }
+            let fr = rng.f32_in(0.0, 1.0);
+            for x in d {
+                input_words.push(Value::from_f32(x));
+            }
+            input_words.push(Value::from_f32(fr));
+            input_words.push(Value::from_f32(0.0)); // pad
+            for x in shade_reflection(&s, d, fr, &cube) {
+                expected.push(Value::from_f32(x));
+            }
+        }
+        let tex_words = cube.iter().map(|&t| Value::from_f32(t)).collect();
+        Workload { records, input_words, tex_words, expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::F32Approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_are_close_to_paper_row() {
+        let a = FragmentReflection.ir().attributes();
+        // Paper: 98 insts, ILP 6.2, record 5/3, 7 constants, 4 irregular.
+        assert!(a.insts >= 70 && a.insts <= 110, "got {}", a.insts);
+        assert_eq!(a.record_read, 5);
+        assert_eq!(a.record_write, 3);
+        assert_eq!(a.constants, 7);
+        assert_eq!(a.irregular, 4);
+    }
+
+    #[test]
+    fn ir_matches_reference() {
+        let k = FragmentReflection;
+        let ir = k.ir();
+        let w = k.workload(24, 19);
+        let tex = w.tex_words.clone();
+        let fetch = move |addr: u64| {
+            let off = addr.wrapping_sub(memmap::TEX_BASE) as usize;
+            tex.get(off).copied().unwrap_or(Value::ZERO)
+        };
+        for r in 0..24 {
+            let rec = &w.input_words[r * 5..r * 5 + 5];
+            let got = ir.eval_record(rec, &fetch);
+            for c in 0..3 {
+                let g = got[c].as_f32();
+                let e = w.expected[r * 3 + c].as_f32();
+                assert!((g - e).abs() <= 1e-3 * e.abs().max(1.0), "rec {r} out {c}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn mimd_program_fits_l0_store() {
+        let p = FragmentReflection.mimd_program(MimdTarget::with_l0()).unwrap();
+        assert!(p.len() <= 256, "program has {} insts", p.len());
+    }
+}

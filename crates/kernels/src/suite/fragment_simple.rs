@@ -1,0 +1,303 @@
+//! `fragment-simple` — basic fragment lighting with a bilinear texture
+//! sample (Table 1, real-time graphics).
+//!
+//! Record: interpolated normal + light vector + texel-space coordinates =
+//! 8 words in; RGBA = 4 words out. The four texture taps are the paper's
+//! 4 irregular memory accesses (Table 2), served by the hardware-managed
+//! L1 — the mechanism the cached-memory subsystem exists for.
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, IrRef, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::memmap;
+use crate::refimpl::shade::{bilinear, clamp0, dot, pow8, V3};
+use crate::util::{MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// Texture edge length (texels); the region holds `SIZE*SIZE` f32 words.
+pub const TEX_SIZE: u32 = 64;
+
+/// Fragment-scene constants.
+pub struct Scene {
+    /// Half vector for specular.
+    pub half: V3,
+    /// Material colors.
+    pub ambient: V3,
+    /// Diffuse reflectance.
+    pub diffuse: V3,
+    /// Specular reflectance.
+    pub specular: V3,
+    /// Emissive color.
+    pub emissive: V3,
+    /// Texture base (word address).
+    pub tex_base: u64,
+}
+
+/// The fixed benchmark scene.
+#[must_use]
+pub fn scene() -> Scene {
+    Scene {
+        half: [0.0, 0.6, 0.8],
+        ambient: [0.08, 0.08, 0.1],
+        diffuse: [0.8, 0.7, 0.6],
+        specular: [0.4, 0.4, 0.4],
+        emissive: [0.01, 0.0, 0.0],
+        tex_base: memmap::TEX_BASE,
+    }
+}
+
+/// Reference shading for one fragment.
+#[must_use]
+pub fn shade_fragment(s: &Scene, n: V3, l: V3, u: f32, v: f32, tex: &[f32]) -> [f32; 4] {
+    let fetch = |off: u64| tex.get(off as usize).copied().unwrap_or(0.0);
+    let t = bilinear(u, v, TEX_SIZE, &fetch);
+    let ndl = clamp0(dot(n, l));
+    let ndh = clamp0(dot(n, s.half));
+    let spec = pow8(ndh);
+    let col: [f32; 3] = core::array::from_fn(|c| {
+        ((s.ambient[c] + s.emissive[c]) + s.diffuse[c] * ndl + s.specular[c] * spec) * t
+    });
+    [col[0], col[1], col[2], t]
+}
+
+/// The fragment-simple kernel.
+pub struct FragmentSimple;
+
+fn ir_dot3(b: &mut IrBuilder, v: [IrRef; 3], c: [IrRef; 3]) -> IrRef {
+    let t0 = b.bin(Opcode::FMul, v[0], c[0]);
+    let t1 = b.bin(Opcode::FMul, v[1], c[1]);
+    let acc = b.bin(Opcode::FAdd, t0, t1);
+    let t2 = b.bin(Opcode::FMul, v[2], c[2]);
+    b.bin(Opcode::FAdd, acc, t2)
+}
+
+impl DlpKernel for FragmentSimple {
+    fn name(&self) -> &'static str {
+        "fragment-simple"
+    }
+
+    fn description(&self) -> &'static str {
+        "basic fragment lighting with ambient, diffuse, specular and emissive lighting"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn ir(&self) -> KernelIr {
+        let s = scene();
+        let mut b = IrBuilder::new("fragment-simple", Domain::Graphics, 8, 4);
+        let cvec = |b: &mut IrBuilder, name: &str, v: V3| -> [IrRef; 3] {
+            core::array::from_fn(|i| b.constant(format!("{name}{i}"), Value::from_f32(v[i])))
+        };
+        let href = cvec(&mut b, "h", s.half);
+        let aref = cvec(&mut b, "amb", s.ambient);
+        let eref = cvec(&mut b, "emi", s.emissive);
+        let dref = cvec(&mut b, "dif", s.diffuse);
+        let sref = cvec(&mut b, "spc", s.specular);
+        let tbase = b.constant("tex_base", Value::from_u64(s.tex_base));
+
+        let n: [IrRef; 3] = core::array::from_fn(|i| b.input(i as u16));
+        let l: [IrRef; 3] = core::array::from_fn(|i| b.input(3 + i as u16));
+        let u = b.input(6);
+        let v = b.input(7);
+
+        // Bilinear sample.
+        let u0 = b.un(Opcode::FFloor, u);
+        let v0 = b.un(Opcode::FFloor, v);
+        let fu = b.bin(Opcode::FSub, u, u0);
+        let fv = b.bin(Opcode::FSub, v, v0);
+        let ui = b.un_overhead(Opcode::F2I, u0);
+        let vi = b.un_overhead(Opcode::F2I, v0);
+        let size = b.imm(Value::from_u64(u64::from(TEX_SIZE)));
+        let row = b.bin_overhead(Opcode::Mul, vi, size);
+        let off00 = b.bin_overhead(Opcode::Add, row, ui);
+        let a00 = b.bin_overhead(Opcode::Add, off00, tbase);
+        let one = b.imm(Value::from_u64(1));
+        let a10 = b.bin_overhead(Opcode::Add, a00, one);
+        let sz = b.imm(Value::from_u64(u64::from(TEX_SIZE)));
+        let a01 = b.bin_overhead(Opcode::Add, a00, sz);
+        let szp1 = b.imm(Value::from_u64(u64::from(TEX_SIZE) + 1));
+        let a11 = b.bin_overhead(Opcode::Add, a00, szp1);
+        let t00 = b.irregular_load(a00);
+        let t10 = b.irregular_load(a10);
+        let t01 = b.irregular_load(a01);
+        let t11 = b.irregular_load(a11);
+        // top = t00 + (t10-t00)*fu ; bot likewise ; t = top + (bot-top)*fv
+        let d = b.bin(Opcode::FSub, t10, t00);
+        let m = b.bin(Opcode::FMul, d, fu);
+        let top = b.bin(Opcode::FAdd, t00, m);
+        let d = b.bin(Opcode::FSub, t11, t01);
+        let m = b.bin(Opcode::FMul, d, fu);
+        let bot = b.bin(Opcode::FAdd, t01, m);
+        let d = b.bin(Opcode::FSub, bot, top);
+        let m = b.bin(Opcode::FMul, d, fv);
+        let t = b.bin(Opcode::FAdd, top, m);
+
+        let zero = b.imm(Value::from_f32(0.0));
+        let ndl_raw = ir_dot3(&mut b, n, l);
+        let ndl = b.bin(Opcode::FMax, ndl_raw, zero);
+        let ndh_raw = ir_dot3(&mut b, n, href);
+        let ndh = b.bin(Opcode::FMax, ndh_raw, zero);
+        let x2 = b.bin(Opcode::FMul, ndh, ndh);
+        let x4 = b.bin(Opcode::FMul, x2, x2);
+        let spec = b.bin(Opcode::FMul, x4, x4);
+
+        for c in 0..3 {
+            let ae = b.bin(Opcode::FAdd, aref[c], eref[c]);
+            let dterm = b.bin(Opcode::FMul, dref[c], ndl);
+            let acc = b.bin(Opcode::FAdd, ae, dterm);
+            let sterm = b.bin(Opcode::FMul, sref[c], spec);
+            let lit = b.bin(Opcode::FAdd, acc, sterm);
+            let out = b.bin(Opcode::FMul, lit, t);
+            b.output(c as u16, out);
+        }
+        b.output(3, t);
+        b.finish(ControlClass::Straight).expect("fragment-simple IR is well-formed")
+    }
+
+    fn mimd_program(&self, _target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        let s = scene();
+        MimdStream::build(
+            8,
+            4,
+            |asm| {
+                for i in 0..3u8 {
+                    asm.lif(14 + i, s.half[i as usize]);
+                    asm.lif(17 + i, s.ambient[i as usize] + s.emissive[i as usize]);
+                }
+            },
+            |asm| {
+                // r1..r3 = n, r4..r6 = l, r7 = u, r8 = v.
+                for i in 0..8u8 {
+                    asm.ld(MemSpace::Smc, 1 + i, R_IN_ADDR, i64::from(i));
+                }
+                // Bilinear sample into r9; fu in r10, fv r11.
+                asm.alu(Opcode::FFloor, 9, 7, 0);
+                asm.alu(Opcode::FSub, 10, 7, 9);
+                asm.alu(Opcode::F2I, 12, 9, 0); // ui
+                asm.alu(Opcode::FFloor, 9, 8, 0);
+                asm.alu(Opcode::FSub, 11, 8, 9);
+                asm.alu(Opcode::F2I, 13, 9, 0); // vi
+                asm.alui(Opcode::Mul, 13, 13, i64::from(TEX_SIZE));
+                asm.alu(Opcode::Add, 13, 13, 12); // off00
+                asm.alui(Opcode::Add, 13, 13, s.tex_base as i64);
+                asm.ld(MemSpace::L1, 7, 13, 0); // t00
+                asm.ld(MemSpace::L1, 8, 13, 1); // t10
+                asm.ld(MemSpace::L1, 12, 13, i64::from(TEX_SIZE)); // t01
+                asm.ld(MemSpace::L1, 13, 13, i64::from(TEX_SIZE) + 1); // t11
+                asm.alu(Opcode::FSub, 9, 8, 7);
+                asm.alu(Opcode::FMul, 9, 9, 10);
+                asm.alu(Opcode::FAdd, 7, 7, 9); // top
+                asm.alu(Opcode::FSub, 9, 13, 12);
+                asm.alu(Opcode::FMul, 9, 9, 10);
+                asm.alu(Opcode::FAdd, 12, 12, 9); // bot
+                asm.alu(Opcode::FSub, 9, 12, 7);
+                asm.alu(Opcode::FMul, 9, 9, 11);
+                asm.alu(Opcode::FAdd, 9, 7, 9); // t
+                // ndl -> r7, ndh -> r8 (clamped).
+                asm.lif(13, 0.0);
+                asm.alu(Opcode::FMul, 7, 1, 4);
+                asm.alu(Opcode::FMul, 8, 2, 5);
+                asm.alu(Opcode::FAdd, 7, 7, 8);
+                asm.alu(Opcode::FMul, 8, 3, 6);
+                asm.alu(Opcode::FAdd, 7, 7, 8);
+                asm.alu(Opcode::FMax, 7, 7, 13);
+                asm.alu(Opcode::FMul, 8, 1, 14);
+                asm.alu(Opcode::FMul, 10, 2, 15);
+                asm.alu(Opcode::FAdd, 8, 8, 10);
+                asm.alu(Opcode::FMul, 10, 3, 16);
+                asm.alu(Opcode::FAdd, 8, 8, 10);
+                asm.alu(Opcode::FMax, 8, 8, 13);
+                asm.alu(Opcode::FMul, 8, 8, 8);
+                asm.alu(Opcode::FMul, 8, 8, 8);
+                asm.alu(Opcode::FMul, 8, 8, 8); // spec
+                for c in 0..3usize {
+                    asm.lif(10, s.diffuse[c]);
+                    asm.alu(Opcode::FMul, 10, 10, 7);
+                    asm.alu(Opcode::FAdd, 10, 17 + c as u8, 10);
+                    asm.lif(11, s.specular[c]);
+                    asm.alu(Opcode::FMul, 11, 11, 8);
+                    asm.alu(Opcode::FAdd, 10, 10, 11);
+                    asm.alu(Opcode::FMul, 10, 10, 9);
+                    asm.st(MemSpace::Smc, R_OUT_ADDR, c as i64, 10);
+                }
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 3, 9);
+            },
+        )
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let s = scene();
+        let mut rng = SplitMix64::new(seed ^ 0xF5);
+        let tex: Vec<f32> =
+            (0..(TEX_SIZE * TEX_SIZE) as usize).map(|_| rng.f32_in(0.0, 1.0)).collect();
+        let mut input_words = Vec::with_capacity(records * 8);
+        let mut expected = Vec::with_capacity(records * 4);
+        for _ in 0..records {
+            let mut n: V3 = core::array::from_fn(|_| rng.f32_in(-1.0, 1.0));
+            let len = dot(n, n).sqrt().max(1e-3);
+            for c in &mut n {
+                *c /= len;
+            }
+            let l: V3 = [0.3, 0.6, 0.74];
+            let u = rng.f32_in(0.0, (TEX_SIZE - 2) as f32);
+            let v = rng.f32_in(0.0, (TEX_SIZE - 2) as f32);
+            for x in n.into_iter().chain(l) {
+                input_words.push(Value::from_f32(x));
+            }
+            input_words.push(Value::from_f32(u));
+            input_words.push(Value::from_f32(v));
+            for x in shade_fragment(&s, n, l, u, v, &tex) {
+                expected.push(Value::from_f32(x));
+            }
+        }
+        let tex_words = tex.iter().map(|&t| Value::from_f32(t)).collect();
+        Workload { records, input_words, tex_words, expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::F32Approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_are_close_to_paper_row() {
+        let a = FragmentSimple.ir().attributes();
+        // Paper: 64 insts, ILP 2.96, record 8/4, 4 irregular, 16 constants.
+        assert!(a.insts >= 45 && a.insts <= 75, "got {}", a.insts);
+        assert_eq!(a.record_read, 8);
+        assert_eq!(a.record_write, 4);
+        assert_eq!(a.irregular, 4);
+        assert_eq!(a.constants, 16);
+    }
+
+    #[test]
+    fn ir_matches_reference() {
+        let k = FragmentSimple;
+        let ir = k.ir();
+        let w = k.workload(16, 31);
+        let tex = w.tex_words.clone();
+        let fetch = move |addr: u64| {
+            let off = addr.wrapping_sub(memmap::TEX_BASE) as usize;
+            tex.get(off).copied().unwrap_or(Value::ZERO)
+        };
+        for r in 0..16 {
+            let rec = &w.input_words[r * 8..r * 8 + 8];
+            let got = ir.eval_record(rec, &fetch);
+            for c in 0..4 {
+                let g = got[c].as_f32();
+                let e = w.expected[r * 4 + c].as_f32();
+                assert!((g - e).abs() <= 1e-4 * e.abs().max(1.0), "rec {r} out {c}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn mimd_program_fits_l0_store() {
+        let p = FragmentSimple.mimd_program(MimdTarget::with_l0()).unwrap();
+        assert!(p.len() <= 256, "program has {} insts", p.len());
+    }
+}

@@ -1,0 +1,125 @@
+//! `lu` — the rank-1 elimination update of dense LU decomposition
+//! (Table 1, scientific).
+//!
+//! The inner kernel of Gaussian elimination: `a′ = a − l·u`. To match the
+//! paper's 2-words-in/1-word-out record (Table 2), the multiplier pair
+//! `(l, u)` is packed as two f32 halves of word 1. Two useful instructions
+//! (multiply + subtract) plus unpack overhead.
+//!
+//! At the paper's 1024×1024 scale the active stream exceeds the SMC and
+//! falls back to DRAM (their §5.1 note); our scaled workloads fit — see
+//! EXPERIMENTS.md.
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::refimpl::transform::lu_update;
+use crate::util::{pack2f32, MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// The LU elimination-update kernel.
+pub struct Lu;
+
+impl DlpKernel for Lu {
+    fn name(&self) -> &'static str {
+        "lu"
+    }
+
+    fn description(&self) -> &'static str {
+        "LU decomposition of a dense matrix (elimination update stream)"
+    }
+
+    fn ir(&self) -> KernelIr {
+        let mut b = IrBuilder::new("lu", Domain::Scientific, 2, 1);
+        let x = b.input(0);
+        let packed = b.input(1);
+        // Unpack: l = low 32 bits, u = high 32 bits (f32 views read the low
+        // half, so shift u down).
+        let mask = b.imm(Value::from_u64(0xFFFF_FFFF));
+        let l = b.bin_overhead(Opcode::And, packed, mask);
+        let thirty_two = b.imm(Value::from_u64(32));
+        let u = b.bin_overhead(Opcode::Shr, packed, thirty_two);
+        let prod = b.bin(Opcode::FMul, l, u);
+        let out = b.bin(Opcode::FSub, x, prod);
+        b.output(0, out);
+        b.finish(ControlClass::Straight).expect("lu IR is well-formed")
+    }
+
+    fn mimd_program(&self, _target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        MimdStream::build(
+            2,
+            1,
+            |_| {},
+            |asm| {
+                asm.ld(MemSpace::Smc, 1, R_IN_ADDR, 0); // x
+                asm.ld(MemSpace::Smc, 2, R_IN_ADDR, 1); // packed (l, u)
+                asm.alui(Opcode::And, 3, 2, 0xFFFF_FFFF); // l
+                asm.alui(Opcode::Shr, 4, 2, 32); // u
+                asm.alu(Opcode::FMul, 3, 3, 4);
+                asm.alu(Opcode::FSub, 1, 1, 3);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 0, 1);
+            },
+        )
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let mut rng = SplitMix64::new(seed ^ 0x1u64);
+        let mut input_words = Vec::with_capacity(records * 2);
+        let mut expected = Vec::with_capacity(records);
+        for _ in 0..records {
+            let x = rng.f32_in(-10.0, 10.0);
+            let l = rng.f32_in(-2.0, 2.0);
+            let u = rng.f32_in(-2.0, 2.0);
+            input_words.push(Value::from_f32(x));
+            input_words.push(pack2f32(l, u));
+            expected.push(Value::from_f32(lu_update(x, l, u)));
+        }
+        Workload { records, input_words, tex_words: Vec::new(), expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::F32Approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_match_paper_row() {
+        let a = Lu.ir().attributes();
+        // The paper counts the two useful ops; our analysis also counts the
+        // two unpack shifts as instructions (they are overhead for
+        // ops/cycle purposes).
+        assert_eq!(a.record_read, 2);
+        assert_eq!(a.record_write, 1);
+        assert_eq!(a.constants, 0);
+        assert!(a.insts <= 4);
+    }
+
+    #[test]
+    fn ir_is_bit_exact_against_reference() {
+        let k = Lu;
+        let ir = k.ir();
+        let w = k.workload(32, 9);
+        for r in 0..32 {
+            let rec = &w.input_words[r * 2..r * 2 + 2];
+            let got = ir.eval_record(rec, &|_| Value::ZERO);
+            assert_eq!(got[0].bits(), w.expected[r].bits(), "record {r}");
+        }
+    }
+
+    #[test]
+    fn useful_op_count_is_two() {
+        use trips_isa::OpRole;
+        let ir = Lu.ir();
+        let useful = ir
+            .nodes()
+            .iter()
+            .filter(|n| n.role == OpRole::Useful)
+            .count();
+        assert_eq!(useful, 2, "paper reports 2 instructions for lu");
+    }
+}

@@ -1,0 +1,280 @@
+//! `md5` — the MD5 compression function over packet data (Table 1,
+//! network/security).
+//!
+//! Record: one 64-byte message block (sixteen 32-bit words packed two per
+//! 64-bit word) plus the 128-bit chaining state (packed into 2 words) = 10
+//! words in; the updated state = 2 words out — Table 2's `md5` row (10/2).
+//! The unrolled form reads the 64 sine constants as *named scalar
+//! constants* (paper: 65 constants, no indexed table); the rolled MIMD form
+//! turns K, the rotation amounts and the message schedule into 192 indexed
+//! entries — which is exactly why the paper finds `md5` runs best on the
+//! MIMD machine *with* lookup-table support (M-D).
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, IrRef, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::refimpl::md5::{g_index, k_table, transform, INIT, S};
+use crate::util::{MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// The MD5 block-transform kernel.
+pub struct Md5;
+
+fn pack32(lo: u32, hi: u32) -> Value {
+    Value::from_u64(u64::from(lo) | (u64::from(hi) << 32))
+}
+
+impl DlpKernel for Md5 {
+    fn name(&self) -> &'static str {
+        "md5"
+    }
+
+    fn description(&self) -> &'static str {
+        "MD5 checksum (block transform, 1500-byte packets)"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn ir(&self) -> KernelIr {
+        let mut b = IrBuilder::new("md5", Domain::Network, 10, 2);
+        let k = k_table();
+        let kref: Vec<IrRef> =
+            k.iter().enumerate().map(|(i, &v)| b.constant(format!("k{i}"), Value::from_u32(v))).collect();
+        let mask = b.imm(Value::from_u64(0xFFFF_FFFF));
+        let sh32 = b.imm(Value::from_u64(32));
+
+        // Unpack the sixteen message words.
+        let mut m = Vec::with_capacity(16);
+        for j in 0..8 {
+            let w = b.input(j);
+            m.push(b.bin_overhead(Opcode::And, w, mask));
+            m.push(b.bin_overhead(Opcode::Shr, w, sh32));
+        }
+        // Unpack state (a, b) from word 8, (c, d) from word 9.
+        let w8 = b.input(8);
+        let w9 = b.input(9);
+        let a0 = b.bin_overhead(Opcode::And, w8, mask);
+        let b0 = b.bin_overhead(Opcode::Shr, w8, sh32);
+        let c0 = b.bin_overhead(Opcode::And, w9, mask);
+        let d0 = b.bin_overhead(Opcode::Shr, w9, sh32);
+
+        let (mut a, mut bb, mut c, mut d) = (a0, b0, c0, d0);
+        for i in 0..64 {
+            let f = match i / 16 {
+                0 => {
+                    let nb = b.un(Opcode::Not, bb);
+                    let t0 = b.bin(Opcode::And, bb, c);
+                    let t1 = b.bin(Opcode::And, nb, d);
+                    b.bin(Opcode::Or, t0, t1)
+                }
+                1 => {
+                    let nd = b.un(Opcode::Not, d);
+                    let t0 = b.bin(Opcode::And, d, bb);
+                    let t1 = b.bin(Opcode::And, nd, c);
+                    b.bin(Opcode::Or, t0, t1)
+                }
+                2 => {
+                    let t0 = b.bin(Opcode::Xor, bb, c);
+                    b.bin(Opcode::Xor, t0, d)
+                }
+                _ => {
+                    let nd = b.un(Opcode::Not, d);
+                    let t0 = b.bin(Opcode::Or, bb, nd);
+                    b.bin(Opcode::Xor, c, t0)
+                }
+            };
+            // Note: `Not` on 64 bits flips high garbage too, but every
+            // consumer is a 32-bit op (`Add32`) or masked by And with
+            // operands whose high bits are zero... `Or` of Not output keeps
+            // high bits; Add32 discards them, so results stay exact.
+            let s1 = b.bin(Opcode::Add32, a, f);
+            let s2 = b.bin(Opcode::Add32, s1, kref[i]);
+            let s3 = b.bin(Opcode::Add32, s2, m[g_index(i)]);
+            let rot_amt = b.imm(Value::from_u32(S[i]));
+            let rot = b.bin(Opcode::RotL32, s3, rot_amt);
+            let nb = b.bin(Opcode::Add32, bb, rot);
+            a = d;
+            d = c;
+            c = bb;
+            bb = nb;
+        }
+        // state' = state + (a, b, c, d)
+        let fa = b.bin(Opcode::Add32, a0, a);
+        let fb = b.bin(Opcode::Add32, b0, bb);
+        let fc = b.bin(Opcode::Add32, c0, c);
+        let fd = b.bin(Opcode::Add32, d0, d);
+        let hb = b.bin_overhead(Opcode::Shl, fb, sh32);
+        let o0 = b.bin_overhead(Opcode::Or, fa, hb);
+        let hd = b.bin_overhead(Opcode::Shl, fd, sh32);
+        let o1 = b.bin_overhead(Opcode::Or, fc, hd);
+        b.output(0, o0);
+        b.output(1, o1);
+        b.finish(ControlClass::Straight).expect("md5 IR is well-formed")
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn mimd_program(&self, target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        // Table layout: K at 0..64, S at 64..128, G at 128..192.
+        // Registers: a,b,c,d = r1..r4; saved state r12..r15; i = r5;
+        // f = r10; scratch r6..r9, r11.
+        MimdStream::build(
+            10,
+            2,
+            |_| {},
+            |asm| {
+                asm.ld(MemSpace::Smc, 6, R_IN_ADDR, 8);
+                asm.alui(Opcode::And, 1, 6, 0xFFFF_FFFF); // a
+                asm.alui(Opcode::Shr, 2, 6, 32); // b
+                asm.ld(MemSpace::Smc, 6, R_IN_ADDR, 9);
+                asm.alui(Opcode::And, 3, 6, 0xFFFF_FFFF); // c
+                asm.alui(Opcode::Shr, 4, 6, 32); // d
+                for r in 0..4u8 {
+                    asm.alu(Opcode::Mov, 12 + r, 1 + r, 0);
+                }
+                asm.li(5, 0);
+                asm.label("step");
+                // round = i >> 4, dispatch to the right f.
+                asm.alui(Opcode::Shr, 6, 5, 4);
+                asm.alui(Opcode::Teq, 7, 6, 0);
+                asm.bnz(7, "f0");
+                asm.alui(Opcode::Teq, 7, 6, 1);
+                asm.bnz(7, "f1");
+                asm.alui(Opcode::Teq, 7, 6, 2);
+                asm.bnz(7, "f2");
+                // f3 = c ^ (b | !d)
+                asm.alu(Opcode::Not, 10, 4, 0);
+                asm.alu(Opcode::Or, 10, 2, 10);
+                asm.alu(Opcode::Xor, 10, 3, 10);
+                asm.jmp("fdone");
+                asm.label("f0"); // (b&c) | (!b&d)
+                asm.alu(Opcode::And, 10, 2, 3);
+                asm.alu(Opcode::Not, 7, 2, 0);
+                asm.alu(Opcode::And, 7, 7, 4);
+                asm.alu(Opcode::Or, 10, 10, 7);
+                asm.jmp("fdone");
+                asm.label("f1"); // (d&b) | (!d&c)
+                asm.alu(Opcode::And, 10, 4, 2);
+                asm.alu(Opcode::Not, 7, 4, 0);
+                asm.alu(Opcode::And, 7, 7, 3);
+                asm.alu(Opcode::Or, 10, 10, 7);
+                asm.jmp("fdone");
+                asm.label("f2"); // b ^ c ^ d
+                asm.alu(Opcode::Xor, 10, 2, 3);
+                asm.alu(Opcode::Xor, 10, 10, 4);
+                asm.label("fdone");
+                // m[g]: g = G[i]; word = g>>1; half-shift = (g&1)*32.
+                target.table_read(asm, 6, 5, 128);
+                asm.alui(Opcode::Shr, 7, 6, 1);
+                asm.alu(Opcode::Add, 7, 7, R_IN_ADDR);
+                asm.ld(MemSpace::Smc, 8, 7, 0);
+                asm.alui(Opcode::And, 9, 6, 1);
+                asm.alui(Opcode::Shl, 9, 9, 5);
+                asm.alu(Opcode::Shr, 8, 8, 9);
+                asm.alui(Opcode::And, 8, 8, 0xFFFF_FFFF);
+                // sum = a + f + K[i] + m
+                target.table_read(asm, 6, 5, 0);
+                asm.alu(Opcode::Add32, 9, 1, 10);
+                asm.alu(Opcode::Add32, 9, 9, 6);
+                asm.alu(Opcode::Add32, 9, 9, 8);
+                // rot by S[i], b' = b + rot
+                target.table_read(asm, 11, 5, 64);
+                asm.alu(Opcode::RotL32, 9, 9, 11);
+                asm.alu(Opcode::Add32, 9, 2, 9);
+                // (a, b, c, d) = (d, b', b, c)
+                asm.alu(Opcode::Mov, 1, 4, 0); // a = d
+                asm.alu(Opcode::Mov, 4, 3, 0); // d = c
+                asm.alu(Opcode::Mov, 3, 2, 0); // c = b
+                asm.alu(Opcode::Mov, 2, 9, 0); // b = b'
+                asm.alui(Opcode::Add, 5, 5, 1);
+                asm.alui(Opcode::Tlt, 7, 5, 64);
+                asm.bnz(7, "step");
+                // state' = saved + current, packed out.
+                asm.alu(Opcode::Add32, 1, 12, 1);
+                asm.alu(Opcode::Add32, 2, 13, 2);
+                asm.alu(Opcode::Add32, 3, 14, 3);
+                asm.alu(Opcode::Add32, 4, 15, 4);
+                asm.alui(Opcode::Shl, 2, 2, 32);
+                asm.alu(Opcode::Or, 1, 1, 2);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 0, 1);
+                asm.alui(Opcode::Shl, 4, 4, 32);
+                asm.alu(Opcode::Or, 3, 3, 4);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 1, 3);
+            },
+        )
+    }
+
+    fn mimd_table_image(&self) -> Vec<Value> {
+        let mut t: Vec<Value> = k_table().iter().map(|&k| Value::from_u32(k)).collect();
+        t.extend(S.iter().map(|&s| Value::from_u32(s)));
+        t.extend((0..64).map(|i| Value::from_u64(g_index(i) as u64)));
+        t
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let mut rng = SplitMix64::new(seed ^ 0x3D5);
+        let mut input_words = Vec::with_capacity(records * 10);
+        let mut expected = Vec::with_capacity(records * 2);
+        for _ in 0..records {
+            let m: [u32; 16] = core::array::from_fn(|_| rng.next_u32());
+            for j in 0..8 {
+                input_words.push(pack32(m[2 * j], m[2 * j + 1]));
+            }
+            input_words.push(pack32(INIT[0], INIT[1]));
+            input_words.push(pack32(INIT[2], INIT[3]));
+            let out = transform(INIT, &m);
+            expected.push(pack32(out[0], out[1]));
+            expected.push(pack32(out[2], out[3]));
+        }
+        Workload { records, input_words, tex_words: Vec::new(), expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::ExactBits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_match_paper_row() {
+        let a = Md5.ir().attributes();
+        // Paper: 680 instructions, ILP 1.63, record 10/2, 65 constants.
+        assert!(a.insts >= 550 && a.insts <= 700, "got {}", a.insts);
+        assert_eq!(a.record_read, 10);
+        assert_eq!(a.record_write, 2);
+        assert_eq!(a.constants, 64);
+        assert_eq!(a.indexed_constants, 0);
+        assert!(a.ilp < 2.5, "md5 is a dependence chain; got ILP {}", a.ilp);
+    }
+
+    #[test]
+    fn ir_is_bit_exact_against_reference() {
+        let k = Md5;
+        let ir = k.ir();
+        let w = k.workload(4, 21);
+        for r in 0..4 {
+            let rec = &w.input_words[r * 10..r * 10 + 10];
+            let got = ir.eval_record(rec, &|_| Value::ZERO);
+            assert_eq!(got[0].bits(), w.expected[r * 2].bits(), "record {r} word 0");
+            assert_eq!(got[1].bits(), w.expected[r * 2 + 1].bits(), "record {r} word 1");
+        }
+    }
+
+    #[test]
+    fn mimd_table_has_k_s_g_sections() {
+        let t = Md5.mimd_table_image();
+        assert_eq!(t.len(), 192);
+        assert_eq!(t[0].as_u32(), 0xD76A_A478); // K[0]
+        assert_eq!(t[64].as_u32(), 7); // S[0]
+        assert_eq!(t[128].as_u64(), 0); // g(0)
+        assert_eq!(t[128 + 17].as_u64(), g_index(17) as u64);
+    }
+
+    #[test]
+    fn mimd_program_fits_l0_store() {
+        let p = Md5.mimd_program(MimdTarget::with_l0()).unwrap();
+        assert!(p.len() <= 256, "program has {} insts", p.len());
+    }
+}

@@ -1,0 +1,16 @@
+//! The benchmark kernels (Table 1), one module per benchmark.
+
+pub mod anisotropic;
+pub mod blowfish;
+pub mod convert;
+pub mod dct;
+pub mod fft;
+pub mod fragment_reflection;
+pub mod fragment_simple;
+pub mod highpassfilter;
+pub mod lu;
+pub mod md5;
+pub mod rijndael;
+pub mod vertex_reflection;
+pub mod vertex_simple;
+pub mod vertex_skinning;

@@ -1,0 +1,345 @@
+//! `vertex-reflection` — vertex shader for a reflective surface (Table 1,
+//! real-time graphics).
+//!
+//! Record: position + normal + tangent = 9 words in; the reflection
+//! direction and Fresnel factor packed into 2 words out (Table 2: 9/2,
+//! 35 constants, no irregular accesses — the cube-map lookup happens in
+//! the companion fragment shader).
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, IrRef, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::refimpl::shade::{clamp0, dot, mat34_mul, mat3_mul, pow8, scale, sub, V3};
+use crate::util::{pack2f32, MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// Scene constants for the reflective-surface vertex shader.
+pub struct Scene {
+    /// 3×4 modelview matrix.
+    pub m: [f32; 12],
+    /// 3×3 normal matrix (inverse-transpose of the upper block; here the
+    /// rotation itself since M is orthonormal, kept separate to match the
+    /// paper's larger constant count).
+    pub nm: [f32; 9],
+    /// Eye position.
+    pub eye: V3,
+    /// Light direction (for the small diffuse modulation).
+    pub light: V3,
+    /// Fresnel bias/scale.
+    pub f0: f32,
+    /// Fresnel scale.
+    pub f1: f32,
+    /// Surface base color.
+    pub base: V3,
+    /// Sky tint blended by the Fresnel factor downstream.
+    pub sky: V3,
+    /// Diffuse floor.
+    pub diffuse_floor: f32,
+    /// Diffuse scale.
+    pub diffuse_scale: f32,
+}
+
+/// The fixed benchmark scene (35 scalar constants).
+#[must_use]
+pub fn scene() -> Scene {
+    Scene {
+        m: [
+            1.0, 0.0, 0.0, 0.1, //
+            0.0, 0.866, -0.5, 0.0, //
+            0.0, 0.5, 0.866, -0.3,
+        ],
+        nm: [1.0, 0.0, 0.0, 0.0, 0.866, -0.5, 0.0, 0.5, 0.866],
+        eye: [0.0, 0.5, 3.0],
+        light: [0.408_248_3, 0.816_496_6, 0.408_248_3],
+        f0: 0.05,
+        f1: 0.95,
+        base: [0.2, 0.3, 0.1],
+        sky: [0.5, 0.7, 0.9],
+        diffuse_floor: 0.25,
+        diffuse_scale: 0.75,
+    }
+}
+
+/// Reference: returns `(reflection_dir, fresnel, brightness)`.
+#[must_use]
+pub fn reflect_vertex(s: &Scene, p: V3, n: V3) -> (V3, f32) {
+    let pt = mat34_mul(&s.m, p);
+    let nt = mat3_mul(&s.nm, n);
+    let view = sub(s.eye, pt);
+    // Reflection of the view vector: r = 2(n·v)n − v (unnormalized, like
+    // the Cg shader: the cube map lookup normalizes implicitly).
+    let d = dot(nt, view);
+    let r = sub(scale(nt, 2.0 * d), view);
+    let ndl = clamp0(dot(nt, s.light));
+    let facing = clamp0(d);
+    let fresnel = s.f0 + s.f1 * pow8(1.0 - facing.min(1.0));
+    // Fold the diffuse modulation into the packed fresnel channel: the
+    // fragment stage multiplies base/sky by it.
+    let fr = fresnel * (s.diffuse_floor + s.diffuse_scale * ndl);
+    (r, fr)
+}
+
+/// The vertex-reflection kernel.
+pub struct VertexReflection;
+
+fn ir_dot3(b: &mut IrBuilder, v: [IrRef; 3], c: [IrRef; 3]) -> IrRef {
+    let t0 = b.bin(Opcode::FMul, v[0], c[0]);
+    let t1 = b.bin(Opcode::FMul, v[1], c[1]);
+    let acc = b.bin(Opcode::FAdd, t0, t1);
+    let t2 = b.bin(Opcode::FMul, v[2], c[2]);
+    b.bin(Opcode::FAdd, acc, t2)
+}
+
+impl DlpKernel for VertexReflection {
+    fn name(&self) -> &'static str {
+        "vertex-reflection"
+    }
+
+    fn description(&self) -> &'static str {
+        "vertex shader for a reflective surface"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn ir(&self) -> KernelIr {
+        let s = scene();
+        let mut b = IrBuilder::new("vertex-reflection", Domain::Graphics, 9, 2);
+        let mref: Vec<IrRef> = s
+            .m
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| b.constant(format!("m{i}"), Value::from_f32(v)))
+            .collect();
+        let nmref: Vec<IrRef> = s
+            .nm
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| b.constant(format!("nm{i}"), Value::from_f32(v)))
+            .collect();
+        let eye: [IrRef; 3] =
+            core::array::from_fn(|i| b.constant(format!("eye{i}"), Value::from_f32(s.eye[i])));
+        let light: [IrRef; 3] =
+            core::array::from_fn(|i| b.constant(format!("l{i}"), Value::from_f32(s.light[i])));
+        let f0 = b.constant("f0", Value::from_f32(s.f0));
+        let f1 = b.constant("f1", Value::from_f32(s.f1));
+        let dfloor = b.constant("dfloor", Value::from_f32(s.diffuse_floor));
+        let dscale = b.constant("dscale", Value::from_f32(s.diffuse_scale));
+
+        let p: [IrRef; 3] = core::array::from_fn(|i| b.input(i as u16));
+        let n: [IrRef; 3] = core::array::from_fn(|i| b.input(3 + i as u16));
+        // The tangent inputs participate in a tiny anisotropy factor so all
+        // nine record words are live (as in the original shader).
+        let t: [IrRef; 3] = core::array::from_fn(|i| b.input(6 + i as u16));
+
+        let mut pt = [p[0]; 3];
+        for (row, slot) in pt.iter_mut().enumerate() {
+            let d = ir_dot3(&mut b, p, [mref[row * 4], mref[row * 4 + 1], mref[row * 4 + 2]]);
+            *slot = b.bin(Opcode::FAdd, d, mref[row * 4 + 3]);
+        }
+        let nt: [IrRef; 3] = core::array::from_fn(|row| {
+            ir_dot3(&mut b, n, [nmref[row * 3], nmref[row * 3 + 1], nmref[row * 3 + 2]])
+        });
+        let view: [IrRef; 3] = core::array::from_fn(|i| b.bin(Opcode::FSub, eye[i], pt[i]));
+        let d = ir_dot3(&mut b, nt, view);
+        let two = b.imm(Value::from_f32(2.0));
+        let d2 = b.bin(Opcode::FMul, two, d);
+        let r: [IrRef; 3] = core::array::from_fn(|i| {
+            let sc = b.bin(Opcode::FMul, nt[i], d2);
+            b.bin(Opcode::FSub, sc, view[i])
+        });
+        let zero = b.imm(Value::from_f32(0.0));
+        let one = b.imm(Value::from_f32(1.0));
+        let facing0 = b.bin(Opcode::FMax, d, zero);
+        let facing = b.bin(Opcode::FMin, facing0, one);
+        let inv = b.bin(Opcode::FSub, one, facing);
+        let x2 = b.bin(Opcode::FMul, inv, inv);
+        let x4 = b.bin(Opcode::FMul, x2, x2);
+        let x8 = b.bin(Opcode::FMul, x4, x4);
+        let fterm = b.bin(Opcode::FMul, f1, x8);
+        let fresnel = b.bin(Opcode::FAdd, f0, fterm);
+        let ndl_raw = ir_dot3(&mut b, nt, light);
+        let ndl = b.bin(Opcode::FMax, ndl_raw, zero);
+        let dmod = b.bin(Opcode::FMul, dscale, ndl);
+        let dall = b.bin(Opcode::FAdd, dfloor, dmod);
+        let fr0 = b.bin(Opcode::FMul, fresnel, dall);
+        // Tangent liveness: fr *= 1 + 0*(t·t) — keeps the tangent wired
+        // without perturbing the value.
+        let tt = ir_dot3(&mut b, t, t);
+        let zmul = b.bin(Opcode::FMul, tt, zero);
+        let onep = b.bin(Opcode::FAdd, one, zmul);
+        let fr = b.bin(Opcode::FMul, fr0, onep);
+
+        // Pack (r.x, r.y) and (r.z, fresnel').
+        let sh32 = b.imm(Value::from_u64(32));
+        let hy = b.bin_overhead(Opcode::Shl, r[1], sh32);
+        let o0 = b.bin_overhead(Opcode::Or, r[0], hy);
+        let hf = b.bin_overhead(Opcode::Shl, fr, sh32);
+        let o1 = b.bin_overhead(Opcode::Or, r[2], hf);
+        b.output(0, o0);
+        b.output(1, o1);
+        b.finish(ControlClass::Straight).expect("vertex-reflection IR is well-formed")
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn mimd_program(&self, _target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        let s = scene();
+        MimdStream::build(
+            9,
+            2,
+            |asm| {
+                for i in 0..3u8 {
+                    asm.lif(14 + i, s.eye[i as usize]);
+                    asm.lif(17 + i, s.light[i as usize]);
+                }
+            },
+            |asm| {
+                // r1..3 = p, r4..6 = n (tangent words feed the same checksum
+                // trick as the DAG: they multiply by zero).
+                for i in 0..6u8 {
+                    asm.ld(MemSpace::Smc, 1 + i, R_IN_ADDR, i64::from(i));
+                }
+                // pt -> r7..r9 via immediates.
+                for row in 0..3usize {
+                    asm.lif(11, s.m[row * 4]);
+                    asm.alu(Opcode::FMul, 10, 1, 11);
+                    asm.lif(11, s.m[row * 4 + 1]);
+                    asm.alu(Opcode::FMul, 11, 2, 11);
+                    asm.alu(Opcode::FAdd, 10, 10, 11);
+                    asm.lif(11, s.m[row * 4 + 2]);
+                    asm.alu(Opcode::FMul, 11, 3, 11);
+                    asm.alu(Opcode::FAdd, 10, 10, 11);
+                    asm.lif(11, s.m[row * 4 + 3]);
+                    asm.alu(Opcode::FAdd, 7 + row as u8, 10, 11);
+                }
+                // nt -> r1..r3 (p is dead once pt is computed).
+                for row in 0..3usize {
+                    asm.lif(11, s.nm[row * 3]);
+                    asm.alu(Opcode::FMul, 10, 4, 11);
+                    asm.lif(11, s.nm[row * 3 + 1]);
+                    asm.alu(Opcode::FMul, 11, 5, 11);
+                    asm.alu(Opcode::FAdd, 10, 10, 11);
+                    asm.lif(11, s.nm[row * 3 + 2]);
+                    asm.alu(Opcode::FMul, 11, 6, 11);
+                    asm.alu(Opcode::FAdd, 10, 10, 11);
+                    asm.alu(Opcode::Mov, 1 + row as u8, 10, 0);
+                }
+                // view = eye - pt -> r7..r9 (overwrite pt).
+                for i in 0..3u8 {
+                    asm.alu(Opcode::FSub, 7 + i, 14 + i, 7 + i);
+                }
+                // d = nt·view (r10)
+                asm.alu(Opcode::FMul, 10, 1, 7);
+                asm.alu(Opcode::FMul, 11, 2, 8);
+                asm.alu(Opcode::FAdd, 10, 10, 11);
+                asm.alu(Opcode::FMul, 11, 3, 9);
+                asm.alu(Opcode::FAdd, 10, 10, 11);
+                // r = 2d·nt − view -> r4..r6 (n is dead once nt exists)
+                asm.lif(11, 2.0);
+                asm.alu(Opcode::FMul, 11, 11, 10);
+                for i in 0..3u8 {
+                    asm.alu(Opcode::FMul, 12, 1 + i, 11);
+                    asm.alu(Opcode::FSub, 4 + i, 12, 7 + i);
+                }
+                // fresnel' in r12.
+                asm.lif(12, 0.0);
+                asm.alu(Opcode::FMax, 10, 10, 12);
+                asm.lif(12, 1.0);
+                asm.alu(Opcode::FMin, 10, 10, 12);
+                asm.alu(Opcode::FSub, 10, 12, 10); // 1 - facing
+                asm.alu(Opcode::FMul, 10, 10, 10);
+                asm.alu(Opcode::FMul, 10, 10, 10);
+                asm.alu(Opcode::FMul, 10, 10, 10); // ^8
+                asm.lif(12, s.f1);
+                asm.alu(Opcode::FMul, 10, 10, 12);
+                asm.lif(12, s.f0);
+                asm.alu(Opcode::FAdd, 10, 10, 12); // fresnel
+                // ndl over nt (r1..r3)
+                asm.alu(Opcode::FMul, 11, 1, 17);
+                asm.alu(Opcode::FMul, 12, 2, 18);
+                asm.alu(Opcode::FAdd, 11, 11, 12);
+                asm.alu(Opcode::FMul, 12, 3, 19);
+                asm.alu(Opcode::FAdd, 11, 11, 12);
+                asm.lif(12, 0.0);
+                asm.alu(Opcode::FMax, 11, 11, 12);
+                asm.lif(12, s.diffuse_scale);
+                asm.alu(Opcode::FMul, 11, 11, 12);
+                asm.lif(12, s.diffuse_floor);
+                asm.alu(Opcode::FAdd, 11, 11, 12);
+                asm.alu(Opcode::FMul, 10, 10, 11); // fresnel'
+                // Pack r (r4..r6) and fresnel' (r10), store.
+                asm.alui(Opcode::Shl, 5, 5, 32);
+                asm.alu(Opcode::Or, 4, 4, 5);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 0, 4);
+                asm.alui(Opcode::Shl, 10, 10, 32);
+                asm.alu(Opcode::Or, 6, 6, 10);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 1, 6);
+            },
+        )
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let s = scene();
+        let mut rng = SplitMix64::new(seed ^ 0x7EF1);
+        let mut input_words = Vec::with_capacity(records * 9);
+        let mut expected = Vec::with_capacity(records * 2);
+        for _ in 0..records {
+            let p: V3 = core::array::from_fn(|_| rng.f32_in(-2.0, 2.0));
+            let mut n: V3 = core::array::from_fn(|_| rng.f32_in(-1.0, 1.0));
+            let len = dot(n, n).sqrt().max(1e-3);
+            for c in &mut n {
+                *c /= len;
+            }
+            let t: V3 = core::array::from_fn(|_| rng.f32_in(-1.0, 1.0));
+            for x in p.into_iter().chain(n).chain(t) {
+                input_words.push(Value::from_f32(x));
+            }
+            let (r, fr) = reflect_vertex(&s, p, n);
+            expected.push(pack2f32(r[0], r[1]));
+            expected.push(pack2f32(r[2], fr));
+        }
+        Workload { records, input_words, tex_words: Vec::new(), expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::PackedF32Approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::first_mismatch;
+
+    #[test]
+    fn attributes_are_close_to_paper_row() {
+        let a = VertexReflection.ir().attributes();
+        // Paper: 94 insts, ILP 7.1, record 9/2, 35 constants.
+        assert!(a.insts >= 70 && a.insts <= 110, "got {}", a.insts);
+        assert_eq!(a.record_read, 9);
+        assert_eq!(a.record_write, 2);
+        assert!(a.constants >= 29 && a.constants <= 36, "got {}", a.constants);
+        assert_eq!(a.irregular, 0);
+    }
+
+    #[test]
+    fn ir_matches_reference() {
+        let k = VertexReflection;
+        let ir = k.ir();
+        let w = k.workload(16, 17);
+        for r in 0..16 {
+            let rec = &w.input_words[r * 9..r * 9 + 9];
+            let got = ir.eval_record(rec, &|_| Value::ZERO);
+            assert_eq!(
+                first_mismatch(k.output_kind(), &got, &w.expected[r * 2..r * 2 + 2]),
+                None,
+                "record {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn mimd_program_fits_l0_store() {
+        let p = VertexReflection.mimd_program(MimdTarget::with_l0()).unwrap();
+        assert!(p.len() <= 256, "program has {} insts", p.len());
+    }
+}

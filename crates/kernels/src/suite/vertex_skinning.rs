@@ -1,0 +1,486 @@
+//! `vertex-skinning` — animation vertex shader with multiple transformation
+//! matrices (Table 1, real-time graphics).
+//!
+//! A dynamically varying number of bone matrices (1–4) blend each vertex:
+//! the paper's flagship *data-dependent branching* kernel (Table 2:
+//! 16/9 record, 32 constants, 288 indexed constants — the 24-bone ×
+//! 12-element matrix palette — and variable loop bounds). On the
+//! vector/SIMD-style configurations the loop is unrolled to its maximum
+//! trip count with weight-masking selects; the MIMD form iterates exactly
+//! `count` times per vertex — the comparison at the heart of §5.3's M-D
+//! result.
+
+use dlp_common::{DlpError, SplitMix64, Value};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, IrRef, KernelIr};
+use trips_isa::{MemSpace, MimdProgram, Opcode};
+
+use crate::refimpl::shade::{clamp0, dot, V3};
+use crate::util::{MimdStream, MimdTarget, R_IN_ADDR, R_OUT_ADDR};
+use crate::{DlpKernel, OutputKind, Workload};
+
+/// Bones in the matrix palette.
+pub const NUM_BONES: usize = 24;
+/// Maximum bones blended per vertex.
+pub const MAX_BONES: usize = 4;
+
+/// Scene constants (the lighting environment; the palette is indexed).
+pub struct Scene {
+    /// Global 3×4 view matrix applied after blending.
+    pub m: [f32; 12],
+    /// Light and half vectors.
+    pub light: V3,
+    /// Half vector.
+    pub half: V3,
+    /// Material colors.
+    pub ambient: V3,
+    /// Diffuse reflectance.
+    pub diffuse: V3,
+    /// Specular reflectance.
+    pub specular: V3,
+    /// Color tint applied at the end.
+    pub tint: V3,
+    /// Diffuse floor term.
+    pub floor: f32,
+    /// Spare scale (keeps the constant count at 32).
+    pub gain: f32,
+}
+
+/// The fixed benchmark scene.
+#[must_use]
+pub fn scene() -> Scene {
+    Scene {
+        m: [
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 1.0, 0.0, 0.2, //
+            0.0, 0.0, 1.0, -0.4,
+        ],
+        light: [0.267_261_24, 0.534_522_5, 0.801_783_7],
+        half: [0.0, 0.6, 0.8],
+        ambient: [0.1, 0.08, 0.08],
+        diffuse: [0.6, 0.55, 0.5],
+        specular: [0.3, 0.3, 0.3],
+        tint: [1.0, 0.97, 0.9],
+        floor: 0.05,
+        gain: 1.1,
+    }
+}
+
+/// The bone-matrix palette: `NUM_BONES` 3×4 matrices, deterministic.
+#[must_use]
+pub fn palette() -> Vec<f32> {
+    let mut rng = SplitMix64::new(0xB0BE);
+    let mut out = Vec::with_capacity(NUM_BONES * 12);
+    for _ in 0..NUM_BONES {
+        // Small rotations + translations around identity keep values tame.
+        let a = rng.f32_in(-0.3, 0.3);
+        let (s, c) = a.sin_cos();
+        let t: [f32; 3] = core::array::from_fn(|_| rng.f32_in(-0.5, 0.5));
+        out.extend_from_slice(&[c, -s, 0.0, t[0], s, c, 0.0, t[1], 0.0, 0.0, 1.0, t[2]]);
+    }
+    out
+}
+
+/// One vertex record, decoded.
+#[derive(Clone, Copy, Debug)]
+pub struct VertexIn {
+    /// Rest position.
+    pub p: V3,
+    /// Rest normal.
+    pub n: V3,
+    /// Bone palette indices.
+    pub idx: [u32; MAX_BONES],
+    /// Blend weights.
+    pub w: [f32; MAX_BONES],
+    /// Live bone count (1..=MAX_BONES).
+    pub count: u32,
+}
+
+/// Reference skinning + lighting. Blends exactly like the masked unrolled
+/// form: bones `count..MAX_BONES` contribute with weight 0.
+#[must_use]
+pub fn skin_vertex(s: &Scene, pal: &[f32], v: &VertexIn) -> [f32; 9] {
+    let mut pos = [0.0f32; 3];
+    let mut nrm = [0.0f32; 3];
+    for b in 0..MAX_BONES {
+        let w = if (b as u32) < v.count { v.w[b] } else { 0.0 };
+        let m = &pal[v.idx[b] as usize * 12..v.idx[b] as usize * 12 + 12];
+        for row in 0..3 {
+            let pb = m[row * 4] * v.p[0]
+                + m[row * 4 + 1] * v.p[1]
+                + m[row * 4 + 2] * v.p[2]
+                + m[row * 4 + 3];
+            pos[row] += w * pb;
+            let nb = m[row * 4] * v.n[0] + m[row * 4 + 1] * v.n[1] + m[row * 4 + 2] * v.n[2];
+            nrm[row] += w * nb;
+        }
+    }
+    let pt: [f32; 3] = core::array::from_fn(|row| {
+        s.m[row * 4] * pos[0] + s.m[row * 4 + 1] * pos[1] + s.m[row * 4 + 2] * pos[2]
+            + s.m[row * 4 + 3]
+    });
+    let ndl = clamp0(dot(nrm, s.light));
+    let ndh = clamp0(dot(nrm, s.half));
+    let x2 = ndh * ndh;
+    let x4 = x2 * x2;
+    let spec = x4 * x4;
+    let color: [f32; 3] = core::array::from_fn(|c| {
+        
+        (s.ambient[c] + (s.floor + s.diffuse[c]) * ndl + s.specular[c] * spec)
+            * s.gain
+            * s.tint[c]
+    });
+    [pt[0], pt[1], pt[2], nrm[0], nrm[1], nrm[2], color[0], color[1], color[2]]
+}
+
+/// The vertex-skinning kernel.
+pub struct VertexSkinning;
+
+fn ir_dot3(b: &mut IrBuilder, v: [IrRef; 3], c: [IrRef; 3]) -> IrRef {
+    let t0 = b.bin(Opcode::FMul, v[0], c[0]);
+    let t1 = b.bin(Opcode::FMul, v[1], c[1]);
+    let acc = b.bin(Opcode::FAdd, t0, t1);
+    let t2 = b.bin(Opcode::FMul, v[2], c[2]);
+    b.bin(Opcode::FAdd, acc, t2)
+}
+
+impl DlpKernel for VertexSkinning {
+    fn name(&self) -> &'static str {
+        "vertex-skinning"
+    }
+
+    fn description(&self) -> &'static str {
+        "a vertex shader used for animation with multiple transformation matrices"
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn ir(&self) -> KernelIr {
+        let s = scene();
+        let pal = palette();
+        let mut b = IrBuilder::new("vertex-skinning", Domain::Graphics, 16, 9);
+        let tbl = b.table("bones", pal.iter().map(|&v| Value::from_f32(v)).collect());
+        let mref: Vec<IrRef> = s
+            .m
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| b.constant(format!("m{i}"), Value::from_f32(v)))
+            .collect();
+        let cvec = |b: &mut IrBuilder, name: &str, v: V3| -> [IrRef; 3] {
+            core::array::from_fn(|i| b.constant(format!("{name}{i}"), Value::from_f32(v[i])))
+        };
+        let lref = cvec(&mut b, "l", s.light);
+        let href = cvec(&mut b, "h", s.half);
+        let aref = cvec(&mut b, "amb", s.ambient);
+        let dref = cvec(&mut b, "dif", s.diffuse);
+        let sref = cvec(&mut b, "spc", s.specular);
+        let tref = cvec(&mut b, "tint", s.tint);
+        let floor = b.constant("floor", Value::from_f32(s.floor));
+        let gain = b.constant("gain", Value::from_f32(s.gain));
+
+        let p: [IrRef; 3] = core::array::from_fn(|i| b.input(i as u16));
+        let n: [IrRef; 3] = core::array::from_fn(|i| b.input(3 + i as u16));
+        let idx: [IrRef; 4] = core::array::from_fn(|i| b.input(6 + i as u16));
+        let w: [IrRef; 4] = core::array::from_fn(|i| b.input(10 + i as u16));
+        let count = b.input(14);
+        let pad = b.input(15);
+
+        let zero_f = b.imm(Value::from_f32(0.0));
+        let twelve = b.imm(Value::from_u64(12));
+        let mut pos: Option<[IrRef; 3]> = None;
+        let mut nrm: Option<[IrRef; 3]> = None;
+        // Unrolled to MAX_BONES with weight masking — the vector/SIMD
+        // predication cost the paper describes for this kernel.
+        for bone in 0..MAX_BONES {
+            let bimm = b.imm(Value::from_u64(bone as u64));
+            let active = b.bin_overhead(Opcode::Tltu, bimm, count);
+            let wm = b.sel(active, w[bone], zero_f);
+            let base = b.bin_overhead(Opcode::Mul, idx[bone], twelve);
+            let elem: Vec<IrRef> = (0..12)
+                .map(|e| {
+                    let i = if e == 0 {
+                        base
+                    } else {
+                        let ei = b.imm(Value::from_u64(e));
+                        b.bin_overhead(Opcode::Add, base, ei)
+                    };
+                    b.table_read(tbl, i)
+                })
+                .collect();
+            let mut newpos = [p[0]; 3];
+            let mut newnrm = [p[0]; 3];
+            for row in 0..3 {
+                let d = ir_dot3(&mut b, p, [elem[row * 4], elem[row * 4 + 1], elem[row * 4 + 2]]);
+                let pb = b.bin(Opcode::FAdd, d, elem[row * 4 + 3]);
+                let contrib = b.bin(Opcode::FMul, wm, pb);
+                newpos[row] = match pos {
+                    None => contrib,
+                    Some(prev) => b.bin(Opcode::FAdd, prev[row], contrib),
+                };
+                let nb = ir_dot3(&mut b, n, [elem[row * 4], elem[row * 4 + 1], elem[row * 4 + 2]]);
+                let ncontrib = b.bin(Opcode::FMul, wm, nb);
+                newnrm[row] = match nrm {
+                    None => ncontrib,
+                    Some(prev) => b.bin(Opcode::FAdd, prev[row], ncontrib),
+                };
+            }
+            pos = Some(newpos);
+            nrm = Some(newnrm);
+        }
+        let pos = pos.expect("at least one bone");
+        let nrm = nrm.expect("at least one bone");
+
+        // Global transform + lighting.
+        for row in 0..3 {
+            let d = ir_dot3(&mut b, pos, [mref[row * 4], mref[row * 4 + 1], mref[row * 4 + 2]]);
+            let pt = b.bin(Opcode::FAdd, d, mref[row * 4 + 3]);
+            b.output(row as u16, pt);
+        }
+        for row in 0..3 {
+            b.output(3 + row as u16, nrm[row]);
+        }
+        let ndl_raw = ir_dot3(&mut b, nrm, lref);
+        let ndl = b.bin(Opcode::FMax, ndl_raw, zero_f);
+        let ndh_raw = ir_dot3(&mut b, nrm, href);
+        let ndh = b.bin(Opcode::FMax, ndh_raw, zero_f);
+        let x2 = b.bin(Opcode::FMul, ndh, ndh);
+        let x4 = b.bin(Opcode::FMul, x2, x2);
+        let spec = b.bin(Opcode::FMul, x4, x4);
+        // Keep the pad word live without affecting values.
+        let z = b.imm(Value::from_u64(0));
+        let padz = b.bin_overhead(Opcode::Mul, pad, z);
+        for c in 0..3 {
+            let dplus = b.bin(Opcode::FAdd, floor, dref[c]);
+            let dterm = b.bin(Opcode::FMul, dplus, ndl);
+            let acc = b.bin(Opcode::FAdd, aref[c], dterm);
+            let sterm = b.bin(Opcode::FMul, sref[c], spec);
+            let lit = b.bin(Opcode::FAdd, acc, sterm);
+            let g = b.bin(Opcode::FMul, lit, gain);
+            let tinted = b.bin(Opcode::FMul, g, tref[c]);
+            // + pad*0 (integer zero: adds nothing to the f32 bits).
+            let out = b.bin_overhead(Opcode::Or, tinted, padz);
+            b.output(6 + c as u16, out);
+        }
+        b.finish(ControlClass::VariableLoop { max_iters: MAX_BONES as u32 })
+            .expect("vertex-skinning IR is well-formed")
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn mimd_program(&self, target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        let s = scene();
+        // The rolled form: loop over the *actual* bone count. Position and
+        // normal stay in registers across the loop (the operand-storage
+        // buffers the local-PC mechanism repurposes as registers), so each
+        // bone costs 12 table reads + 2 stream loads — the storage economy
+        // the paper credits for M-D's win on this kernel.
+        // Registers: pos r1..r3, nrm r4..r6, bone counter r7, count r8,
+        // weight r9, matrix base r10, temps r11..r13, p in r20..r22,
+        // n in r23..r25 (the prologue only holds light/half).
+        MimdStream::build(
+            16,
+            9,
+            |asm| {
+                for i in 0..3u8 {
+                    asm.lif(14 + i, s.light[i as usize]);
+                }
+            },
+            |asm| {
+                for i in 0..6u8 {
+                    asm.lif(1 + i, 0.0);
+                }
+                for i in 0..3u8 {
+                    asm.ld(MemSpace::Smc, 20 + i, R_IN_ADDR, i64::from(i)); // p
+                    asm.ld(MemSpace::Smc, 23 + i, R_IN_ADDR, i64::from(3 + i)); // n
+                }
+                asm.li(7, 0);
+                asm.ld(MemSpace::Smc, 8, R_IN_ADDR, 14); // count
+                asm.label("bone");
+                asm.alu(Opcode::Tgeu, 11, 7, 8);
+                asm.bnz(11, "blend_done");
+                // weight and matrix base
+                asm.alu(Opcode::Add, 11, 7, R_IN_ADDR);
+                asm.ld(MemSpace::Smc, 9, 11, 10); // w[b]
+                asm.ld(MemSpace::Smc, 10, 11, 6); // idx[b]
+                asm.alui(Opcode::Mul, 10, 10, 12);
+                for row in 0..3u8 {
+                    // pb = m0*p0 + m1*p1 + m2*p2 + m3 ; nb over the same row
+                    asm.lif(11, 0.0);
+                    asm.lif(13, 0.0);
+                    for c in 0..3u8 {
+                        asm.alui(Opcode::Add, 12, 10, i64::from(row * 4 + c));
+                        target.table_read(asm, 12, 12, 0);
+                        asm.alu(Opcode::FMul, 19, 12, 20 + c);
+                        asm.alu(Opcode::FAdd, 11, 11, 19);
+                        asm.alu(Opcode::FMul, 19, 12, 23 + c);
+                        asm.alu(Opcode::FAdd, 13, 13, 19);
+                    }
+                    asm.alui(Opcode::Add, 12, 10, i64::from(row * 4 + 3));
+                    target.table_read(asm, 12, 12, 0);
+                    asm.alu(Opcode::FAdd, 11, 11, 12);
+                    asm.alu(Opcode::FMul, 11, 11, 9);
+                    asm.alu(Opcode::FAdd, 1 + row, 1 + row, 11);
+                    asm.alu(Opcode::FMul, 13, 13, 9);
+                    asm.alu(Opcode::FAdd, 4 + row, 4 + row, 13);
+                }
+                asm.alui(Opcode::Add, 7, 7, 1);
+                asm.jmp("bone");
+                asm.label("blend_done");
+                // Global transform rows -> out 0..3.
+                for row in 0..3usize {
+                    asm.lif(11, s.m[row * 4]);
+                    asm.alu(Opcode::FMul, 9, 1, 11);
+                    asm.lif(11, s.m[row * 4 + 1]);
+                    asm.alu(Opcode::FMul, 11, 2, 11);
+                    asm.alu(Opcode::FAdd, 9, 9, 11);
+                    asm.lif(11, s.m[row * 4 + 2]);
+                    asm.alu(Opcode::FMul, 11, 3, 11);
+                    asm.alu(Opcode::FAdd, 9, 9, 11);
+                    asm.lif(11, s.m[row * 4 + 3]);
+                    asm.alu(Opcode::FAdd, 9, 9, 11);
+                    asm.st(MemSpace::Smc, R_OUT_ADDR, row as i64, 9);
+                }
+                for row in 0..3u8 {
+                    asm.st(MemSpace::Smc, R_OUT_ADDR, 3 + i64::from(row), 4 + row);
+                }
+                // Lighting on the blended normal.
+                asm.lif(13, 0.0);
+                asm.alu(Opcode::FMul, 9, 4, 14);
+                asm.alu(Opcode::FMul, 11, 5, 15);
+                asm.alu(Opcode::FAdd, 9, 9, 11);
+                asm.alu(Opcode::FMul, 11, 6, 16);
+                asm.alu(Opcode::FAdd, 9, 9, 11);
+                asm.alu(Opcode::FMax, 9, 9, 13); // ndl
+                asm.lif(12, s.half[0]);
+                asm.alu(Opcode::FMul, 10, 4, 12);
+                asm.lif(12, s.half[1]);
+                asm.alu(Opcode::FMul, 11, 5, 12);
+                asm.alu(Opcode::FAdd, 10, 10, 11);
+                asm.lif(12, s.half[2]);
+                asm.alu(Opcode::FMul, 11, 6, 12);
+                asm.alu(Opcode::FAdd, 10, 10, 11);
+                asm.alu(Opcode::FMax, 10, 10, 13);
+                asm.alu(Opcode::FMul, 10, 10, 10);
+                asm.alu(Opcode::FMul, 10, 10, 10);
+                asm.alu(Opcode::FMul, 10, 10, 10); // spec
+                for c in 0..3usize {
+                    asm.lif(11, s.floor + s.diffuse[c]);
+                    asm.alu(Opcode::FMul, 11, 11, 9);
+                    asm.lif(12, s.ambient[c]);
+                    asm.alu(Opcode::FAdd, 11, 12, 11);
+                    asm.lif(12, s.specular[c]);
+                    asm.alu(Opcode::FMul, 12, 12, 10);
+                    asm.alu(Opcode::FAdd, 11, 11, 12);
+                    asm.lif(12, s.gain * s.tint[c]);
+                    asm.alu(Opcode::FMul, 11, 11, 12);
+                    asm.st(MemSpace::Smc, R_OUT_ADDR, 6 + c as i64, 11);
+                }
+            },
+        )
+    }
+
+    fn workload(&self, records: usize, seed: u64) -> Workload {
+        let s = scene();
+        let pal = palette();
+        let mut rng = SplitMix64::new(seed ^ 0x5C1);
+        let mut input_words = Vec::with_capacity(records * 16);
+        let mut expected = Vec::with_capacity(records * 9);
+        for _ in 0..records {
+            let count = 1 + (rng.below(MAX_BONES as u64)) as u32;
+            let mut v = VertexIn {
+                p: core::array::from_fn(|_| rng.f32_in(-1.0, 1.0)),
+                n: core::array::from_fn(|_| rng.f32_in(-1.0, 1.0)),
+                idx: core::array::from_fn(|_| rng.below(NUM_BONES as u64) as u32),
+                w: [0.0; MAX_BONES],
+                count,
+            };
+            // Positive weights summing to ~1 over the live bones.
+            let mut total = 0.0f32;
+            for b in 0..count as usize {
+                v.w[b] = rng.f32_in(0.1, 1.0);
+                total += v.w[b];
+            }
+            for b in 0..count as usize {
+                v.w[b] /= total;
+            }
+            for x in v.p.into_iter().chain(v.n) {
+                input_words.push(Value::from_f32(x));
+            }
+            for i in v.idx {
+                input_words.push(Value::from_u64(u64::from(i)));
+            }
+            for x in v.w {
+                input_words.push(Value::from_f32(x));
+            }
+            input_words.push(Value::from_u64(u64::from(v.count)));
+            input_words.push(Value::ZERO); // pad
+            for x in skin_vertex(&s, &pal, &v) {
+                expected.push(Value::from_f32(x));
+            }
+        }
+        Workload { records, input_words, tex_words: Vec::new(), expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::F32Approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_match_paper_shape() {
+        let a = VertexSkinning.ir().attributes();
+        // Paper: 112 insts (their counting), record 16/9, 32 constants,
+        // 288 indexed constants, variable loop bounds. Our full unroll is
+        // larger; the structural attributes must match.
+        assert_eq!(a.record_read, 16);
+        assert_eq!(a.record_write, 9);
+        assert_eq!(a.constants, 32);
+        assert_eq!(a.indexed_constants, 288);
+        assert!(a.control.is_data_dependent());
+    }
+
+    #[test]
+    fn ir_matches_reference() {
+        let k = VertexSkinning;
+        let ir = k.ir();
+        let w = k.workload(16, 23);
+        for r in 0..16 {
+            let rec = &w.input_words[r * 16..r * 16 + 16];
+            let got = ir.eval_record(rec, &|_| Value::ZERO);
+            for c in 0..9 {
+                let g = got[c].as_f32();
+                let e = w.expected[r * 9 + c].as_f32();
+                assert!((g - e).abs() <= 1e-3 * e.abs().max(1.0), "rec {r} out {c}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_bones_contribute_nothing() {
+        // Two workloads identical except dead bone slots differ -> same
+        // output.
+        let k = VertexSkinning;
+        let ir = k.ir();
+        let w = k.workload(4, 77);
+        for r in 0..4 {
+            let mut rec: Vec<Value> = w.input_words[r * 16..r * 16 + 16].to_vec();
+            let count = rec[14].as_u64() as usize;
+            if count < MAX_BONES {
+                let baseline = ir.eval_record(&rec, &|_| Value::ZERO);
+                rec[6 + count] = Value::from_u64(3); // different dead index
+                let tweaked = ir.eval_record(&rec, &|_| Value::ZERO);
+                assert_eq!(
+                    baseline.iter().map(|v| v.bits()).collect::<Vec<_>>(),
+                    tweaked.iter().map(|v| v.bits()).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mimd_program_fits_l0_store() {
+        let p = VertexSkinning.mimd_program(MimdTarget::with_l0()).unwrap();
+        assert!(p.len() <= 256, "program has {} insts", p.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared helpers: f32 packing and the MIMD stream-loop skeleton.
+
+use dlp_common::{DlpError, Value};
+use trips_isa::{MemSpace, MimdAsm, MimdProgram, OpRole, Opcode, REG_NODE_ID, REG_RECORDS};
+
+use crate::memmap;
+
+/// Pack two `f32` values into one 64-bit word (`lo` in bits 0..32, `hi` in
+/// bits 32..64) — several kernels use this to match the paper's record
+/// sizes, which are measured in 64-bit words.
+#[must_use]
+pub fn pack2f32(lo: f32, hi: f32) -> Value {
+    Value::from_u64(u64::from(lo.to_bits()) | (u64::from(hi.to_bits()) << 32))
+}
+
+/// Inverse of [`pack2f32`].
+#[must_use]
+pub fn unpack2f32(v: Value) -> (f32, f32) {
+    let bits = v.bits();
+    (f32::from_bits(bits as u32), f32::from_bits((bits >> 32) as u32))
+}
+
+/// MIMD lowering choices a kernel's program builder must honor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MimdTarget {
+    /// Indexed constants live in the L0 data store (`lut`); otherwise they
+    /// are read from the table image at [`memmap::TABLE_BASE`] through the
+    /// L1 (the plain **M** configuration).
+    pub tables_in_l0: bool,
+}
+
+impl MimdTarget {
+    /// The **M-D** configuration (L0 data store present).
+    #[must_use]
+    pub fn with_l0() -> Self {
+        MimdTarget { tables_in_l0: true }
+    }
+
+    /// The plain **M** configuration.
+    #[must_use]
+    pub fn without_l0() -> Self {
+        MimdTarget { tables_in_l0: false }
+    }
+
+    /// Emit a table read `rd = table[ra + off]` honoring the target.
+    pub fn table_read(&self, asm: &mut MimdAsm, rd: u8, ra: u8, off: i64) {
+        if self.tables_in_l0 {
+            asm.lut(rd, ra, off);
+        } else {
+            asm.ld(MemSpace::L1, rd, ra, memmap::TABLE_BASE as i64 + off);
+        }
+    }
+}
+
+/// Register conventions of the MIMD stream skeleton: the kernel body may
+/// freely use `r1..=r25`; the skeleton owns `r26..=r28` and the machine
+/// conventions own `r29..=r31`.
+pub struct MimdStream;
+
+/// Register holding the current record's input base address inside the body.
+pub const R_IN_ADDR: u8 = 26;
+/// Register holding the current record's output base address inside the body.
+pub const R_OUT_ADDR: u8 = 27;
+/// Register holding the current record index inside the body.
+pub const R_REC: u8 = 28;
+
+impl MimdStream {
+    /// Build the standard record-strided SPMD loop:
+    ///
+    /// ```text
+    /// rec = node_rank
+    /// while rec < records:
+    ///     r26 = BASE_IN  + rec * in_words
+    ///     r27 = BASE_OUT + rec * out_words
+    ///     <body>
+    ///     rec += node_count
+    /// halt
+    /// ```
+    ///
+    /// The `prologue` runs once before the loop (hoisted constant loads —
+    /// the MIMD analogue of operand revitalization); the body reads inputs
+    /// with `ld rd, [r26 + w]`, writes outputs with `st [r27 + w], rs`.
+    /// The body may clobber `r1..=r19`; registers the prologue initializes
+    /// should live in `r20..=r25` so the loop preserves them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors from the body (undefined labels, bad
+    /// registers).
+    pub fn build(
+        in_words: u16,
+        out_words: u16,
+        prologue: impl FnOnce(&mut MimdAsm),
+        body: impl FnOnce(&mut MimdAsm),
+    ) -> Result<MimdProgram, DlpError> {
+        let mut asm = MimdAsm::new();
+        asm.set_role(OpRole::Overhead);
+        prologue(&mut asm);
+        asm.alu(Opcode::Mov, R_REC, REG_NODE_ID, 0);
+        asm.label("__rec_loop");
+        asm.alu(Opcode::Tgeu, 1, R_REC, REG_RECORDS);
+        asm.bnz(1, "__rec_done");
+        asm.alui(Opcode::Mul, R_IN_ADDR, R_REC, i64::from(in_words));
+        asm.alui(Opcode::Add, R_IN_ADDR, R_IN_ADDR, memmap::BASE_IN as i64);
+        asm.alui(Opcode::Mul, R_OUT_ADDR, R_REC, i64::from(out_words));
+        asm.alui(Opcode::Add, R_OUT_ADDR, R_OUT_ADDR, memmap::BASE_OUT as i64);
+        asm.set_role(OpRole::Useful);
+        body(&mut asm);
+        asm.set_role(OpRole::Overhead);
+        asm.alu(Opcode::Add, R_REC, R_REC, trips_isa::REG_NODE_COUNT);
+        asm.jmp("__rec_loop");
+        asm.label("__rec_done");
+        asm.halt();
+        asm.assemble()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let v = pack2f32(1.5, -2.25);
+        let (a, b) = unpack2f32(v);
+        assert_eq!(a, 1.5);
+        assert_eq!(b, -2.25);
+    }
+
+    #[test]
+    fn skeleton_assembles() {
+        let p = MimdStream::build(
+            3,
+            1,
+            |asm| {
+                asm.li(20, 7);
+            },
+            |asm| {
+                asm.ld(MemSpace::Smc, 1, R_IN_ADDR, 0);
+                asm.st(MemSpace::Smc, R_OUT_ADDR, 0, 1);
+            },
+        )
+        .unwrap();
+        assert!(p.len() > 8);
+        let d = p.disassemble();
+        assert!(d.contains("jmp"));
+        assert!(d.contains("halt"));
+    }
+
+    #[test]
+    fn table_read_lowering_differs_by_target() {
+        let mut a = MimdAsm::new();
+        MimdTarget::with_l0().table_read(&mut a, 1, 2, 5);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert!(p.disassemble().contains("lut"));
+
+        let mut b = MimdAsm::new();
+        MimdTarget::without_l0().table_read(&mut b, 1, 2, 5);
+        b.halt();
+        let p = b.assemble().unwrap();
+        assert!(p.disassemble().contains("ld.l1"));
+    }
+}

@@ -1,0 +1,22 @@
+#[test]
+fn check_pi_tables_head() {
+    use dlp_kernels::refimpl::pi::pi_words;
+    let w = pi_words(20);
+    let expect: [u32; 20] = [
+        0x243f6a88, 0x85a308d3, 0x13198a2e, 0x03707344, 0xa4093822, 0x299f31d0,
+        0x082efa98, 0xec4e6c89, 0x452821e6, 0x38d01377, 0xbe5466cf, 0x34e90c6c,
+        0xc0ac29b7, 0xc97c50dd, 0x3f84d5b5, 0xb5470917, 0x9216d5d9, 0x8979fb1b,
+        0xd1310ba6, 0x98dfb5ac,
+    ];
+    for (i, (&g, &e)) in w.iter().zip(expect.iter()).enumerate() {
+        assert_eq!(g, e, "word {i}: got {g:08x} want {e:08x}");
+    }
+}
+
+#[test]
+fn check_pi_tables_tail() {
+    use dlp_kernels::refimpl::pi::pi_words;
+    // The last Blowfish S-box word (S3[255]) is 0x3ac372e6.
+    let w = pi_words(18 + 1024);
+    assert_eq!(w[18 + 1023], 0x3ac372e6, "got {:08x}", w[18 + 1023]);
+}

@@ -1,0 +1,81 @@
+//! The per-bank DMA engine that stages data between DRAM and an SMC bank.
+
+use dlp_common::{MemParams, Tick};
+
+/// The explicitly programmed DMA engine attached to each SMC bank (§4.2).
+///
+/// Software (compiler/programmer — here, the experiment driver) issues bulk
+/// transfers to stage kernel inputs into the software-managed cache before
+/// launching a kernel, and to write results back afterwards. The engine is
+/// a pure cost model: one DRAM round-trip of startup latency plus the
+/// streaming time of the payload at channel bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use trips_mem::DmaEngine;
+/// use dlp_common::MemParams;
+///
+/// let params = MemParams::default();
+/// let dma = DmaEngine::new(&params);
+/// let t = dma.transfer_done(1024, 0); // stage 1024 words at tick 0
+/// assert!(t > params.dram_latency);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DmaEngine {
+    dram_latency: Tick,
+    words_per_cycle: u32,
+}
+
+impl DmaEngine {
+    /// Build the engine from the memory parameters.
+    #[must_use]
+    pub fn new(params: &MemParams) -> Self {
+        DmaEngine {
+            dram_latency: params.dram_latency,
+            words_per_cycle: params.smc_channel_words_per_cycle.max(1),
+        }
+    }
+
+    /// Completion tick of a `words`-long transfer started at `now`.
+    #[must_use]
+    pub fn transfer_done(&self, words: u64, now: Tick) -> Tick {
+        if words == 0 {
+            return now;
+        }
+        let stream_cycles = words.div_ceil(u64::from(self.words_per_cycle));
+        now + self.dram_latency + stream_cycles * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_transfer_is_free() {
+        let dma = DmaEngine::new(&MemParams::default());
+        assert_eq!(dma.transfer_done(0, 42), 42);
+    }
+
+    #[test]
+    fn cost_scales_with_size() {
+        let dma = DmaEngine::new(&MemParams::default());
+        let small = dma.transfer_done(64, 0);
+        let large = dma.transfer_done(64 * 1024, 0);
+        assert!(large > small);
+        // Streaming dominated: doubling size roughly doubles stream time.
+        let t1 = dma.transfer_done(100_000, 0);
+        let t2 = dma.transfer_done(200_000, 0);
+        let stream1 = t1 - MemParams::default().dram_latency;
+        let stream2 = t2 - MemParams::default().dram_latency;
+        assert!((stream2 as f64 / stream1 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn startup_latency_is_paid_once() {
+        let p = MemParams::default();
+        let dma = DmaEngine::new(&p);
+        assert_eq!(dma.transfer_done(p.smc_channel_words_per_cycle as u64, 0), p.dram_latency + 2);
+    }
+}

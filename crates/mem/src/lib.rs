@@ -1,0 +1,41 @@
+//! # trips-mem
+//!
+//! The memory system of the simulated TRIPS-style processor, implementing
+//! the paper's two §4.2 memory mechanisms plus the supporting machinery:
+//!
+//! * [`SmcBank`] — a secondary-level cache bank reconfigured as a fully
+//!   **software-managed cache**: tag checks and hardware replacement are
+//!   disabled, a [`DmaEngine`] stages data in and out under explicit program
+//!   control, and a dedicated row **streaming channel** delivers operands to
+//!   the row's ALUs (wide `LMW` transactions fetch several contiguous words
+//!   at once).
+//! * [`L1Cache`] — the **hardware-managed cached memory** path used by
+//!   irregular accesses (set-associative with LRU replacement; tags only —
+//!   data always lives in [`MainMemory`]).
+//! * [`StoreBuffer`] — per-row coalescing of stores before they are written
+//!   back, reducing write-port pressure (§4.2).
+//! * [`MainMemory`] — the flat, word-addressed backing store. The machine is
+//!   64-bit word oriented: the paper's Table 2 measures records in 64-bit
+//!   words, and so do we. All addresses in this workspace are *word*
+//!   addresses.
+//!
+//! Every component separates **function** (values) from **timing** (when a
+//! transaction completes), and all timing is expressed in ticks
+//! (half-cycles; see [`dlp_common::Tick`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dma;
+mod l1;
+mod main_memory;
+mod smc;
+mod store_buffer;
+mod throttle;
+
+pub use dma::DmaEngine;
+pub use l1::L1Cache;
+pub use main_memory::MainMemory;
+pub use smc::SmcBank;
+pub use store_buffer::StoreBuffer;
+pub use throttle::Throttle;

@@ -1,0 +1,116 @@
+//! The flat word-addressed backing store.
+
+use dlp_common::Value;
+
+/// Word-addressed main memory.
+///
+/// All data in the simulated machine lives here; the caches are pure timing
+/// models (tags without data arrays), so there is never a coherence question
+/// between model layers. The store grows on demand; reads of never-written
+/// words return zero, like freshly mapped pages.
+///
+/// # Example
+///
+/// ```
+/// use trips_mem::MainMemory;
+/// use dlp_common::Value;
+///
+/// let mut mem = MainMemory::new();
+/// mem.write(100, Value::from_u64(42));
+/// assert_eq!(mem.read(100).as_u64(), 42);
+/// assert_eq!(mem.read(7).as_u64(), 0); // untouched words read zero
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MainMemory {
+    words: Vec<Value>,
+}
+
+impl MainMemory {
+    /// Create an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        MainMemory::default()
+    }
+
+    /// Read the word at `addr` (word address).
+    #[must_use]
+    pub fn read(&self, addr: u64) -> Value {
+        self.words.get(addr as usize).copied().unwrap_or(Value::ZERO)
+    }
+
+    /// Write `value` at `addr` (word address), growing as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the 1 Gi-word safety limit — in practice
+    /// that means a kernel computed a wild address, and failing fast beats
+    /// silently allocating gigabytes.
+    pub fn write(&mut self, addr: u64, value: Value) {
+        const LIMIT: u64 = 1 << 30;
+        assert!(addr < LIMIT, "address {addr:#x} exceeds simulated memory limit");
+        let idx = addr as usize;
+        if idx >= self.words.len() {
+            self.words.resize(idx + 1, Value::ZERO);
+        }
+        self.words[idx] = value;
+    }
+
+    /// Write a slice of words starting at `base`.
+    pub fn write_words(&mut self, base: u64, values: &[Value]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write(base + i as u64, *v);
+        }
+    }
+
+    /// Read `n` words starting at `base`.
+    #[must_use]
+    pub fn read_words(&self, base: u64, n: usize) -> Vec<Value> {
+        (0..n).map(|i| self.read(base + i as u64)).collect()
+    }
+
+    /// Highest written word address plus one (the memory footprint).
+    #[must_use]
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bulk_roundtrip() {
+        let mut mem = MainMemory::new();
+        let vals: Vec<Value> = (0..16).map(Value::from_u64).collect();
+        mem.write_words(1000, &vals);
+        assert_eq!(mem.read_words(1000, 16), vals);
+        assert_eq!(mem.footprint_words(), 1016);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory limit")]
+    fn wild_address_panics() {
+        MainMemory::new().write(1 << 40, Value::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn read_returns_last_write(addr in 0u64..10_000, a in any::<u64>(), b in any::<u64>()) {
+            let mut mem = MainMemory::new();
+            mem.write(addr, Value::from_u64(a));
+            mem.write(addr, Value::from_u64(b));
+            prop_assert_eq!(mem.read(addr).as_u64(), b);
+        }
+
+        #[test]
+        fn disjoint_writes_do_not_alias(a in 0u64..5_000, b in 5_000u64..10_000) {
+            let mut mem = MainMemory::new();
+            mem.write(a, Value::from_u64(1));
+            mem.write(b, Value::from_u64(2));
+            prop_assert_eq!(mem.read(a).as_u64(), 1);
+            prop_assert_eq!(mem.read(b).as_u64(), 2);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Bandwidth throttling shared by the memory components.
+
+use dlp_common::Tick;
+
+/// A departure-slot reservation queue: at most `per_tick` transactions may
+/// start on any one tick; excess transactions are pushed to later ticks.
+///
+/// This is the single primitive behind every bandwidth limit in the memory
+/// system (L1 bank ports, SMC transaction issue, store-buffer drains).
+///
+/// # Example
+///
+/// ```
+/// use trips_mem::Throttle;
+///
+/// let mut t = Throttle::new(1);
+/// assert_eq!(t.reserve(10), 10);
+/// assert_eq!(t.reserve(10), 11); // second request on the same tick waits
+/// assert_eq!(t.reserve(10), 12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Throttle {
+    per_tick: u32,
+    tick: Tick,
+    used: u32,
+}
+
+impl Throttle {
+    /// Create a throttle admitting `per_tick` transactions per tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_tick` is zero.
+    #[must_use]
+    pub fn new(per_tick: u32) -> Self {
+        assert!(per_tick > 0, "throttle bandwidth must be nonzero");
+        Throttle { per_tick, tick: 0, used: 0 }
+    }
+
+    /// Reserve the earliest available slot at or after `ready`; returns the
+    /// tick the transaction actually starts.
+    pub fn reserve(&mut self, ready: Tick) -> Tick {
+        let start = if ready > self.tick {
+            ready
+        } else if self.used < self.per_tick {
+            self.tick
+        } else {
+            self.tick + 1
+        };
+        if start == self.tick {
+            self.used += 1;
+        } else {
+            self.tick = start;
+            self.used = 1;
+        }
+        start
+    }
+
+    /// Clear all reservations.
+    pub fn reset(&mut self) {
+        self.tick = 0;
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_per_tick_capacity() {
+        let mut t = Throttle::new(2);
+        assert_eq!(t.reserve(5), 5);
+        assert_eq!(t.reserve(5), 5);
+        assert_eq!(t.reserve(5), 6);
+        assert_eq!(t.reserve(5), 6);
+        assert_eq!(t.reserve(5), 7);
+    }
+
+    #[test]
+    fn later_ready_times_skip_ahead() {
+        let mut t = Throttle::new(1);
+        assert_eq!(t.reserve(0), 0);
+        assert_eq!(t.reserve(100), 100);
+        assert_eq!(t.reserve(100), 101);
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut t = Throttle::new(1);
+        t.reserve(0);
+        t.reserve(0);
+        t.reset();
+        assert_eq!(t.reserve(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bandwidth_panics() {
+        let _ = Throttle::new(0);
+    }
+}

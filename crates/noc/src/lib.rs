@@ -1,0 +1,317 @@
+//! # trips-noc
+//!
+//! The lightweight routed operand network connecting the ALU array, the
+//! register-file banks on the top edge, and the memory interface (L1 banks
+//! and SMC streaming channels) on the left edge.
+//!
+//! The paper's baseline assumes a mesh interconnect with a hop delay of half
+//! a cycle between adjacent ALUs (§5.2). This crate models that mesh with
+//! **dimension-order (Y-then-X) routing** and **per-link serialization**:
+//! each unidirectional link accepts a bounded number of messages per tick,
+//! and later messages queue behind earlier ones. That captures the two
+//! effects the paper's results depend on — distance (placement quality,
+//! MIMD load routing) and contention (operand fan-out, memory-port
+//! hotspots) — without simulating individual flits.
+//!
+//! The router is a pure *timing* component: the simulator keeps message
+//! payloads, the router answers "when does it arrive?".
+//!
+//! # Example
+//!
+//! ```
+//! use trips_noc::{MeshRouter, Endpoint};
+//! use dlp_common::{Coord, GridShape, NetParams};
+//!
+//! let mut net = MeshRouter::new(GridShape::new(8, 8), NetParams::default());
+//! let a = Endpoint::Node(Coord::new(0, 0));
+//! let b = Endpoint::Node(Coord::new(2, 3));
+//! let arrival = net.send(a, b, 0);
+//! assert_eq!(arrival, 5); // 5 hops × 1 tick (half-cycle) each
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use dlp_common::{Coord, GridShape, NetParams, Tick};
+use serde::{Deserialize, Serialize};
+
+/// A source or destination attached to the mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// An ALU node on the array.
+    Node(Coord),
+    /// A register-file bank above column `col` of the top row.
+    RegBank(u8),
+    /// A memory port (L1 bank / SMC channel head) left of column 0 in `row`.
+    MemPort(u8),
+}
+
+impl Endpoint {
+    /// The grid coordinate where this endpoint's traffic enters/exits the
+    /// mesh, plus the extra edge hops to reach it.
+    fn attach(self) -> (Coord, u32) {
+        match self {
+            Endpoint::Node(c) => (c, 0),
+            Endpoint::RegBank(col) => (Coord::new(0, col), 1),
+            Endpoint::MemPort(row) => (Coord::new(row, 0), 1),
+        }
+    }
+}
+
+/// Direction of a unidirectional mesh link leaving a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+enum Dir {
+    North,
+    South,
+    East,
+    West,
+}
+
+/// A unidirectional link: the node it leaves and the direction it points.
+type Link = (Coord, Dir);
+
+/// Reservation state for one link: the latest tick with traffic and how many
+/// messages already departed on that tick.
+#[derive(Clone, Copy, Debug)]
+struct LinkUse {
+    tick: Tick,
+    count: u32,
+}
+
+/// Cumulative router statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages routed.
+    pub msgs: u64,
+    /// Total hops traversed (including edge attach hops).
+    pub hops: u64,
+    /// Total ticks messages spent queued behind busy links.
+    pub queue_ticks: u64,
+}
+
+/// The mesh operand router.
+///
+/// Messages are routed Y-first (within the source column to the destination
+/// row) then X (along the row). Each link serializes: with the default
+/// [`NetParams`], one message per tick per link; later messages wait.
+#[derive(Clone, Debug)]
+pub struct MeshRouter {
+    grid: GridShape,
+    params: NetParams,
+    usage: HashMap<Link, LinkUse>,
+    stats: NetStats,
+}
+
+impl MeshRouter {
+    /// Create a router for `grid` with the given parameters.
+    #[must_use]
+    pub fn new(grid: GridShape, params: NetParams) -> Self {
+        MeshRouter { grid, params, usage: HashMap::new(), stats: NetStats::default() }
+    }
+
+    /// The grid this router serves.
+    #[must_use]
+    pub fn grid(&self) -> GridShape {
+        self.grid
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Forget link occupancy and statistics (used between kernel runs).
+    pub fn reset(&mut self) {
+        self.usage.clear();
+        self.stats = NetStats::default();
+    }
+
+    /// Number of hops between two endpoints (no contention).
+    #[must_use]
+    pub fn distance(&self, from: Endpoint, to: Endpoint) -> u32 {
+        let (a, ea) = from.attach();
+        let (b, eb) = to.attach();
+        debug_assert!(self.grid.contains(a) && self.grid.contains(b));
+        a.manhattan(b) + ea + eb
+    }
+
+    /// Route a message injected at `now`, returning its arrival tick.
+    ///
+    /// Reserves capacity on every link along the dimension-order path, so
+    /// concurrent messages sharing links are serialized.
+    pub fn send(&mut self, from: Endpoint, to: Endpoint, now: Tick) -> Tick {
+        let (src, src_edge) = from.attach();
+        let (dst, dst_edge) = to.attach();
+        debug_assert!(self.grid.contains(src), "source {src} off-grid");
+        debug_assert!(self.grid.contains(dst), "destination {dst} off-grid");
+
+        let mut t = now + Tick::from(src_edge) * self.params.hop_ticks;
+        let mut at = src;
+        let mut hops = src_edge + dst_edge;
+
+        // Y first: move within the column to the destination row.
+        while at.row != dst.row {
+            let dir = if dst.row > at.row { Dir::South } else { Dir::North };
+            t = self.traverse(at, dir, t);
+            at = match dir {
+                Dir::South => Coord::new(at.row + 1, at.col),
+                Dir::North => Coord::new(at.row - 1, at.col),
+                _ => unreachable!(),
+            };
+            hops += 1;
+        }
+        // Then X along the row.
+        while at.col != dst.col {
+            let dir = if dst.col > at.col { Dir::East } else { Dir::West };
+            t = self.traverse(at, dir, t);
+            at = match dir {
+                Dir::East => Coord::new(at.row, at.col + 1),
+                Dir::West => Coord::new(at.row, at.col - 1),
+                _ => unreachable!(),
+            };
+            hops += 1;
+        }
+        t += Tick::from(dst_edge) * self.params.hop_ticks;
+
+        self.stats.msgs += 1;
+        self.stats.hops += u64::from(hops);
+        t
+    }
+
+    /// Traverse one link: wait for a departure slot, reserve it, advance
+    /// time. A link carries at most `link_msgs_per_tick` messages per tick.
+    fn traverse(&mut self, at: Coord, dir: Dir, ready: Tick) -> Tick {
+        let link = (at, dir);
+        let cap = self.params.link_msgs_per_tick.max(1);
+        let entry = self.usage.entry(link).or_insert(LinkUse { tick: 0, count: 0 });
+        let mut depart = ready;
+        if entry.tick >= ready && entry.count >= cap {
+            depart = entry.tick + 1; // slot on `entry.tick` is full
+        } else if entry.tick > ready {
+            depart = entry.tick; // join the latest partially filled slot
+        }
+        if depart == entry.tick {
+            entry.count += 1;
+        } else {
+            *entry = LinkUse { tick: depart, count: 1 };
+        }
+        self.stats.queue_ticks += depart - ready;
+        depart + self.params.hop_ticks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn router() -> MeshRouter {
+        MeshRouter::new(GridShape::new(8, 8), NetParams::default())
+    }
+
+    #[test]
+    fn same_node_is_free() {
+        let mut net = router();
+        let n = Endpoint::Node(Coord::new(3, 3));
+        assert_eq!(net.send(n, n, 10), 10);
+        assert_eq!(net.distance(n, n), 0);
+    }
+
+    #[test]
+    fn uncontended_latency_is_manhattan() {
+        let mut net = router();
+        let a = Endpoint::Node(Coord::new(0, 0));
+        let b = Endpoint::Node(Coord::new(7, 7));
+        assert_eq!(net.send(a, b, 0), 14);
+        assert_eq!(net.stats().hops, 14);
+        assert_eq!(net.stats().queue_ticks, 0);
+    }
+
+    #[test]
+    fn edge_endpoints_add_a_hop() {
+        let mut net = router();
+        let rb = Endpoint::RegBank(2);
+        let n = Endpoint::Node(Coord::new(0, 2));
+        assert_eq!(net.distance(rb, n), 1);
+        assert_eq!(net.send(rb, n, 0), 1);
+
+        let mp = Endpoint::MemPort(4);
+        let n2 = Endpoint::Node(Coord::new(4, 0));
+        assert_eq!(net.distance(mp, n2), 1);
+        assert_eq!(net.send(mp, n2, 0), 1);
+    }
+
+    #[test]
+    fn contention_serializes_shared_link() {
+        let mut net = router();
+        let a = Endpoint::Node(Coord::new(0, 0));
+        let b = Endpoint::Node(Coord::new(0, 1));
+        // Two messages over the same single link, same tick.
+        let t1 = net.send(a, b, 0);
+        let t2 = net.send(a, b, 0);
+        assert_eq!(t1, 1);
+        assert_eq!(t2, 2, "second message must queue behind the first");
+        assert_eq!(net.stats().queue_ticks, 1);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interact() {
+        let mut net = router();
+        let t1 = net.send(Endpoint::Node(Coord::new(0, 0)), Endpoint::Node(Coord::new(0, 1)), 0);
+        let t2 = net.send(Endpoint::Node(Coord::new(5, 5)), Endpoint::Node(Coord::new(5, 6)), 0);
+        assert_eq!(t1, 1);
+        assert_eq!(t2, 1);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut net = router();
+        let a = Endpoint::Node(Coord::new(0, 0));
+        let b = Endpoint::Node(Coord::new(0, 1));
+        net.send(a, b, 0);
+        net.reset();
+        assert_eq!(net.send(a, b, 0), 1);
+        assert_eq!(net.stats().msgs, 1);
+    }
+
+    #[test]
+    fn y_then_x_path_reserves_column_first() {
+        let mut net = router();
+        // (0,0) -> (1,1): goes south through ((0,0),South) then east.
+        net.send(Endpoint::Node(Coord::new(0, 0)), Endpoint::Node(Coord::new(1, 1)), 0);
+        // A second message using the same southward link queues...
+        let t = net.send(Endpoint::Node(Coord::new(0, 0)), Endpoint::Node(Coord::new(1, 0)), 0);
+        assert_eq!(t, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn arrival_never_precedes_distance(
+            r1 in 0u8..8, c1 in 0u8..8, r2 in 0u8..8, c2 in 0u8..8, now in 0u64..1000
+        ) {
+            let mut net = router();
+            let a = Endpoint::Node(Coord::new(r1, c1));
+            let b = Endpoint::Node(Coord::new(r2, c2));
+            let arr = net.send(a, b, now);
+            prop_assert!(arr >= now + u64::from(net.distance(a, b)));
+        }
+
+        #[test]
+        fn repeated_sends_monotonically_arrive(
+            r in 0u8..8, c in 0u8..8, n in 1usize..20
+        ) {
+            let mut net = router();
+            let a = Endpoint::Node(Coord::new(0, 0));
+            let b = Endpoint::Node(Coord::new(r, c));
+            let mut last = 0;
+            for _ in 0..n {
+                let t = net.send(a, b, 0);
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

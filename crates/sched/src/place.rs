@@ -1,0 +1,215 @@
+//! Greedy producer-affine placement onto the ALU array.
+
+use dlp_common::{Coord, DlpError, GridShape};
+use trips_isa::Slot;
+
+/// Tracks reservation-station occupancy and assigns slots.
+///
+/// Placement policy: an instruction goes to the free node nearest its
+/// producers (ties broken by lower occupancy, then row-major order); memory
+/// instructions prefer the columns next to the memory interface (column 0)
+/// of their instance's home row. This mirrors the paper's hand-scheduling
+/// goals — short producer-consumer hops, loads at the array edge.
+#[derive(Debug)]
+pub struct Placer {
+    grid: GridShape,
+    slots_per_node: usize,
+    used: Vec<usize>,
+}
+
+impl Placer {
+    /// Create a placer for `grid` with `slots_per_node` stations per node.
+    #[must_use]
+    pub fn new(grid: GridShape, slots_per_node: usize) -> Self {
+        Placer { grid, slots_per_node, used: vec![0; grid.nodes()] }
+    }
+
+    /// Total placed instructions.
+    #[must_use]
+    pub fn placed(&self) -> usize {
+        self.used.iter().sum()
+    }
+
+    /// Remaining slot capacity.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.slots_per_node * self.grid.nodes() - self.placed()
+    }
+
+    fn take(&mut self, node: Coord) -> Slot {
+        let i = self.grid.index(node);
+        let slot = Slot::new(node, self.used[i] as u16);
+        self.used[i] += 1;
+        slot
+    }
+
+    fn has_room(&self, node: Coord) -> bool {
+        self.used[self.grid.index(node)] < self.slots_per_node
+    }
+
+    /// Place near the given producer coordinates, falling back to
+    /// `home_row` and then anywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlpError::CapacityExceeded`] when the array is full.
+    pub fn place_near(&mut self, producers: &[Coord], home_row: u8) -> Result<Slot, DlpError> {
+        // Ring search around each producer, radius 0..=2, scoring
+        // distance *and* occupancy: every resident instruction competes for
+        // the node's single issue port each cycle, so packing a dependence
+        // chain onto one node serializes the baseline's in-flight frames.
+        // One hop costs half a cycle; one extra resident instruction costs
+        // up to a cycle of issue pressure — hence the 2× occupancy weight.
+        fn consider(placer: &Placer, best: &mut Option<(u32, Coord)>, c: Coord, dist: u32) {
+            if !placer.has_room(c) {
+                return;
+            }
+            let occ = placer.used[placer.grid.index(c)] as u32;
+            let key = (dist + 2 * occ, c);
+            match best {
+                Some(b) if *b <= key => {}
+                _ => *best = Some(key),
+            }
+        }
+        let mut best: Option<(u32, Coord)> = None;
+        if producers.is_empty() {
+            for col in 0..self.grid.cols() {
+                consider(self, &mut best, Coord::new(home_row, col), 0);
+            }
+        } else {
+            for &p in producers {
+                for radius in 0..=2u8 {
+                    for c in self.ring(p, radius) {
+                        let d: u32 = producers.iter().map(|&q| q.manhattan(c)).sum();
+                        consider(self, &mut best, c, d);
+                    }
+                }
+            }
+        }
+        if best.is_none() {
+            // Global fallback: least-occupied node anywhere.
+            for c in self.grid.iter() {
+                consider(self, &mut best, c, 8);
+            }
+        }
+        match best {
+            Some((_, c)) => Ok(self.take(c)),
+            None => Err(DlpError::CapacityExceeded {
+                resource: "reservation-station slots (placement)",
+                needed: self.placed() + 1,
+                available: self.slots_per_node * self.grid.nodes(),
+            }),
+        }
+    }
+
+    /// Place a memory instruction next to the memory interface of
+    /// `home_row` (columns 0..3, spilling to neighbouring rows), balancing
+    /// occupancy across the interface nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlpError::CapacityExceeded`] when the array is full.
+    pub fn place_mem(&mut self, home_row: u8) -> Result<Slot, DlpError> {
+        let rows = self.grid.rows();
+        let mut best: Option<(u32, Coord)> = None;
+        for dr in 0..rows {
+            for sign in [0i16, 1, -1] {
+                let r = i16::from(home_row) + sign * i16::from(dr);
+                if r < 0 || r >= i16::from(rows) || (dr == 0 && sign != 0) {
+                    continue;
+                }
+                for col in 0..self.grid.cols().min(4) {
+                    let c = Coord::new(r as u8, col);
+                    if !self.has_room(c) {
+                        continue;
+                    }
+                    let occ = self.used[self.grid.index(c)] as u32;
+                    // Column distance to the memory port + row distance +
+                    // issue-pressure weight.
+                    let key = (u32::from(col) + 2 * u32::from(dr) + 2 * occ, c);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+            if dr >= 1 && best.is_some() {
+                break; // home row and direct neighbours examined
+            }
+        }
+        match best {
+            Some((_, c)) => Ok(self.take(c)),
+            None => self.place_near(&[], home_row),
+        }
+    }
+
+    fn ring(&self, center: Coord, radius: u8) -> Vec<Coord> {
+        let mut out = Vec::new();
+        let rows = i16::from(self.grid.rows());
+        let cols = i16::from(self.grid.cols());
+        let (cr, cc) = (i16::from(center.row), i16::from(center.col));
+        let rad = i16::from(radius);
+        for dr in -rad..=rad {
+            for dc in -rad..=rad {
+                if dr.abs() + dc.abs() != rad {
+                    continue;
+                }
+                let (r, c) = (cr + dr, cc + dc);
+                if r >= 0 && r < rows && c >= 0 && c < cols {
+                    out.push(Coord::new(r as u8, c as u8));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridShape {
+        GridShape::new(4, 4)
+    }
+
+    #[test]
+    fn first_placement_lands_on_producer() {
+        let mut p = Placer::new(grid(), 4);
+        let s = p.place_near(&[Coord::new(1, 1)], 0).unwrap();
+        assert_eq!(s.node, Coord::new(1, 1));
+        assert_eq!(s.index, 0);
+    }
+
+    #[test]
+    fn repeated_placement_spreads_when_full() {
+        let mut p = Placer::new(grid(), 1);
+        let a = p.place_near(&[Coord::new(0, 0)], 0).unwrap();
+        let b = p.place_near(&[Coord::new(0, 0)], 0).unwrap();
+        assert_eq!(a.node, Coord::new(0, 0));
+        assert_ne!(b.node, a.node);
+        assert_eq!(a.node.manhattan(b.node), 1, "next placement is adjacent");
+    }
+
+    #[test]
+    fn mem_placement_prefers_interface_columns() {
+        let mut p = Placer::new(grid(), 4);
+        let s = p.place_mem(2).unwrap();
+        assert_eq!(s.node, Coord::new(2, 0));
+    }
+
+    #[test]
+    fn capacity_is_finite() {
+        let mut p = Placer::new(grid(), 1);
+        for _ in 0..16 {
+            p.place_near(&[], 0).unwrap();
+        }
+        assert!(p.place_near(&[], 0).is_err());
+        assert_eq!(p.free(), 0);
+    }
+
+    #[test]
+    fn no_producers_fills_home_row_first() {
+        let mut p = Placer::new(grid(), 2);
+        let s = p.place_near(&[], 3).unwrap();
+        assert_eq!(s.node.row, 3);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: run one kernel on two machine configurations and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dlp_core::{recommend, run_kernel, ExperimentParams, MachineConfig};
+use dlp_kernels::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ExperimentParams::default();
+    let kernels = suite();
+    let kernel = kernels
+        .iter()
+        .find(|k| k.name() == "convert")
+        .expect("convert is in the suite");
+
+    println!("kernel: {} — {}", kernel.name(), kernel.description());
+    let attrs = kernel.ir().attributes();
+    println!(
+        "attributes: {} insts, ILP {:.1}, record {}/{}, {} constants",
+        attrs.insts, attrs.ilp, attrs.record_read, attrs.record_write, attrs.constants
+    );
+    let rec = recommend(&attrs);
+    println!("recommended configuration: {}\n", rec.config);
+
+    let records = 2048;
+    let base = run_kernel(kernel.as_ref(), MachineConfig::Baseline, records, &params)?;
+    println!(
+        "baseline : {:>9} cycles  {:>6} ops/cycle  verified={}",
+        base.stats.cycles(),
+        base.stats.ops_per_cycle(),
+        base.verified()
+    );
+    let tuned = run_kernel(kernel.as_ref(), rec.config, records, &params)?;
+    println!(
+        "{:<9}: {:>9} cycles  {:>6} ops/cycle  verified={}",
+        rec.config.to_string(),
+        tuned.stats.cycles(),
+        tuned.stats.ops_per_cycle(),
+        tuned.verified()
+    );
+    println!(
+        "\nspeedup from configuring the mechanisms: {:.2}x",
+        tuned.stats.speedup_over(&base.stats)
+    );
+    Ok(())
+}
