@@ -3,51 +3,92 @@
 //! cost, verified. (The Criterion benches measure harness wall-time; this
 //! binary reports the architecture-level quantity.)
 //!
+//! All three sweeps are batched into one parallel [`Sweep`]; cells carry
+//! their own timing parameters, so the schedule cache still collapses
+//! cells whose knob does not affect lowering.
+//!
 //! Pass `--quick` for smoke-scale workloads.
 
 use dlp_bench::{quick_flag, records_for};
-use dlp_core::{run_kernel, ExperimentParams, MachineConfig};
-use dlp_kernels::suite;
+use dlp_core::{CellSpec, ExperimentParams, MachineConfig, Sweep};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = quick_flag();
-    let kernels = suite();
-    let get = |name: &str| kernels.iter().find(|k| k.name() == name).expect("kernel");
+    let mut sweep = Sweep::new();
 
     // A1: revitalize-broadcast delay on the S machine (convert).
-    println!("A1: revitalize delay sweep — convert on S (simulated cycles)");
-    let kernel = get("convert");
-    let records = records_for("convert", quick);
+    let convert = sweep.add_kernel_by_name("convert").expect("kernel");
     for delay_cycles in [1u64, 5, 20, 80] {
         let mut params = ExperimentParams::default();
         params.timing.fetch.revitalize_delay = delay_cycles * 2;
-        let out = run_kernel(kernel.as_ref(), MachineConfig::S, records, &params)?;
-        assert!(out.verified());
-        println!("  delay {delay_cycles:>3} cycles: {:>8} cycles", out.stats.cycles());
+        sweep.push_cell(CellSpec {
+            kernel: convert,
+            config: Some(MachineConfig::S),
+            mech: MachineConfig::S.mechanisms(),
+            records: records_for("convert", quick),
+            params,
+            label: format!("A1 delay={delay_cycles}"),
+        });
     }
 
     // A2: L0 access latency on the S-O-D machine (blowfish).
-    println!("\nA2: L0 latency sweep — blowfish on S-O-D (simulated cycles)");
-    let kernel = get("blowfish");
-    let records = records_for("blowfish", quick);
+    let blowfish = sweep.add_kernel_by_name("blowfish").expect("kernel");
     for lat in [1u64, 3, 8] {
         let mut params = ExperimentParams::default();
         params.timing.mem.l0_latency = lat * 2;
-        let out = run_kernel(kernel.as_ref(), MachineConfig::SOD, records, &params)?;
-        assert!(out.verified());
-        println!("  latency {lat:>2} cycles: {:>8} cycles", out.stats.cycles());
+        sweep.push_cell(CellSpec {
+            kernel: blowfish,
+            config: Some(MachineConfig::SOD),
+            mech: MachineConfig::SOD.mechanisms(),
+            records: records_for("blowfish", quick),
+            params,
+            label: format!("A2 latency={lat}"),
+        });
     }
 
     // A3: LMW width on the S-O machine (highpassfilter).
-    println!("\nA3: LMW width sweep — highpassfilter on S-O (simulated cycles)");
-    let kernel = get("highpassfilter");
-    let records = records_for("highpassfilter", quick);
+    let highpass = sweep.add_kernel_by_name("highpassfilter").expect("kernel");
     for width in [1u32, 2, 4, 8] {
         let mut params = ExperimentParams::default();
         params.timing.mem.lmw_max_words = width;
-        let out = run_kernel(kernel.as_ref(), MachineConfig::SO, records, &params)?;
-        assert!(out.verified());
-        println!("  width {width} words: {:>8} cycles", out.stats.cycles());
+        sweep.push_cell(CellSpec {
+            kernel: highpass,
+            config: Some(MachineConfig::SO),
+            mech: MachineConfig::SO.mechanisms(),
+            records: records_for("highpassfilter", quick),
+            params,
+            label: format!("A3 width={width}"),
+        });
     }
+
+    let report = sweep.run();
+    report.ensure_verified()?;
+
+    println!("A1: revitalize delay sweep — convert on S (simulated cycles)");
+    for cell in report.cells.iter().filter(|c| c.label.starts_with("A1")) {
+        let knob = cell.label.trim_start_matches("A1 delay=");
+        let stats = cell.outcome.stats().expect("verified");
+        println!("  delay {knob:>3} cycles: {:>8} cycles", stats.cycles());
+    }
+    println!("\nA2: L0 latency sweep — blowfish on S-O-D (simulated cycles)");
+    for cell in report.cells.iter().filter(|c| c.label.starts_with("A2")) {
+        let knob = cell.label.trim_start_matches("A2 latency=");
+        let stats = cell.outcome.stats().expect("verified");
+        println!("  latency {knob:>2} cycles: {:>8} cycles", stats.cycles());
+    }
+    println!("\nA3: LMW width sweep — highpassfilter on S-O (simulated cycles)");
+    for cell in report.cells.iter().filter(|c| c.label.starts_with("A3")) {
+        let knob = cell.label.trim_start_matches("A3 width=");
+        let stats = cell.outcome.stats().expect("verified");
+        println!("  width {knob} words: {:>8} cycles", stats.cycles());
+    }
+    println!(
+        "\n({} cells on {} workers, {} schedules prepared, {} reused, {:.0} ms)",
+        report.cells.len(),
+        report.threads,
+        report.plans_prepared,
+        report.plan_reuses,
+        report.wall_ms
+    );
     Ok(())
 }

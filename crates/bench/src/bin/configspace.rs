@@ -5,31 +5,53 @@
 //! *every* coherent mechanism combination, confirming that the named
 //! Table 5 configurations dominate the space for their kernels.
 //!
+//! The whole kernel × mechanism-set grid runs as one parallel [`Sweep`]
+//! batch; unsupported combinations surface as per-cell failures rather
+//! than aborting the sweep.
+//!
 //! Pass `--quick` for smoke-scale workloads.
 
 use dlp_bench::{quick_flag, records_for};
-use dlp_core::{run_kernel_mech, ExperimentParams};
-use dlp_kernels::suite;
+use dlp_core::{CellOutcome, CellSpec, ExperimentParams, Sweep};
 use trips_sim::MechanismSet;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = quick_flag();
     let params = ExperimentParams::default();
-    let kernels = suite();
     let space = MechanismSet::all_coherent();
+    let names = ["fft", "convert", "blowfish", "vertex-skinning"];
 
-    for name in ["fft", "convert", "blowfish", "vertex-skinning"] {
-        let kernel = kernels.iter().find(|k| k.name() == name).expect("kernel");
-        let records = records_for(name, quick);
+    let mut sweep = Sweep::new();
+    for name in names {
+        let id = sweep.add_kernel_by_name(name).expect("kernel");
+        for mech in &space {
+            sweep.push_cell(CellSpec {
+                kernel: id,
+                config: None,
+                mech: *mech,
+                records: records_for(name, quick),
+                params,
+                label: name.to_string(),
+            });
+        }
+    }
+    let report = sweep.run();
+
+    for name in names {
+        let cells: Vec<_> = report.cells.iter().filter(|c| c.kernel == name).collect();
+        let records = cells.first().map_or(0, |c| c.records);
         println!("{name} ({records} records): cycles per configuration");
         let mut rows = Vec::new();
-        for mech in &space {
-            match run_kernel_mech(kernel.as_ref(), *mech, records, &params) {
-                Ok((stats, None)) => rows.push((mech.to_string(), stats.cycles())),
-                Ok((_, Some(at))) => {
-                    println!("  {mech:<40} WRONG OUTPUT at word {at}");
+        for cell in cells {
+            match &cell.outcome {
+                CellOutcome::Ran { stats, mismatch: None } =>
+                    rows.push((cell.config.clone(), stats.cycles())),
+                CellOutcome::Ran { mismatch: Some(at), .. } => {
+                    println!("  {:<40} WRONG OUTPUT at word {at}", cell.config);
                 }
-                Err(e) => println!("  {mech:<40} unsupported: {e}"),
+                CellOutcome::Failed { error } => {
+                    println!("  {:<40} unsupported: {error}", cell.config);
+                }
             }
         }
         rows.sort_by_key(|(_, c)| *c);
@@ -42,6 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "the named Table 5 configurations (smc+inst-revit[+op-revit][+l0-data],\n\
          smc+local-pc[+l0-data]) should appear at or near the top of each list."
+    );
+    println!(
+        "({} cells on {} workers, {} schedules prepared, {:.0} ms)",
+        report.cells.len(),
+        report.threads,
+        report.plans_prepared,
+        report.wall_ms
     );
     Ok(())
 }

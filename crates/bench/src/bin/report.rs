@@ -70,301 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // JSON artifact.
+    // JSON artifact, via the workspace's shared serde→JSON emitter
+    // (`dlp_common::json`; the sanctioned dependency list has no
+    // serde_json).
     let report = Report { figure5, table6: t6 };
-    let json = serde_json_lite(&report);
-    std::fs::write(&out_path, json)?;
+    std::fs::write(&out_path, dlp_common::json::to_string(&report))?;
     eprintln!("\nwrote {out_path}");
     Ok(())
-}
-
-/// Minimal JSON serialization via serde's data model — the workspace's
-/// sanctioned dependency list has no serde_json, so we emit JSON with a
-/// tiny hand-rolled serializer sufficient for this report's shape.
-fn serde_json_lite<T: Serialize>(value: &T) -> String {
-    let mut out = String::new();
-    let mut ser = JsonSer { out: &mut out };
-    value.serialize(&mut ser).expect("report serializes");
-    out
-}
-
-struct JsonSer<'a> {
-    out: &'a mut String,
-}
-
-mod json_impl {
-    use super::JsonSer;
-    use serde::ser::{self, Serialize};
-    use std::fmt::Write as _;
-
-    #[derive(Debug)]
-    pub struct Err_(pub String);
-    impl std::fmt::Display for Err_ {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            write!(f, "{}", self.0)
-        }
-    }
-    impl std::error::Error for Err_ {}
-    impl ser::Error for Err_ {
-        fn custom<T: std::fmt::Display>(msg: T) -> Self {
-            Err_(msg.to_string())
-        }
-    }
-
-    fn escape(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
-    }
-
-    impl<'a, 'b> ser::Serializer for &'b mut JsonSer<'a> {
-        type Ok = ();
-        type Error = Err_;
-        type SerializeSeq = Self;
-        type SerializeTuple = Self;
-        type SerializeTupleStruct = Self;
-        type SerializeTupleVariant = Self;
-        type SerializeMap = Self;
-        type SerializeStruct = Self;
-        type SerializeStructVariant = Self;
-
-        fn serialize_bool(self, v: bool) -> Result<(), Err_> {
-            let _ = write!(self.out, "{v}");
-            Ok(())
-        }
-        fn serialize_i8(self, v: i8) -> Result<(), Err_> {
-            self.serialize_i64(v.into())
-        }
-        fn serialize_i16(self, v: i16) -> Result<(), Err_> {
-            self.serialize_i64(v.into())
-        }
-        fn serialize_i32(self, v: i32) -> Result<(), Err_> {
-            self.serialize_i64(v.into())
-        }
-        fn serialize_i64(self, v: i64) -> Result<(), Err_> {
-            let _ = write!(self.out, "{v}");
-            Ok(())
-        }
-        fn serialize_u8(self, v: u8) -> Result<(), Err_> {
-            self.serialize_u64(v.into())
-        }
-        fn serialize_u16(self, v: u16) -> Result<(), Err_> {
-            self.serialize_u64(v.into())
-        }
-        fn serialize_u32(self, v: u32) -> Result<(), Err_> {
-            self.serialize_u64(v.into())
-        }
-        fn serialize_u64(self, v: u64) -> Result<(), Err_> {
-            let _ = write!(self.out, "{v}");
-            Ok(())
-        }
-        fn serialize_f32(self, v: f32) -> Result<(), Err_> {
-            self.serialize_f64(v.into())
-        }
-        fn serialize_f64(self, v: f64) -> Result<(), Err_> {
-            if v.is_finite() {
-                let _ = write!(self.out, "{v}");
-            } else {
-                self.out.push_str("null");
-            }
-            Ok(())
-        }
-        fn serialize_char(self, v: char) -> Result<(), Err_> {
-            self.serialize_str(&v.to_string())
-        }
-        fn serialize_str(self, v: &str) -> Result<(), Err_> {
-            let _ = write!(self.out, "\"{}\"", escape(v));
-            Ok(())
-        }
-        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Err_> {
-            Err(ser::Error::custom("bytes unsupported"))
-        }
-        fn serialize_none(self) -> Result<(), Err_> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Err_> {
-            value.serialize(self)
-        }
-        fn serialize_unit(self) -> Result<(), Err_> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Err_> {
-            self.serialize_unit()
-        }
-        fn serialize_unit_variant(
-            self,
-            _name: &'static str,
-            _idx: u32,
-            variant: &'static str,
-        ) -> Result<(), Err_> {
-            self.serialize_str(variant)
-        }
-        fn serialize_newtype_struct<T: ?Sized + Serialize>(
-            self,
-            _name: &'static str,
-            value: &T,
-        ) -> Result<(), Err_> {
-            value.serialize(self)
-        }
-        fn serialize_newtype_variant<T: ?Sized + Serialize>(
-            self,
-            _name: &'static str,
-            _idx: u32,
-            variant: &'static str,
-            value: &T,
-        ) -> Result<(), Err_> {
-            let _ = write!(self.out, "{{\"{}\":", escape(variant));
-            value.serialize(&mut *self)?;
-            self.out.push('}');
-            Ok(())
-        }
-        fn serialize_seq(self, _len: Option<usize>) -> Result<Self, Err_> {
-            self.out.push('[');
-            Ok(self)
-        }
-        fn serialize_tuple(self, len: usize) -> Result<Self, Err_> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_struct(self, _n: &'static str, len: usize) -> Result<Self, Err_> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_variant(
-            self,
-            _n: &'static str,
-            _i: u32,
-            _v: &'static str,
-            len: usize,
-        ) -> Result<Self, Err_> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_map(self, _len: Option<usize>) -> Result<Self, Err_> {
-            self.out.push('{');
-            Ok(self)
-        }
-        fn serialize_struct(self, _n: &'static str, _len: usize) -> Result<Self, Err_> {
-            self.out.push('{');
-            Ok(self)
-        }
-        fn serialize_struct_variant(
-            self,
-            _n: &'static str,
-            _i: u32,
-            _v: &'static str,
-            _len: usize,
-        ) -> Result<Self, Err_> {
-            self.out.push('{');
-            Ok(self)
-        }
-    }
-
-    /// Shared element-separation helper: emit a comma unless the container
-    /// was just opened.
-    fn sep(out: &mut String) {
-        if !out.ends_with('[') && !out.ends_with('{') && !out.ends_with(':') {
-            out.push(',');
-        }
-    }
-
-    impl<'a, 'b> ser::SerializeSeq for &'b mut JsonSer<'a> {
-        type Ok = ();
-        type Error = Err_;
-        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Err_> {
-            sep(self.out);
-            value.serialize(&mut **self)
-        }
-        fn end(self) -> Result<(), Err_> {
-            self.out.push(']');
-            Ok(())
-        }
-    }
-    impl<'a, 'b> ser::SerializeTuple for &'b mut JsonSer<'a> {
-        type Ok = ();
-        type Error = Err_;
-        fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Err_> {
-            ser::SerializeSeq::serialize_element(self, value)
-        }
-        fn end(self) -> Result<(), Err_> {
-            ser::SerializeSeq::end(self)
-        }
-    }
-    impl<'a, 'b> ser::SerializeTupleStruct for &'b mut JsonSer<'a> {
-        type Ok = ();
-        type Error = Err_;
-        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Err_> {
-            ser::SerializeSeq::serialize_element(self, value)
-        }
-        fn end(self) -> Result<(), Err_> {
-            ser::SerializeSeq::end(self)
-        }
-    }
-    impl<'a, 'b> ser::SerializeTupleVariant for &'b mut JsonSer<'a> {
-        type Ok = ();
-        type Error = Err_;
-        fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Err_> {
-            ser::SerializeSeq::serialize_element(self, value)
-        }
-        fn end(self) -> Result<(), Err_> {
-            ser::SerializeSeq::end(self)
-        }
-    }
-    impl<'a, 'b> ser::SerializeMap for &'b mut JsonSer<'a> {
-        type Ok = ();
-        type Error = Err_;
-        fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Err_> {
-            sep(self.out);
-            // JSON keys must be strings; serialize into a buffer and quote
-            // if the serializer produced a bare scalar.
-            let mut buf = String::new();
-            let mut ser = JsonSer { out: &mut buf };
-            key.serialize(&mut ser)?;
-            if buf.starts_with('"') {
-                self.out.push_str(&buf);
-            } else {
-                let _ = std::fmt::Write::write_fmt(
-                    self.out,
-                    format_args!("\"{}\"", buf.replace('"', "\\\"")),
-                );
-            }
-            Ok(())
-        }
-        fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Err_> {
-            self.out.push(':');
-            value.serialize(&mut **self)
-        }
-        fn end(self) -> Result<(), Err_> {
-            self.out.push('}');
-            Ok(())
-        }
-    }
-    impl<'a, 'b> ser::SerializeStruct for &'b mut JsonSer<'a> {
-        type Ok = ();
-        type Error = Err_;
-        fn serialize_field<T: ?Sized + Serialize>(
-            &mut self,
-            key: &'static str,
-            value: &T,
-        ) -> Result<(), Err_> {
-            sep(self.out);
-            let _ = std::fmt::Write::write_fmt(self.out, format_args!("\"{key}\":"));
-            value.serialize(&mut **self)
-        }
-        fn end(self) -> Result<(), Err_> {
-            self.out.push('}');
-            Ok(())
-        }
-    }
-    impl<'a, 'b> ser::SerializeStructVariant for &'b mut JsonSer<'a> {
-        type Ok = ();
-        type Error = Err_;
-        fn serialize_field<T: ?Sized + Serialize>(
-            &mut self,
-            key: &'static str,
-            value: &T,
-        ) -> Result<(), Err_> {
-            ser::SerializeStruct::serialize_field(self, key, value)
-        }
-        fn end(self) -> Result<(), Err_> {
-            ser::SerializeStruct::end(self)
-        }
-    }
 }

@@ -5,39 +5,70 @@
 //! reports sustained throughput; streaming kernels should scale close to
 //! linearly with ALU count on their preferred configuration.
 //!
+//! Every kernel × array-size cell runs in one parallel [`Sweep`] batch
+//! (cells carry their own grid shape).
+//!
 //! Pass `--quick` for smoke-scale workloads.
 
 use dlp_bench::{quick_flag, records_for};
 use dlp_common::GridShape;
-use dlp_core::{recommend, run_kernel, ExperimentParams};
-use dlp_kernels::suite;
+use dlp_core::{recommend, CellSpec, ExperimentParams, Sweep};
+
+const DIMS: [u8; 4] = [4, 8, 12, 16];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = quick_flag();
-    let kernels = suite();
+    let names = ["convert", "fft", "blowfish", "vertex-simple"];
+
+    let mut sweep = Sweep::new();
+    let mut configs = Vec::new();
+    for name in names {
+        let id = sweep.add_kernel_by_name(name).expect("kernel");
+        let config = recommend(&sweep.kernel(id).ir().attributes()).config;
+        configs.push(config);
+        for dim in DIMS {
+            let params = ExperimentParams {
+                grid: GridShape::new(dim, dim),
+                ..ExperimentParams::default()
+            };
+            sweep.push_cell(CellSpec {
+                kernel: id,
+                config: Some(config),
+                mech: config.mechanisms(),
+                records: records_for(name, quick),
+                params,
+                label: format!("{dim}x{dim}"),
+            });
+        }
+    }
+    let report = sweep.run();
+    report.ensure_verified()?;
+
     println!(
         "array-size scaling (useful ops/cycle on each kernel's recommended config){}\n",
         if quick { " [--quick]" } else { "" }
     );
     println!("{:<18} {:>8} {:>8} {:>8} {:>8}", "kernel", "4x4", "8x8", "12x12", "16x16");
-    for name in ["convert", "fft", "blowfish", "vertex-simple"] {
-        let kernel = kernels.iter().find(|k| k.name() == name).expect("kernel");
-        let config = recommend(&kernel.ir().attributes()).config;
-        let records = records_for(name, quick);
-        let mut cells = Vec::new();
-        for dim in [4u8, 8, 12, 16] {
-            let mut params = ExperimentParams::default();
-            params.grid = GridShape::new(dim, dim);
-            let out = run_kernel(kernel.as_ref(), config, records, &params)?;
-            assert!(out.verified(), "{name} on {dim}x{dim}");
-            cells.push(out.stats.ops_per_cycle().0);
-        }
+    for (i, name) in names.iter().enumerate() {
+        let cells: Vec<f64> = report
+            .cells
+            .iter()
+            .filter(|c| c.kernel == *name)
+            .map(|c| c.outcome.stats().expect("verified").ops_per_cycle().0)
+            .collect();
         println!(
-            "{:<18} {:>8.1} {:>8.1} {:>8.1} {:>8.1}   ({config})",
-            name, cells[0], cells[1], cells[2], cells[3]
+            "{:<18} {:>8.1} {:>8.1} {:>8.1} {:>8.1}   ({})",
+            name, cells[0], cells[1], cells[2], cells[3], configs[i]
         );
     }
     println!("\nthroughput should grow with the array; perfectly linear scaling would");
     println!("quadruple from 4x4 to 8x8 and again to 16x16 (memory ports scale with rows).");
+    println!(
+        "({} cells on {} workers, {} schedules prepared, {:.0} ms)",
+        report.cells.len(),
+        report.threads,
+        report.plans_prepared,
+        report.wall_ms
+    );
     Ok(())
 }

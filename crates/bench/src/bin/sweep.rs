@@ -1,0 +1,54 @@
+//! The full experiment sweep: every performance-suite kernel × every
+//! Table 5 machine configuration (baseline, S, S-O, S-O-D, M, M-D), run
+//! by the work-stealing [`Sweep`] engine and written to
+//! `BENCH_sweep.json` — the machine-readable artifact the figure and
+//! table binaries' numbers are slices of (Figure 5 = the speedup
+//! columns, Table 4 = the baseline ops/cycle column).
+//!
+//! Flags:
+//!
+//! * `--quick` — smoke-scale workloads (24 records per kernel).
+//! * `--threads N` — worker-thread count (default: one per CPU, max 8).
+//!   `--threads 1` is the serial reference; any N produces bit-identical
+//!   statistics.
+//! * `--out PATH` — JSON destination (default `BENCH_sweep.json`).
+
+use dlp_bench::{quick_flag, records_for};
+use dlp_core::{ExperimentParams, MachineConfig, Sweep};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = quick_flag();
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
+    let out_path = flag("--out").cloned().unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let threads: Option<usize> = flag("--threads").map(|s| s.parse()).transpose()?;
+
+    let params = ExperimentParams::default();
+    let mut sweep = threads.map_or_else(Sweep::new, Sweep::with_threads);
+    for id in sweep.add_perf_suite() {
+        let records = records_for(sweep.kernel(id).name(), quick);
+        sweep.push_config(id, MachineConfig::Baseline, records, &params);
+        for config in MachineConfig::DLP {
+            sweep.push_config(id, config, records, &params);
+        }
+    }
+
+    let total = sweep.len();
+    eprintln!("sweeping {total} cells on {} worker threads...", sweep.threads());
+    let report = sweep.run();
+    report.ensure_verified()?;
+
+    println!("harmonic-mean speedup over baseline (all {total} cells verified):");
+    for (config, hm) in report.harmonic_mean_speedups("baseline") {
+        println!("  {config:<8} {hm:.2}x");
+    }
+    println!(
+        "schedule cache: {} lowerings prepared, {} cells served from cache",
+        report.plans_prepared, report.plan_reuses
+    );
+    println!("wall clock: {:.0} ms on {} threads", report.wall_ms, report.threads);
+
+    std::fs::write(&out_path, dlp_common::json::to_string(&report))?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}

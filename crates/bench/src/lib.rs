@@ -13,6 +13,7 @@
 //! | `table6` | Table 6 — comparison to specialized hardware |
 //! | `figure5` | Figure 5 — per-config speedups + flexible summary |
 //! | `section3` | §3 — classic-architecture survey |
+//! | `sweep` | the full kernel × configuration grid in one parallel batch → `BENCH_sweep.json` |
 //!
 //! The Criterion benches (`cargo bench`) measure simulator throughput per
 //! kernel/configuration and sweep the mechanism ablations (revitalize
@@ -21,9 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dlp_core::{run_kernel, ExperimentParams, MachineConfig, RunOutcome};
-use dlp_kernels::{suite, DlpKernel};
-use parking_lot::Mutex;
+use dlp_core::{ExperimentParams, MachineConfig, RunOutcome, Sweep};
 
 /// Whether `--quick` was passed (smoke-scale workloads).
 #[must_use]
@@ -41,9 +40,8 @@ pub fn records_for(kernel: &str, quick: bool) -> usize {
     }
 }
 
-/// Run every performance-suite kernel on `config` in parallel (one worker
-/// per kernel via crossbeam scoped threads), verified, results in suite
-/// order.
+/// Run every performance-suite kernel on `config` through the parallel
+/// [`Sweep`] engine, verified, results in suite order.
 ///
 /// # Panics
 ///
@@ -52,31 +50,29 @@ pub fn records_for(kernel: &str, quick: bool) -> usize {
 #[must_use]
 pub fn run_suite_on(config: MachineConfig, quick: bool) -> Vec<RunOutcome> {
     let params = ExperimentParams::default();
-    let kernels: Vec<Box<dyn DlpKernel>> =
-        suite().into_iter().filter(|k| k.in_perf_suite()).collect();
-    let results: Mutex<Vec<(usize, RunOutcome)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
-        for (i, kernel) in kernels.iter().enumerate() {
-            let results = &results;
-            let params = &params;
-            scope.spawn(move |_| {
-                let records = records_for(kernel.name(), quick);
-                let out = run_kernel(kernel.as_ref(), config, records, params)
-                    .unwrap_or_else(|e| panic!("{} on {config}: {e}", kernel.name()));
-                assert!(
-                    out.verified(),
-                    "{} on {config}: mismatch at {:?}",
-                    kernel.name(),
-                    out.mismatch
-                );
-                results.lock().push((i, out));
-            });
-        }
-    })
-    .expect("worker threads join");
-    let mut rows = results.into_inner();
-    rows.sort_by_key(|(i, _)| *i);
-    rows.into_iter().map(|(_, o)| o).collect()
+    let mut sweep = Sweep::new();
+    for id in sweep.add_perf_suite() {
+        let records = records_for(sweep.kernel(id).name(), quick);
+        sweep.push_config(id, config, records, &params);
+    }
+    let report = sweep.run();
+    report
+        .ensure_verified()
+        .unwrap_or_else(|e| panic!("suite on {config}: {e}"));
+    report
+        .cells
+        .iter()
+        .map(|cell| match &cell.outcome {
+            dlp_core::CellOutcome::Ran { stats, mismatch } => RunOutcome {
+                kernel: cell.kernel.clone(),
+                config,
+                records: cell.records,
+                stats: *stats,
+                mismatch: *mismatch,
+            },
+            dlp_core::CellOutcome::Failed { .. } => unreachable!("ensure_verified passed"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -94,7 +90,7 @@ mod tests {
         let outs = run_suite_on(MachineConfig::S, true);
         assert_eq!(outs.len(), 13);
         let names: Vec<&str> = outs.iter().map(|o| o.kernel.as_str()).collect();
-        let expected: Vec<String> = suite()
+        let expected: Vec<String> = dlp_kernels::suite()
             .into_iter()
             .filter(|k| k.in_perf_suite())
             .map(|k| k.name().to_string())

@@ -1,0 +1,380 @@
+//! Minimal JSON emission through serde's data model.
+//!
+//! The workspace's sanctioned dependency set has no `serde_json`, so the
+//! experiment harness emits its JSON artifacts (`report.json`,
+//! `BENCH_sweep.json`) through this hand-rolled [`serde::Serializer`].
+//! It covers the subset of the data model the report types exercise —
+//! scalars, strings, options, sequences, tuples, maps, structs, and all
+//! enum-variant flavors — and makes two pragmatic choices:
+//!
+//! * non-finite floats serialize as `null` (JSON has no NaN/Inf);
+//! * map keys that are not strings are serialized and then quoted, so
+//!   `BTreeMap<MachineConfig, f64>` emits `{"S": 1.5, ...}`;
+//! * struct enum variants emit their fields as a bare object with no
+//!   variant-name wrapper (unit variants render as strings, newtype
+//!   variants as `{"Name": value}`) — consumers distinguish variants by
+//!   their field names, e.g. a sweep cell's `"outcome"` is either
+//!   `{"stats": ..., "mismatch": ...}` or `{"error": "..."}`.
+//!
+//! Output is compact (no whitespace). There is deliberately no parser:
+//! nothing in the workspace reads JSON back.
+
+use serde::ser::{self, Serialize};
+use std::fmt::Write as _;
+
+/// Serialize `value` to a compact JSON string.
+///
+/// # Panics
+///
+/// Panics if `value`'s `Serialize` impl feeds bytes into the serializer
+/// (the one unsupported corner of the data model).
+///
+/// # Examples
+///
+/// ```
+/// use serde::Serialize;
+///
+/// #[derive(Serialize)]
+/// struct Cell {
+///     kernel: &'static str,
+///     cycles: u64,
+///     speedup: Option<f64>,
+/// }
+///
+/// let json = dlp_common::json::to_string(&Cell {
+///     kernel: "fft",
+///     cycles: 1024,
+///     speedup: None,
+/// });
+/// assert_eq!(json, r#"{"kernel":"fft","cycles":1024,"speedup":null}"#);
+/// ```
+#[must_use]
+pub fn to_string<T: Serialize>(value: &T) -> String {
+    let mut out = String::new();
+    let mut ser = JsonSer { out: &mut out };
+    value.serialize(&mut ser).expect("value serializes to JSON");
+    out
+}
+
+/// The serializer; writes compact JSON into a borrowed buffer.
+struct JsonSer<'a> {
+    out: &'a mut String,
+}
+
+/// Serialization failure (only produced for unsupported `bytes`).
+#[derive(Debug)]
+pub struct JsonError(String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for JsonError {}
+impl ser::Error for JsonError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), JsonError> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), JsonError> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), JsonError> {
+        self.serialize_i64(v.into())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), JsonError> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), JsonError> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), JsonError> {
+        self.serialize_u64(v.into())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        self.serialize_f64(v.into())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        self.serialize_str(&v.to_string())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        let _ = write!(self.out, "\"{}\"", escape(v));
+        Ok(())
+    }
+    fn serialize_bytes(self, _v: &[u8]) -> Result<(), JsonError> {
+        Err(ser::Error::custom("bytes unsupported"))
+    }
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        self.serialize_str(variant)
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _idx: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        let _ = write!(self.out, "{{\"{}\":", escape(variant));
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self, JsonError> {
+        self.out.push('[');
+        Ok(self)
+    }
+    fn serialize_tuple(self, len: usize) -> Result<Self, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(self, _n: &'static str, len: usize) -> Result<Self, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _n: &'static str,
+        _i: u32,
+        _v: &'static str,
+        len: usize,
+    ) -> Result<Self, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self, JsonError> {
+        self.out.push('{');
+        Ok(self)
+    }
+    fn serialize_struct(self, _n: &'static str, _len: usize) -> Result<Self, JsonError> {
+        self.out.push('{');
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _n: &'static str,
+        _i: u32,
+        _v: &'static str,
+        _len: usize,
+    ) -> Result<Self, JsonError> {
+        self.out.push('{');
+        Ok(self)
+    }
+}
+
+/// Shared element-separation helper: emit a comma unless the container
+/// was just opened.
+fn sep(out: &mut String) {
+    if !out.ends_with('[') && !out.ends_with('{') && !out.ends_with(':') {
+        out.push(',');
+    }
+}
+
+impl<'a, 'b> ser::SerializeSeq for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        sep(self.out);
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push(']');
+        Ok(())
+    }
+}
+impl<'a, 'b> ser::SerializeTuple for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+impl<'a, 'b> ser::SerializeTupleStruct for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+impl<'a, 'b> ser::SerializeTupleVariant for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+impl<'a, 'b> ser::SerializeMap for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), JsonError> {
+        sep(self.out);
+        // JSON keys must be strings; serialize into a buffer and quote
+        // if the serializer produced a bare scalar.
+        let mut buf = String::new();
+        let mut ser = JsonSer { out: &mut buf };
+        key.serialize(&mut ser)?;
+        if buf.starts_with('"') {
+            self.out.push_str(&buf);
+        } else {
+            let _ = write!(self.out, "\"{}\"", buf.replace('"', "\\\""));
+        }
+        Ok(())
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.out.push(':');
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push('}');
+        Ok(())
+    }
+}
+impl<'a, 'b> ser::SerializeStruct for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        sep(self.out);
+        let _ = write!(self.out, "\"{key}\":");
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        self.out.push('}');
+        Ok(())
+    }
+}
+impl<'a, 'b> ser::SerializeStructVariant for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeStruct::end(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::to_string;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    enum Tag {
+        Plain,
+        Wrapped(u8),
+        Fields { x: i32 },
+    }
+
+    #[test]
+    fn scalars_and_structs() {
+        #[derive(Serialize)]
+        struct S {
+            a: u64,
+            b: f64,
+            c: Option<String>,
+            d: Vec<bool>,
+        }
+        let got = to_string(&S {
+            a: 7,
+            b: f64::NAN,
+            c: Some("hi\"x".into()),
+            d: vec![true, false],
+        });
+        assert_eq!(got, r#"{"a":7,"b":null,"c":"hi\"x","d":[true,false]}"#);
+    }
+
+    #[test]
+    fn enum_variants() {
+        assert_eq!(to_string(&Tag::Plain), r#""Plain""#);
+        assert_eq!(to_string(&Tag::Wrapped(3)), r#"{"Wrapped":3}"#);
+        // Struct variants are unwrapped by workspace convention (see the
+        // module docs): fields only, no variant-name layer.
+        assert_eq!(to_string(&Tag::Fields { x: -1 }), r#"{"x":-1}"#);
+    }
+
+    #[test]
+    fn non_string_map_keys_are_quoted() {
+        let mut m = BTreeMap::new();
+        m.insert(2u32, "two");
+        assert_eq!(to_string(&m), r#"{"2":"two"}"#);
+    }
+}

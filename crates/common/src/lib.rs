@@ -14,6 +14,9 @@
 //! * [`SimStats`] — counters accumulated by the timing simulator, and the
 //!   derived metrics the paper reports (ops/cycle, speedup, harmonic mean).
 //! * [`SplitMix64`] — a tiny deterministic RNG for reproducible workloads.
+//! * [`json`] — compact JSON emission through serde's data model (the
+//!   workspace has no `serde_json`; the experiment harness writes its
+//!   artifacts with [`json::to_string`]).
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 
 mod error;
 mod geom;
+pub mod json;
 mod params;
 mod rng;
 mod stats;

@@ -7,7 +7,8 @@ use dlp_common::{harmonic_mean, DlpError};
 use dlp_kernels::suite;
 use serde::{Deserialize, Serialize};
 
-use crate::{default_records, recommend, run_kernel, ExperimentParams, MachineConfig};
+use crate::sweep::Sweep;
+use crate::{default_records, recommend, ExperimentParams, MachineConfig};
 
 /// One benchmark's Figure 5 data: speedup of each configuration over the
 /// baseline (measured in execution cycles, like the paper).
@@ -52,6 +53,11 @@ pub struct Figure5 {
 /// Figure 5. `record_scale` scales the workload sizes (1 = the standard
 /// experiment; smaller values make smoke tests fast).
 ///
+/// The whole kernel × configuration grid is dispatched through the
+/// [`sweep`](crate::sweep) engine, so each kernel is scheduled once per
+/// mechanism set and the cells run on all available workers — and the
+/// numbers are identical to a serial run by construction.
+///
 /// Every run is verified against the reference implementation; a
 /// mismatch is reported as an error, because a simulator that computes
 /// wrong answers has no business reporting speedups.
@@ -60,7 +66,9 @@ pub struct Figure5 {
 ///
 /// Propagates scheduling/simulation failures and verification mismatches.
 pub fn flexible(params: &ExperimentParams, record_scale: usize) -> Result<Figure5, DlpError> {
-    let mut rows = Vec::new();
+    let mut sweep = Sweep::new();
+    // (kernel name, its Table 3 recommendation) in suite order.
+    let mut entries: Vec<(String, MachineConfig)> = Vec::new();
     for kernel in suite() {
         if !kernel.in_perf_suite() {
             continue;
@@ -71,13 +79,25 @@ pub fn flexible(params: &ExperimentParams, record_scale: usize) -> Result<Figure
         } else {
             default_records(kernel.name(), record_scale)
         };
-        let base = run_kernel(kernel.as_ref(), MachineConfig::Baseline, records, params)?;
-        check(&base)?;
+        let recommended = recommend(&kernel.ir().attributes()).config;
+        let name = kernel.name().to_string();
+        let id = sweep.add_kernel(kernel);
+        sweep.push_config(id, MachineConfig::Baseline, records, params);
+        for config in MachineConfig::DLP {
+            sweep.push_config(id, config, records, params);
+        }
+        entries.push((name, recommended));
+    }
+    let report = sweep.run();
+    report.ensure_verified()?;
+
+    let mut rows = Vec::new();
+    for (name, recommended) in entries {
+        let base = report.stats(&name, "baseline").expect("baseline cell ran");
         let mut speedup = BTreeMap::new();
         for config in MachineConfig::DLP {
-            let out = run_kernel(kernel.as_ref(), config, records, params)?;
-            check(&out)?;
-            speedup.insert(config, out.stats.speedup_over(&base.stats));
+            let out = report.stats(&name, &config.to_string()).expect("config cell ran");
+            speedup.insert(config, out.speedup_over(base));
         }
         // Prefer the simplest configuration on (near-)ties: S-O and S-O-D
         // perform identically on kernels without lookup tables, and the
@@ -88,13 +108,12 @@ pub fn flexible(params: &ExperimentParams, record_scale: usize) -> Result<Figure
             .find(|(_, &s)| s >= max * 0.999)
             .expect("five configs")
             .0;
-        let recommended = recommend(&kernel.ir().attributes()).config;
         rows.push(Figure5Row {
-            kernel: kernel.name().to_string(),
+            kernel: name,
             speedup,
             best,
             recommended,
-            baseline_ops_per_cycle: base.stats.ops_per_cycle().0,
+            baseline_ops_per_cycle: base.ops_per_cycle().0,
         });
     }
 
@@ -120,18 +139,6 @@ pub fn flexible(params: &ExperimentParams, record_scale: usize) -> Result<Figure
     }
 
     Ok(Figure5 { rows, summary: FlexibleSummary { flexible_hm, fixed_hm, advantage_over } })
-}
-
-fn check(out: &crate::RunOutcome) -> Result<(), DlpError> {
-    match out.mismatch {
-        None => Ok(()),
-        Some(at) => Err(DlpError::MalformedProgram {
-            detail: format!(
-                "{} on {} computed a wrong output at word {at}",
-                out.kernel, out.config
-            ),
-        }),
-    }
 }
 
 #[cfg(test)]

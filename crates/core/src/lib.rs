@@ -19,6 +19,10 @@
 //! * [`specialized`] — the Table 6 comparison against published
 //!   specialized-hardware numbers (MPC7447, Imagine, Tarantula,
 //!   CryptoManiac, QuadroFX).
+//! * [`sweep`] — the parallel experiment engine: the kernel ×
+//!   configuration grid run by work-stealing workers with schedule
+//!   caching and deterministic seeding, emitting the [`sweep::SweepReport`]
+//!   artifact every figure/table binary aggregates from.
 //!
 //! # Quick start
 //!
@@ -47,9 +51,14 @@ mod flexible;
 mod recommend;
 mod runner;
 pub mod specialized;
+pub mod sweep;
 
 pub use config::MachineConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use flexible::{flexible, Figure5, Figure5Row, FlexibleSummary};
 pub use recommend::{recommend, Recommendation};
-pub use runner::{default_records, run_kernel, run_kernel_mech, ExperimentParams, RunOutcome};
+pub use runner::{
+    default_records, prepare_kernel, run_kernel, run_kernel_mech, run_prepared, ExperimentParams,
+    PreparedProgram, RunOutcome,
+};
+pub use sweep::{CellOutcome, CellSpec, Sweep, SweepCell, SweepReport};

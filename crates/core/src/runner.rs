@@ -1,10 +1,13 @@
 //! The experiment driver: kernel × configuration → verified simulation.
 
-use dlp_common::{DlpError, GridShape, SimStats, TimingParams};
+use dlp_common::{DlpError, GridShape, SimStats, TimingParams, Value};
 use dlp_kernels::{first_mismatch, memmap, DlpKernel, MimdTarget, Workload};
 use serde::{Deserialize, Serialize};
-use trips_sched::{replicate_mimd, schedule_dataflow, LayoutPlan, ScheduleOptions};
-use trips_sim::Machine;
+use trips_isa::MimdProgram;
+use trips_sched::{
+    replicate_mimd, schedule_dataflow, LayoutPlan, ScheduleOptions, ScheduledKernel,
+};
+use trips_sim::{Machine, MechanismSet};
 
 use crate::MachineConfig;
 
@@ -103,6 +106,11 @@ pub fn run_kernel(
 /// configuration-space sweep uses. Returns the statistics and the index of
 /// the first mismatching output word (if any).
 ///
+/// Internally this is [`prepare_kernel`] followed by [`run_prepared`];
+/// callers that execute the same kernel/configuration repeatedly (the
+/// [`crate::sweep`] engine) keep the [`PreparedProgram`] and skip the
+/// scheduling step on later runs.
+///
 /// # Errors
 ///
 /// Propagates scheduling and simulation failures ([`DlpError`]).
@@ -112,32 +120,95 @@ pub fn run_kernel_mech(
     records: usize,
     params: &ExperimentParams,
 ) -> Result<(SimStats, Option<usize>), DlpError> {
-    let layout = LayoutPlan {
-        base_in: memmap::BASE_IN,
-        base_out: memmap::BASE_OUT,
-        table_base: memmap::TABLE_BASE,
-    };
-    let ir = kernel.ir();
-    let in_words = ir.record_in_words() as usize;
-    let out_words = ir.record_out_words() as usize;
-    let mut machine = Machine::new(params.grid, params.timing, mech);
+    let prepared = prepare_kernel(kernel, mech, records, params)?;
+    run_prepared(kernel, &prepared, params)
+}
 
-    let (padded, stats) = if mech.local_pc {
-        let prog = kernel.mimd_program(MimdTarget { tables_in_l0: mech.l0_data_store })?;
-        let workload = kernel.workload(records, params.seed);
-        stage(&mut machine, &workload, in_words)?;
-        let table = kernel.mimd_table_image();
-        if !table.is_empty() {
-            if mech.l0_data_store {
-                machine.load_l0_table(&table)?;
-            } else {
-                machine.memory_mut().write_words(memmap::TABLE_BASE, &table);
-            }
+/// A kernel lowered for one mechanism set, grid, and timing model —
+/// everything [`run_prepared`] needs except the workload itself.
+///
+/// For dataflow configurations this holds the scheduled block (the
+/// expensive part: placement, routing, unrolling); for MIMD
+/// configurations the per-node program replicas and the lookup-table
+/// image. Preparation is deterministic in its inputs, so a prepared
+/// program may be cached and shared across runs — the sweep engine keys
+/// its cache on exactly the inputs of [`prepare_kernel`].
+#[derive(Clone)]
+pub struct PreparedProgram {
+    mech: MechanismSet,
+    /// Requested records (the verified output length).
+    records: usize,
+    /// Records padded to a whole number of unrolled iterations
+    /// (equal to `records` on MIMD configurations).
+    padded_records: usize,
+    variant: PreparedVariant,
+}
+
+#[derive(Clone)]
+enum PreparedVariant {
+    Dataflow(ScheduledKernel),
+    Mimd {
+        progs: Vec<MimdProgram>,
+        table: Vec<Value>,
+    },
+}
+
+impl PreparedProgram {
+    /// The mechanism set this program was lowered for.
+    #[must_use]
+    pub fn mechanisms(&self) -> MechanismSet {
+        self.mech
+    }
+
+    /// Requested (unpadded) record count.
+    #[must_use]
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Dataflow unroll factor (1 for MIMD configurations).
+    #[must_use]
+    pub fn unroll(&self) -> usize {
+        match &self.variant {
+            PreparedVariant::Dataflow(sched) => sched.unroll,
+            PreparedVariant::Mimd { .. } => 1,
         }
+    }
+}
+
+/// Lower `kernel` for `mech`: schedule the dataflow block (or assemble
+/// and replicate the MIMD program) for the machine shape in `params`.
+///
+/// The result depends on `kernel`, `mech`, `records`, `params.grid` and
+/// `params.timing` — notably *not* on `params.seed`, which only affects
+/// the workload generated at run time. That independence is what makes
+/// the sweep engine's schedule cache sound.
+///
+/// # Errors
+///
+/// Propagates scheduling failures ([`DlpError`]).
+pub fn prepare_kernel(
+    kernel: &dyn DlpKernel,
+    mech: MechanismSet,
+    records: usize,
+    params: &ExperimentParams,
+) -> Result<PreparedProgram, DlpError> {
+    if mech.local_pc {
+        let prog = kernel.mimd_program(MimdTarget { tables_in_l0: mech.l0_data_store })?;
         let progs = replicate_mimd(&prog, params.grid.nodes());
-        let stats = machine.run_mimd(&progs, records as u64)?;
-        (workload, stats)
+        let table = kernel.mimd_table_image();
+        Ok(PreparedProgram {
+            mech,
+            records,
+            padded_records: records,
+            variant: PreparedVariant::Mimd { progs, table },
+        })
     } else {
+        let layout = LayoutPlan {
+            base_in: memmap::BASE_IN,
+            base_out: memmap::BASE_OUT,
+            table_base: memmap::TABLE_BASE,
+        };
         let target = trips_sched::TargetConfig {
             smc: mech.smc,
             l0_data_store: mech.l0_data_store,
@@ -145,7 +216,7 @@ pub fn run_kernel_mech(
             dlp_unroll: mech.inst_revitalization,
         };
         let sched = schedule_dataflow(
-            &ir,
+            &kernel.ir(),
             params.grid,
             &params.timing,
             target,
@@ -154,26 +225,70 @@ pub fn run_kernel_mech(
         )?;
         // Pad the record count to a whole number of unrolled iterations.
         let padded_records = records.div_ceil(sched.unroll) * sched.unroll;
-        let workload = kernel.workload(padded_records, params.seed);
-        stage(&mut machine, &workload, in_words)?;
-        if !sched.table_image.is_empty() {
-            if sched.tables_in_l0 {
-                machine.load_l0_table(&sched.table_image)?;
-            } else {
-                machine.memory_mut().write_words(memmap::TABLE_BASE, &sched.table_image);
+        Ok(PreparedProgram {
+            mech,
+            records,
+            padded_records,
+            variant: PreparedVariant::Dataflow(sched),
+        })
+    }
+}
+
+/// Execute a [`PreparedProgram`]: generate the workload from
+/// `params.seed`, stage memory, simulate, and verify every output word
+/// against the kernel's reference implementation.
+///
+/// `kernel` must be the kernel `prepared` was built from (it supplies
+/// the workload and reference outputs); the grid and timing in `params`
+/// must match the ones used at preparation time.
+///
+/// # Errors
+///
+/// Propagates simulation failures ([`DlpError`]).
+pub fn run_prepared(
+    kernel: &dyn DlpKernel,
+    prepared: &PreparedProgram,
+    params: &ExperimentParams,
+) -> Result<(SimStats, Option<usize>), DlpError> {
+    let ir = kernel.ir();
+    let in_words = ir.record_in_words() as usize;
+    let out_words = ir.record_out_words() as usize;
+    let records = prepared.records;
+    let mut machine = Machine::new(params.grid, params.timing, prepared.mech);
+
+    let workload = kernel.workload(prepared.padded_records, params.seed);
+    stage(&mut machine, &workload, in_words)?;
+
+    let stats = match &prepared.variant {
+        PreparedVariant::Mimd { progs, table } => {
+            if !table.is_empty() {
+                if prepared.mech.l0_data_store {
+                    machine.load_l0_table(table)?;
+                } else {
+                    machine.memory_mut().write_words(memmap::TABLE_BASE, table);
+                }
             }
+            machine.run_mimd(progs, records as u64)?
         }
-        for (reg, v) in &sched.const_regs {
-            machine.set_reg(*reg, *v);
+        PreparedVariant::Dataflow(sched) => {
+            if !sched.table_image.is_empty() {
+                if sched.tables_in_l0 {
+                    machine.load_l0_table(&sched.table_image)?;
+                } else {
+                    machine.memory_mut().write_words(memmap::TABLE_BASE, &sched.table_image);
+                }
+            }
+            for (reg, v) in &sched.const_regs {
+                machine.set_reg(*reg, *v);
+            }
+            let iterations = (prepared.padded_records / sched.unroll) as u64;
+            machine.run_dataflow(&sched.block, iterations)?
         }
-        let iterations = (padded_records / sched.unroll) as u64;
-        let stats = machine.run_dataflow(&sched.block, iterations)?;
-        (workload, stats)
     };
 
     // Verify the unpadded prefix of the output stream.
     let got = machine.memory().read_words(memmap::BASE_OUT, records * out_words);
-    let expected = &padded.expected[..records * out_words];
+    let expected = &workload.expected[..records * out_words];
     let mismatch = first_mismatch(kernel.output_kind(), &got, expected);
 
     Ok((stats, mismatch))

@@ -8,10 +8,10 @@
 //! EXPERIMENTS.md for the unit interpretations.
 
 use dlp_common::DlpError;
-use dlp_kernels::suite;
 use serde::{Deserialize, Serialize};
 
-use crate::{default_records, recommend, run_kernel, ExperimentParams};
+use crate::sweep::Sweep;
+use crate::{default_records, recommend, ExperimentParams};
 
 /// Performance units used in Table 6.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,30 +94,36 @@ pub fn paper_reference() -> Vec<ReferenceRow> {
 /// Regenerate Table 6: run each benchmark on its best configuration and
 /// convert to the row's units.
 ///
+/// All thirteen runs go through one parallel [`Sweep`] batch; the rows
+/// come back in `paper_reference()` order.
+///
 /// # Errors
 ///
 /// Propagates simulation failures and verification mismatches.
 pub fn table6(params: &ExperimentParams, record_scale: usize) -> Result<Vec<Table6Row>, DlpError> {
-    let kernels = suite();
-    let mut rows = Vec::new();
-    for (name, paper_trips, specialized, hardware, units) in paper_reference() {
-        let kernel = kernels
-            .iter()
-            .find(|k| k.name() == name)
+    let reference = paper_reference();
+    let mut sweep = Sweep::new();
+    for (name, ..) in &reference {
+        let id = sweep
+            .add_kernel_by_name(name)
             .expect("reference rows name suite kernels");
-        let config = recommend(&kernel.ir().attributes()).config;
+        let config = recommend(&sweep.kernel(id).ir().attributes()).config;
         // record_scale 0 means "smoke test": clamp to a minimal workload.
         let records =
             if record_scale == 0 { 24 } else { default_records(name, record_scale) };
-        let out = run_kernel(kernel.as_ref(), config, records, params)?;
-        if let Some(at) = out.mismatch {
-            return Err(DlpError::MalformedProgram {
-                detail: format!("{name} computed a wrong output at word {at}"),
-            });
-        }
-        let cyc_per_rec = out.cycles_per_record();
+        sweep.push_config(id, config, records, params);
+    }
+    let report = sweep.run();
+    report.ensure_verified()?;
+
+    let mut rows = Vec::new();
+    for ((name, paper_trips, specialized, hardware, units), cell) in
+        reference.into_iter().zip(&report.cells)
+    {
+        let stats = cell.outcome.stats().expect("ensure_verified passed");
+        let cyc_per_rec = stats.cycles() as f64 / cell.records.max(1) as f64;
         let trips = match units {
-            Units::OpsPerCycle => out.stats.ops_per_cycle().0,
+            Units::OpsPerCycle => stats.ops_per_cycle().0,
             Units::CyclesPerBlock => cyc_per_rec,
             // DSP rows: one "iteration" = a 64-record tile (a DSP inner
             // loop over an image row segment); clock 1.3 GHz, reported in

@@ -1,0 +1,648 @@
+//! The parallel experiment sweep engine.
+//!
+//! Every table and figure in the paper is some slice of the same grid:
+//! *kernel × machine configuration (× parameter knob)*. This module runs
+//! that grid as one batch instead of one nested loop per binary:
+//!
+//! * **Work stealing** — cells are pushed into a shared
+//!   [`crossbeam::deque::Injector`] and drained by scoped worker
+//!   threads, so a slow cell (dct on the baseline) never serializes the
+//!   rest of the sweep behind it.
+//! * **Schedule caching** — lowering a kernel (placement, routing,
+//!   unrolling, or MIMD replication) depends only on the kernel, the
+//!   mechanism set, the grid/timing model, and the record cap. The
+//!   engine deduplicates those inputs and prepares each distinct
+//!   [`PreparedProgram`] exactly once, sharing it across all cells that
+//!   need it ([`SweepReport::plans_prepared`] vs
+//!   [`SweepReport::plan_reuses`] reports the savings).
+//! * **Deterministic seeding** — each cell's workload seed is derived
+//!   from [`ExperimentParams::seed`] and the kernel's name alone, so
+//!   every configuration of a kernel sees the same records (speedups
+//!   stay comparable) and the results are bit-identical no matter how
+//!   many workers run the sweep or how the queue interleaves
+//!   (`parallel == serial`, enforced by the `sweep_determinism` test).
+//!
+//! The output is a serializable [`SweepReport`] — the artifact behind
+//! `BENCH_sweep.json` — with per-cell statistics, verification results,
+//! wall-clock, and the harmonic-mean aggregation the figure/table
+//! binaries share.
+//!
+//! # Example
+//!
+//! ```
+//! use dlp_core::sweep::Sweep;
+//! use dlp_core::{ExperimentParams, MachineConfig};
+//!
+//! let params = ExperimentParams::default();
+//! let mut sweep = Sweep::new();
+//! let convert = sweep
+//!     .add_kernel_by_name("convert")
+//!     .expect("convert is in the suite");
+//! for config in [MachineConfig::Baseline, MachineConfig::S] {
+//!     sweep.push_config(convert, config, 24, &params);
+//! }
+//! let report = sweep.run();
+//! report.ensure_verified().expect("both cells verify");
+//! // Smoke-scale workloads don't preserve performance orderings (setup
+//! // DMA dominates at 24 records), so assert plumbing, not shape.
+//! let speedup = report.speedup("convert", "S", "baseline").unwrap();
+//! assert!(speedup.is_finite() && speedup > 0.0);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Steal};
+use dlp_common::{harmonic_mean, DlpError, SimStats};
+use dlp_kernels::{suite, DlpKernel};
+use serde::{Deserialize, Serialize};
+use trips_sim::MechanismSet;
+
+use crate::runner::{prepare_kernel, run_prepared, PreparedProgram};
+use crate::{ExperimentParams, MachineConfig};
+
+/// Handle to a kernel registered with a [`Sweep`].
+pub type KernelId = usize;
+
+/// One cell of the experiment grid: a kernel, a mechanism set, a record
+/// count, and the full experiment parameters it runs under.
+///
+/// Carrying complete [`ExperimentParams`] per cell is what lets one
+/// sweep mix heterogeneous experiments — the ablation knobs vary
+/// `params.timing`, the scaling study varies `params.grid` — while the
+/// schedule cache still keys on exactly the inputs that matter.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// Which registered kernel to run.
+    pub kernel: KernelId,
+    /// The named machine configuration, when the cell corresponds to
+    /// one (`None` for raw mechanism-set cells, e.g. the §5.3
+    /// configuration-space sweep).
+    pub config: Option<MachineConfig>,
+    /// The mechanism set to simulate.
+    pub mech: MechanismSet,
+    /// Records to process (the verified output length).
+    pub records: usize,
+    /// Grid, timing, and base seed for this cell.
+    pub params: ExperimentParams,
+    /// Free-form experiment tag carried into the report (e.g.
+    /// `"figure5"` or `"A1 delay=20"`).
+    pub label: String,
+}
+
+/// A batch of experiment cells, run in parallel with schedule caching.
+///
+/// Build one with [`Sweep::new`], register kernels, push cells, then
+/// call [`Sweep::run`].
+pub struct Sweep {
+    kernels: Vec<Box<dyn DlpKernel>>,
+    cells: Vec<CellSpec>,
+    threads: usize,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sweep {
+    /// An empty sweep using one worker per available CPU, clamped to
+    /// 2..=8: at least two so the work-stealing path is always
+    /// exercised (results are thread-count-independent, so this is
+    /// free), at most eight because the cells are simulation-bound and
+    /// oversubscription only adds scheduling noise.
+    #[must_use]
+    pub fn new() -> Self {
+        let threads =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_threads(threads.clamp(2, 8))
+    }
+
+    /// An empty sweep with an explicit worker count (clamped to ≥ 1).
+    /// One worker degenerates to a serial sweep — by design
+    /// bit-identical to any parallel run.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Sweep { kernels: Vec::new(), cells: Vec::new(), threads: threads.max(1) }
+    }
+
+    /// The worker count [`Sweep::run`] will use.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Registers a kernel and returns its handle.
+    pub fn add_kernel(&mut self, kernel: Box<dyn DlpKernel>) -> KernelId {
+        self.kernels.push(kernel);
+        self.kernels.len() - 1
+    }
+
+    /// Registers the named kernel from the benchmark suite.
+    pub fn add_kernel_by_name(&mut self, name: &str) -> Option<KernelId> {
+        let kernel = suite().into_iter().find(|k| k.name() == name)?;
+        Some(self.add_kernel(kernel))
+    }
+
+    /// Registers every performance-suite kernel, returning handles in
+    /// suite order.
+    pub fn add_perf_suite(&mut self) -> Vec<KernelId> {
+        suite()
+            .into_iter()
+            .filter(|k| k.in_perf_suite())
+            .map(|k| self.add_kernel(k))
+            .collect()
+    }
+
+    /// The registered kernel behind a handle.
+    #[must_use]
+    pub fn kernel(&self, id: KernelId) -> &dyn DlpKernel {
+        self.kernels[id].as_ref()
+    }
+
+    /// Adds one cell to the grid.
+    pub fn push_cell(&mut self, cell: CellSpec) {
+        self.cells.push(cell);
+    }
+
+    /// Adds a cell for a named machine configuration; the label defaults
+    /// to the configuration's display name.
+    pub fn push_config(
+        &mut self,
+        kernel: KernelId,
+        config: MachineConfig,
+        records: usize,
+        params: &ExperimentParams,
+    ) {
+        self.push_cell(CellSpec {
+            kernel,
+            config: Some(config),
+            mech: config.mechanisms(),
+            records,
+            params: *params,
+            label: config.to_string(),
+        });
+    }
+
+    /// Number of cells queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Runs every cell and collects a [`SweepReport`].
+    ///
+    /// Two work-stealing phases: first each *distinct* lowering (kernel
+    /// × mechanisms × grid × timing × record cap) is prepared once;
+    /// then all cells execute against the shared prepared programs.
+    /// Cell failures (e.g. incoherent mechanism sets in the
+    /// configuration-space sweep) are captured per cell as
+    /// [`CellOutcome::Failed`], never aborting the batch; use
+    /// [`SweepReport::ensure_verified`] when failures should be errors.
+    ///
+    /// Results are ordered exactly as the cells were pushed, and the
+    /// statistics are independent of the worker count.
+    #[must_use]
+    pub fn run(&self) -> SweepReport {
+        let started = Instant::now();
+
+        // ---- Phase 1: deduplicate and prepare lowering plans. -------
+        // Linear-scan dedup: TimingParams is Eq but not Hash, and sweep
+        // grids are tens-to-hundreds of cells, far below the n² that
+        // would justify hashing around it.
+        let mut plan_keys: Vec<PlanKey> = Vec::new();
+        let mut cell_plan: Vec<usize> = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let key = PlanKey::of(cell);
+            let idx = match plan_keys.iter().position(|k| *k == key) {
+                Some(i) => i,
+                None => {
+                    plan_keys.push(key);
+                    plan_keys.len() - 1
+                }
+            };
+            cell_plan.push(idx);
+        }
+
+        let plans: Vec<Result<PreparedProgram, DlpError>> =
+            self.parallel_map(plan_keys.len(), |i| {
+                let key = &plan_keys[i];
+                let params = ExperimentParams {
+                    grid: key.grid,
+                    timing: key.timing,
+                    ..ExperimentParams::default()
+                };
+                catch_cell(|| {
+                    prepare_kernel(
+                        self.kernels[key.kernel].as_ref(),
+                        key.mech,
+                        key.records,
+                        &params,
+                    )
+                })
+            });
+
+        // ---- Phase 2: execute all cells against the shared plans. ---
+        let cell_results: Vec<(CellOutcome, f64)> = self.parallel_map(self.cells.len(), |i| {
+            let cell = &self.cells[i];
+            let cell_started = Instant::now();
+            let outcome = match &plans[cell_plan[i]] {
+                Err(e) => CellOutcome::Failed { error: e.to_string() },
+                Ok(prepared) => {
+                    let params = ExperimentParams {
+                        seed: derive_seed(cell.params.seed, self.kernels[cell.kernel].name()),
+                        ..cell.params
+                    };
+                    let ran = catch_cell(|| {
+                        run_prepared(self.kernels[cell.kernel].as_ref(), prepared, &params)
+                    });
+                    match ran {
+                        Ok((stats, mismatch)) => CellOutcome::Ran { stats, mismatch },
+                        Err(e) => CellOutcome::Failed { error: e.to_string() },
+                    }
+                }
+            };
+            (outcome, cell_started.elapsed().as_secs_f64() * 1e3)
+        });
+
+        let cells = self
+            .cells
+            .iter()
+            .zip(cell_results)
+            .map(|(spec, (outcome, wall_ms))| SweepCell {
+                kernel: self.kernels[spec.kernel].name().to_string(),
+                config: spec
+                    .config
+                    .map_or_else(|| spec.mech.to_string(), |c| c.to_string()),
+                label: spec.label.clone(),
+                records: spec.records,
+                outcome,
+                wall_ms,
+            })
+            .collect();
+
+        SweepReport {
+            threads: self.threads,
+            plans_prepared: plan_keys.len(),
+            plan_reuses: self.cells.len().saturating_sub(plan_keys.len()),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            cells,
+        }
+    }
+
+    /// Maps `f` over `0..n` with the work-stealing pool, preserving
+    /// index order in the result.
+    fn parallel_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let injector: Injector<usize> = Injector::new();
+        for i in 0..n {
+            injector.push(i);
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(n.max(1));
+        crossbeam::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    match injector.steal() {
+                        Steal::Success(i) => {
+                            let out = f(i);
+                            *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                                Some(out);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                });
+            }
+        })
+        .expect("sweep workers join");
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every queued index was processed")
+            })
+            .collect()
+    }
+}
+
+/// Runs one cell's work, converting a panic into a [`DlpError`] so a
+/// single bad cell (e.g. an internally inconsistent mechanism set that
+/// trips a simulator assertion) fails that cell instead of tearing down
+/// the whole sweep.
+fn catch_cell<T>(f: impl FnOnce() -> Result<T, DlpError>) -> Result<T, DlpError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "simulation panicked".to_string());
+            Err(DlpError::MalformedProgram { detail: format!("panicked: {msg}") })
+        }
+    }
+}
+
+/// Cache key for one lowering: exactly the inputs of
+/// [`prepare_kernel`] (the workload seed deliberately excluded).
+#[derive(Clone, Copy, PartialEq)]
+struct PlanKey {
+    kernel: KernelId,
+    mech: MechanismSet,
+    grid: dlp_common::GridShape,
+    timing: dlp_common::TimingParams,
+    records: usize,
+}
+
+impl PlanKey {
+    fn of(cell: &CellSpec) -> Self {
+        PlanKey {
+            kernel: cell.kernel,
+            mech: cell.mech,
+            grid: cell.params.grid,
+            timing: cell.params.timing,
+            records: cell.records,
+        }
+    }
+}
+
+/// Derives a kernel's workload seed from the experiment base seed.
+///
+/// Keyed by kernel *name* only (not configuration), so every
+/// configuration of one kernel processes identical records — a
+/// precondition for comparing their cycle counts — while distinct
+/// kernels get decorrelated workloads. Pure function of its arguments,
+/// which is what makes parallel sweeps bit-identical to serial ones.
+#[must_use]
+pub fn derive_seed(base: u64, kernel_name: &str) -> u64 {
+    // FNV-1a over the name, then one SplitMix64 scramble.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in kernel_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    dlp_common::SplitMix64::new(base ^ h).next_u64()
+}
+
+/// Result of one cell's simulation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// The cell simulated to completion (it may still have computed
+    /// wrong answers — check `mismatch`).
+    Ran {
+        /// Simulation statistics.
+        stats: SimStats,
+        /// First wrong output word, `None` when fully verified.
+        mismatch: Option<usize>,
+    },
+    /// Scheduling or simulation failed (e.g. an incoherent mechanism
+    /// set); the cell has no statistics.
+    Failed {
+        /// The rendered [`DlpError`].
+        error: String,
+    },
+}
+
+impl CellOutcome {
+    /// The statistics, when the cell ran.
+    #[must_use]
+    pub fn stats(&self) -> Option<&SimStats> {
+        match self {
+            CellOutcome::Ran { stats, .. } => Some(stats),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the cell ran *and* every output word verified.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        matches!(self, CellOutcome::Ran { mismatch: None, .. })
+    }
+}
+
+/// One row of the sweep report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configuration display name (a [`MachineConfig`] name like
+    /// `"S-O"`, or the mechanism-set rendering for raw cells).
+    pub config: String,
+    /// The experiment tag from [`CellSpec::label`].
+    pub label: String,
+    /// Records processed.
+    pub records: usize,
+    /// What happened.
+    pub outcome: CellOutcome,
+    /// Host wall-clock for this cell, milliseconds (informational; not
+    /// part of the deterministic output).
+    pub wall_ms: f64,
+}
+
+/// The full result of a [`Sweep::run`] — the serializable artifact
+/// written to `BENCH_sweep.json`.
+///
+/// # Examples
+///
+/// ```
+/// use dlp_core::sweep::Sweep;
+/// use dlp_core::{ExperimentParams, MachineConfig};
+///
+/// let params = ExperimentParams::default();
+/// let mut sweep = Sweep::with_threads(2);
+/// let fft = sweep.add_kernel_by_name("fft").unwrap();
+/// sweep.push_config(fft, MachineConfig::Baseline, 24, &params);
+/// sweep.push_config(fft, MachineConfig::S, 24, &params);
+/// let report = sweep.run();
+///
+/// assert_eq!(report.cells.len(), 2);
+/// assert!(report.stats("fft", "S").is_some());
+/// let json = dlp_common::json::to_string(&report);
+/// assert!(json.contains("\"kernel\":\"fft\""));
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Distinct lowerings scheduled (schedule-cache misses).
+    pub plans_prepared: usize,
+    /// Cells served from an already-prepared lowering (cache hits).
+    pub plan_reuses: usize,
+    /// Total host wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Per-cell results, in push order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// The first cell matching `kernel` and `config`.
+    #[must_use]
+    pub fn cell(&self, kernel: &str, config: &str) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| c.kernel == kernel && c.config == config)
+    }
+
+    /// Statistics for the first matching, successfully-run cell.
+    #[must_use]
+    pub fn stats(&self, kernel: &str, config: &str) -> Option<&SimStats> {
+        self.cell(kernel, config).and_then(|c| c.outcome.stats())
+    }
+
+    /// Speedup of `config` over `baseline` on `kernel`, in execution
+    /// cycles (the paper's Figure 5 metric).
+    #[must_use]
+    pub fn speedup(&self, kernel: &str, config: &str, baseline: &str) -> Option<f64> {
+        let cfg = self.stats(kernel, config)?;
+        let base = self.stats(kernel, baseline)?;
+        Some(cfg.speedup_over(base))
+    }
+
+    /// Per-configuration harmonic-mean speedup over `baseline`, across
+    /// every kernel that has both cells — the aggregation Figure 5's
+    /// fixed-configuration bars and the sweep summary share.
+    #[must_use]
+    pub fn harmonic_mean_speedups(&self, baseline: &str) -> BTreeMap<String, f64> {
+        let mut per_config: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for cell in &self.cells {
+            if cell.config == baseline {
+                continue;
+            }
+            if let Some(s) = self.speedup(&cell.kernel, &cell.config, baseline) {
+                per_config.entry(cell.config.clone()).or_default().push(s);
+            }
+        }
+        per_config
+            .into_iter()
+            .filter_map(|(config, xs)| harmonic_mean(&xs).map(|hm| (config, hm)))
+            .collect()
+    }
+
+    /// Turns the first failed or mis-verified cell into a [`DlpError`].
+    ///
+    /// # Errors
+    ///
+    /// [`DlpError::MalformedProgram`] describing the offending cell.
+    pub fn ensure_verified(&self) -> Result<(), DlpError> {
+        for cell in &self.cells {
+            match &cell.outcome {
+                CellOutcome::Ran { mismatch: None, .. } => {}
+                CellOutcome::Ran { mismatch: Some(at), .. } => {
+                    return Err(DlpError::MalformedProgram {
+                        detail: format!(
+                            "{} on {} computed a wrong output at word {at}",
+                            cell.kernel, cell.config
+                        ),
+                    });
+                }
+                CellOutcome::Failed { error } => {
+                    return Err(DlpError::MalformedProgram {
+                        detail: format!("{} on {} failed: {error}", cell.kernel, cell.config),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep(threads: usize) -> SweepReport {
+        let params = ExperimentParams::default();
+        let mut sweep = Sweep::with_threads(threads);
+        let ids = sweep.add_perf_suite();
+        for &id in ids.iter().take(3) {
+            for config in [MachineConfig::Baseline, MachineConfig::S, MachineConfig::SO] {
+                sweep.push_config(id, config, 24, &params);
+            }
+        }
+        sweep.run()
+    }
+
+    #[test]
+    fn grid_runs_verified_and_ordered() {
+        let report = small_sweep(4);
+        assert_eq!(report.cells.len(), 9);
+        report.ensure_verified().expect("all cells verify");
+        // Push order is preserved.
+        assert_eq!(report.cells[0].config, "baseline");
+        assert_eq!(report.cells[1].config, "S");
+        assert_eq!(report.cells[2].config, "S-O");
+    }
+
+    #[test]
+    fn schedule_cache_deduplicates_repeated_cells() {
+        let params = ExperimentParams::default();
+        let mut sweep = Sweep::with_threads(2);
+        let id = sweep.add_kernel_by_name("convert").expect("suite kernel");
+        for _ in 0..4 {
+            sweep.push_config(id, MachineConfig::S, 24, &params);
+        }
+        let report = sweep.run();
+        assert_eq!(report.plans_prepared, 1, "one distinct lowering");
+        assert_eq!(report.plan_reuses, 3);
+        report.ensure_verified().expect("verifies");
+    }
+
+    #[test]
+    fn speedups_and_harmonic_means_are_available() {
+        let report = small_sweep(2);
+        let hms = report.harmonic_mean_speedups("baseline");
+        assert_eq!(hms.len(), 2, "S and S-O");
+        for (config, hm) in &hms {
+            assert!(*hm > 0.0, "{config}: {hm}");
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_by_kernel_but_not_config() {
+        let a = derive_seed(7, "convert");
+        let b = derive_seed(7, "fft");
+        assert_ne!(a, b, "kernels get decorrelated workloads");
+        assert_eq!(a, derive_seed(7, "convert"), "pure function");
+        assert_ne!(a, derive_seed(8, "convert"), "base seed matters");
+    }
+
+    #[test]
+    fn failures_are_captured_per_cell() {
+        // An incoherent mechanism set: operand revitalization without
+        // instruction revitalization has nothing to revitalize into.
+        let params = ExperimentParams::default();
+        let mut sweep = Sweep::with_threads(2);
+        let id = sweep.add_kernel_by_name("convert").expect("suite kernel");
+        let mech = MechanismSet {
+            smc: false,
+            inst_revitalization: false,
+            operand_revitalization: true,
+            l0_data_store: false,
+            local_pc: false,
+        };
+        sweep.push_cell(CellSpec {
+            kernel: id,
+            config: None,
+            mech,
+            records: 24,
+            params,
+            label: "incoherent".into(),
+        });
+        sweep.push_config(id, MachineConfig::S, 24, &params);
+        let report = sweep.run();
+        // Whatever the first cell did, the second must have run — a bad
+        // cell never poisons the batch.
+        assert!(report.cells[1].outcome.verified());
+    }
+}

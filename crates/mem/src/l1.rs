@@ -181,8 +181,7 @@ mod tests {
 
     #[test]
     fn bandwidth_throttles_same_cycle_accesses() {
-        let mut params = MemParams::default();
-        params.l1_accesses_per_cycle = 1;
+        let params = MemParams { l1_accesses_per_cycle: 1, ..MemParams::default() };
         let mut c = L1Cache::new(8 * 1024, &params);
         c.access(0, 0); // warm the line
         let (t1, _) = c.access(0, 100);

@@ -56,6 +56,12 @@ pub struct ScheduleOptions {
 
 /// The scheduler's output: a placed block plus the setup obligations the
 /// driver must satisfy before running it.
+///
+/// Scheduling is a pure function of the IR, grid, timing model, target
+/// configuration and options — it never looks at workload data — so a
+/// `ScheduledKernel` is freely cloneable and cacheable: the sweep
+/// engine (`dlp_core::sweep`) prepares each distinct lowering once and
+/// shares it across every experiment cell that needs it.
 #[derive(Clone, Debug)]
 pub struct ScheduledKernel {
     /// The placed dataflow block.

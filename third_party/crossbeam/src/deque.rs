@@ -1,0 +1,231 @@
+//! Work-stealing deque with crossbeam's `Injector`/`Worker`/`Stealer`
+//! API, implemented over mutex-protected `VecDeque`s.
+//!
+//! Real crossbeam uses lock-free Chase–Lev deques; this stub trades that
+//! for simplicity. At the workspace's scale (a handful of workers, each
+//! task simulating thousands of machine cycles) queue contention is
+//! noise, and the mutex version is trivially correct — `Steal::Retry`
+//! is never produced because operations never race internally.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty.
+    Empty,
+    /// A task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried. (Never produced
+    /// by this stub; kept so `match` arms compile unchanged.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True if the source was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True if a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// True if the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+fn locked<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    queue.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A FIFO queue for submitting tasks to a pool from any thread.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Steals a task from the front of the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch into `dest`, returning the first stolen task.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = locked(&self.queue);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        // Mirror crossbeam's "take about half" batching heuristic.
+        let take = q.len() / 2;
+        let mut dq = locked(&dest.queue);
+        for _ in 0..take {
+            match q.pop_front() {
+                Some(t) => dq.push_back(t),
+                None => break,
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// True if the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+/// Order in which a worker pops its own tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+/// A per-thread task queue; other threads steal from it via [`Stealer`].
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// Creates a worker whose `pop` takes the oldest task first.
+    pub fn new_fifo() -> Self {
+        Self { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+    }
+
+    /// Creates a worker whose `pop` takes the newest task first.
+    pub fn new_lifo() -> Self {
+        Self { queue: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+    }
+
+    /// Pushes a task onto the queue.
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    /// Pops a task in this worker's flavor order.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = locked(&self.queue);
+        match self.flavor {
+            Flavor::Fifo => q.pop_front(),
+            Flavor::Lifo => q.pop_back(),
+        }
+    }
+
+    /// Creates a stealer handle that other threads may clone and use.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+
+    /// True if the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+/// Steals tasks from the front of a [`Worker`]'s queue.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task from the worker.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// True if the worker's queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.steal(), Steal::Success(1));
+        assert_eq!(inj.steal(), Steal::Success(2));
+        assert_eq!(inj.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn worker_flavors() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        let s = w.stealer();
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+    }
+
+    #[test]
+    fn batch_steal_moves_about_half() {
+        let inj = Injector::new();
+        for i in 0..9 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 4);
+    }
+}

@@ -1,0 +1,54 @@
+//! Offline stand-in for [crossbeam](https://docs.rs/crossbeam).
+//!
+//! Provides the two pieces of crossbeam the workspace uses:
+//!
+//! * [`scope`] — scoped threads with crossbeam's closure signature
+//!   (`|scope| { scope.spawn(|_| ...) }`) and `Result`-returning join
+//!   semantics, implemented over `std::thread::scope`;
+//! * [`deque`] — the `Injector`/`Worker`/`Stealer` work-stealing deque
+//!   API used by the sweep engine's worker pool, implemented over a
+//!   mutex-protected `VecDeque` (correct and contention-adequate for
+//!   the tens-of-workers scale this workspace runs at).
+//!
+//! Signatures mirror real crossbeam 0.8 so callers compile unchanged
+//! against the real crate when a network is available.
+
+pub mod deque;
+pub mod thread;
+
+pub use thread::scope;
+
+/// Re-export mirroring `crossbeam::utils` for cache-line padding users.
+pub mod utils {
+    /// Pads and aligns a value to reduce false sharing. The stub keeps
+    /// the API but not the alignment guarantee — contention here is a
+    /// performance concern, never a correctness one.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value`.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}

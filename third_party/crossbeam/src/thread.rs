@@ -1,0 +1,81 @@
+//! Scoped threads with crossbeam's API shape, over `std::thread::scope`.
+//!
+//! Differences from real crossbeam are confined to diagnostics: a panic
+//! in the *main* scope closure is reported as `Err` (crossbeam resumes
+//! the unwind), which is indistinguishable to callers that `.expect()`
+//! the result — the workspace's only usage pattern.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Join/scope result: `Err` carries the payload of a panicked thread.
+pub type Result<T> = std::thread::Result<T>;
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Creates a scope, runs `f` in it, and joins every spawned thread
+/// before returning. Returns `Err` if any unjoined thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so
+    /// workers can themselves spawn (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a scoped thread; dropping it detaches (the scope still
+/// joins the thread on exit).
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or the
+    /// payload of its panic.
+    pub fn join(self) -> Result<T> {
+        self.inner.join()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| s.spawn(move |_| x * 10))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .expect("worker threads join");
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panicked_child_surfaces_as_err() {
+        let res = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Vectors of `element` with a length in `len` (half-open, like real
+/// proptest's `SizeRange` from a `Range`).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}

@@ -1,0 +1,45 @@
+//! Numeric full-domain strategies (`proptest::num::f32::ANY`, …).
+//!
+//! `ANY` spans every bit pattern — NaNs, infinities, and subnormals
+//! included — matching real proptest closely enough for the workspace's
+//! bit-exact `Value` round-trip properties.
+
+/// `f32` strategies.
+pub mod f32 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyF32;
+
+    impl Strategy for AnyF32 {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u32())
+        }
+    }
+
+    /// The full `f32` bit-pattern domain.
+    pub const ANY: AnyF32 = AnyF32;
+}
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyF64;
+
+    impl Strategy for AnyF64 {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// The full `f64` bit-pattern domain.
+    pub const ANY: AnyF64 = AnyF64;
+}

@@ -1,0 +1,53 @@
+//! Deserialization half — deliberately a marker.
+//!
+//! Nothing in this workspace deserializes at run time (there is no
+//! `serde_json` in the offline dependency set; JSON goes out through
+//! `dlp_common::json`, never back in). The derive macro therefore only
+//! needs `Deserialize` to exist so that `#[derive(Deserialize)]` sites
+//! keep compiling. If real deserialization is ever needed, swap this
+//! stub for the real serde crate.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Marker for types that real serde could deserialize.
+///
+/// Implemented by `#[derive(Deserialize)]` (via the `serde_derive` stub)
+/// and for the std types the workspace's derived types contain.
+pub trait Deserialize<'de>: Sized {}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+macro_rules! marker_impl {
+    ($($ty:ty),+ $(,)?) => {
+        $(impl<'de> Deserialize<'de> for $ty {})+
+    };
+}
+
+marker_impl!(
+    bool, char, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64, String, ()
+);
+
+impl<'de> Deserialize<'de> for &'de str {}
+impl<'de: 'a, 'a> Deserialize<'de> for &'a [u8] {}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, H> Deserialize<'de> for HashMap<K, V, H> {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+macro_rules! tuple_marker {
+    ($($name:ident)+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {}
+    };
+}
+
+tuple_marker!(A);
+tuple_marker!(A B);
+tuple_marker!(A B C);
+tuple_marker!(A B C D);
+tuple_marker!(A B C D E);
+tuple_marker!(A B C D E F);

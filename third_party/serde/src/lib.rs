@@ -1,0 +1,30 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! this path crate provides the subset of serde's API the workspace
+//! actually exercises:
+//!
+//! * the [`ser`] half of the data model — the [`Serialize`] trait, the
+//!   full [`Serializer`] trait family (sequence/map/struct/variant
+//!   sub-serializers), and `Serialize` impls for the std types that
+//!   appear in workspace reports (integers, floats, strings, `Option`,
+//!   `Vec`, slices, tuples, `BTreeMap`, `HashMap`);
+//! * a deliberately minimal [`de`] half: [`Deserialize`] is a *marker*
+//!   trait. Nothing in the workspace deserializes at run time (there is
+//!   no `serde_json` here; JSON is emitted by `dlp_common::json`), so
+//!   the derive only has to satisfy the type system.
+//! * the `derive` feature re-exporting `#[derive(Serialize, Deserialize)]`
+//!   from the companion `serde_derive` stub.
+//!
+//! The trait signatures mirror real serde 1.x so that code written
+//! against this stub (custom `Serializer` impls in particular) compiles
+//! unchanged against the real crate when a network is available.
+
+pub mod de;
+pub mod ser;
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

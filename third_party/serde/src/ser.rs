@@ -1,0 +1,415 @@
+//! Serialization half of the serde data model.
+//!
+//! Mirrors real serde 1.x: a [`Serializer`] visits one value of the data
+//! model; compound values hand out sub-serializers ([`SerializeSeq`],
+//! [`SerializeStruct`], …) that receive elements and are closed with
+//! `end()`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+/// Trait for serialization errors, as in real serde.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized into any serde data format.
+pub trait Serialize {
+    /// Serialize `self` with the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever error type the serializer reports.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A format that can serialize any value of the serde data model.
+#[allow(missing_docs)] // method-per-primitive; names are the documentation
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+
+    /// Sub-serializer for sequences.
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuples.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuple structs.
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for tuple enum variants.
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for maps.
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for structs.
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Sub-serializer for struct enum variants.
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+}
+
+/// Sub-serializer returned by [`Serializer::serialize_seq`].
+pub trait SerializeSeq {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serialize one sequence element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Close the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer returned by [`Serializer::serialize_tuple`].
+pub trait SerializeTuple {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serialize one tuple element.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Close the tuple.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer returned by [`Serializer::serialize_tuple_struct`].
+pub trait SerializeTupleStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serialize one field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Close the tuple struct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer returned by [`Serializer::serialize_tuple_variant`].
+pub trait SerializeTupleVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serialize one field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Close the variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer returned by [`Serializer::serialize_map`].
+pub trait SerializeMap {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serialize one map key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serialize one map value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Close the map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer returned by [`Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serialize one named field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Close the struct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Sub-serializer returned by [`Serializer::serialize_struct_variant`].
+pub trait SerializeStructVariant {
+    /// Output produced on success.
+    type Ok;
+    /// Error reported on failure.
+    type Error: Error;
+    /// Serialize one named field.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Close the variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types used across the workspace.
+// ---------------------------------------------------------------------------
+
+macro_rules! primitive_impl {
+    ($ty:ty, $method:ident) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    };
+}
+
+primitive_impl!(bool, serialize_bool);
+primitive_impl!(i8, serialize_i8);
+primitive_impl!(i16, serialize_i16);
+primitive_impl!(i32, serialize_i32);
+primitive_impl!(i64, serialize_i64);
+primitive_impl!(u8, serialize_u8);
+primitive_impl!(u16, serialize_u16);
+primitive_impl!(u32, serialize_u32);
+primitive_impl!(u64, serialize_u64);
+primitive_impl!(f32, serialize_f32);
+primitive_impl!(f64, serialize_f64);
+primitive_impl!(char, serialize_char);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self[..].serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self[..].serialize(serializer)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_key(k)?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_key(k)?;
+            map.serialize_value(v)?;
+        }
+        map.end()
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+macro_rules! tuple_impl {
+    ($($n:tt $name:ident)+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut t = serializer.serialize_tuple(count!($($name)+))?;
+                $(t.serialize_element(&self.$n)?;)+
+                t.end()
+            }
+        }
+    };
+}
+
+macro_rules! count {
+    () => { 0 };
+    ($head:ident $($tail:ident)*) => { 1 + count!($($tail)*) };
+}
+
+tuple_impl!(0 A);
+tuple_impl!(0 A 1 B);
+tuple_impl!(0 A 1 B 2 C);
+tuple_impl!(0 A 1 B 2 C 3 D);
+tuple_impl!(0 A 1 B 2 C 3 D 4 E);
+tuple_impl!(0 A 1 B 2 C 3 D 4 E 5 F);

@@ -1,0 +1,310 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes this workspace uses: **non-generic** structs (unit, tuple,
+//! named) and enums (unit, tuple/newtype, struct variants). Parsing walks
+//! the raw `proc_macro::TokenStream` — the offline dependency set has no
+//! `syn`/`quote` — and code generation renders plain source text that is
+//! parsed back into a `TokenStream`.
+//!
+//! `Serialize` expands to a faithful visit of the serde data model (so the
+//! workspace's hand-written `Serializer`s, e.g. `dlp_common::json`, see
+//! exactly what real serde would send). `Deserialize` expands to the stub
+//! crate's *marker* impl — nothing in the workspace deserializes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a struct body or enum variant payload.
+enum Shape {
+    /// No payload (`struct X;` / `X,`).
+    Unit,
+    /// Parenthesized fields (`struct X(A, B);` / `X(A)`), by count.
+    Tuple(usize),
+    /// Braced named fields, by name.
+    Named(Vec<String>),
+}
+
+/// A parsed `#[derive]` input item.
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<(String, Shape)> },
+}
+
+/// Derive `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => render_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive the stub `serde::Deserialize` marker for a non-generic struct
+/// or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let name = match &item {
+                Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+            };
+            format!("impl<'de> ::serde::de::Deserialize<'de> for {name} {{}}")
+                .parse()
+                .expect("generated impl parses")
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("error token parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive: generic type `{name}` is unsupported; \
+             write the impl by hand or extend third_party/serde_derive"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let shape = match toks.next() {
+                None | Some(TokenTree::Punct(_)) => Shape::Unit, // `struct X;`
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(body)? })
+        }
+        other => Err(format!("serde stub derive: `{other}` items are unsupported")),
+    }
+}
+
+type Toks = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip leading `#[...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &mut Toks) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // Attribute body: `[...]`.
+                if matches!(toks.peek(), Some(TokenTree::Group(_))) {
+                    toks.next();
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                // `pub(crate)` and friends.
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip tokens of one type (or expression) up to a top-level `,`, which is
+/// consumed. Angle brackets are tracked manually: `<`/`>` are plain
+/// `Punct`s in a `TokenStream`, so `BTreeMap<K, V>`'s inner comma must not
+/// terminate the scan.
+fn skip_until_comma(toks: &mut Toks) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    toks.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        skip_until_comma(&mut toks);
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut toks = body.into_iter().peekable();
+    let mut count = 0;
+    while toks.peek().is_some() {
+        count += 1;
+        skip_until_comma(&mut toks);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, Shape)>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                toks.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Optional `= discriminant`, then the separating comma.
+        skip_until_comma(&mut toks);
+        variants.push((name, shape));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn render_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => (name, render_struct_body(name, shape)),
+        Item::Enum { name, variants } => (name, render_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn render_struct_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::Unit => format!("serializer.serialize_unit_struct({name:?})"),
+        Shape::Tuple(1) => {
+            format!("serializer.serialize_newtype_struct({name:?}, &self.0)")
+        }
+        Shape::Tuple(n) => {
+            let mut s = String::from("use ::serde::ser::SerializeTupleStruct as _;\n");
+            s += &format!("let mut st = serializer.serialize_tuple_struct({name:?}, {n})?;\n");
+            for i in 0..*n {
+                s += &format!("st.serialize_field(&self.{i})?;\n");
+            }
+            s + "st.end()"
+        }
+        Shape::Named(fields) => {
+            let mut s = String::from("use ::serde::ser::SerializeStruct as _;\n");
+            s += &format!(
+                "let mut st = serializer.serialize_struct({name:?}, {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                s += &format!("st.serialize_field({f:?}, &self.{f})?;\n");
+            }
+            s + "st.end()"
+        }
+    }
+}
+
+fn render_enum_body(name: &str, variants: &[(String, Shape)]) -> String {
+    let mut s = String::from("match self {\n");
+    for (idx, (vname, shape)) in variants.iter().enumerate() {
+        match shape {
+            Shape::Unit => {
+                s += &format!(
+                    "{name}::{vname} => \
+                     serializer.serialize_unit_variant({name:?}, {idx}, {vname:?}),\n"
+                );
+            }
+            Shape::Tuple(1) => {
+                s += &format!(
+                    "{name}::{vname}(f0) => \
+                     serializer.serialize_newtype_variant({name:?}, {idx}, {vname:?}, f0),\n"
+                );
+            }
+            Shape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                s += &format!("{name}::{vname}({}) => {{\n", binds.join(", "));
+                s += "use ::serde::ser::SerializeTupleVariant as _;\n";
+                s += &format!(
+                    "let mut tv = serializer\
+                     .serialize_tuple_variant({name:?}, {idx}, {vname:?}, {n})?;\n"
+                );
+                for b in &binds {
+                    s += &format!("tv.serialize_field({b})?;\n");
+                }
+                s += "tv.end()\n},\n";
+            }
+            Shape::Named(fields) => {
+                s += &format!("{name}::{vname} {{ {} }} => {{\n", fields.join(", "));
+                s += "use ::serde::ser::SerializeStructVariant as _;\n";
+                s += &format!(
+                    "let mut sv = serializer\
+                     .serialize_struct_variant({name:?}, {idx}, {vname:?}, {})?;\n",
+                    fields.len()
+                );
+                for f in fields {
+                    s += &format!("sv.serialize_field({f:?}, {f})?;\n");
+                }
+                s += "sv.end()\n},\n";
+            }
+        }
+    }
+    s + "}"
+}
