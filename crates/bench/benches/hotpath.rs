@@ -1,0 +1,27 @@
+//! Criterion view of the engine hot paths: the same cases as the
+//! `hotpath` binary (one dataflow-heavy kernel, one MIMD-heavy kernel,
+//! across their engine's configurations), prepared once so only
+//! simulation — the dataflow event loop, the MIMD fetch loop, and the
+//! mesh router — is inside the timed region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlp_bench::hotpath::{prepare_case, HOTPATH_CASES};
+
+/// Matches the `hotpath` binary's full-scale record count so the two
+/// views stay comparable.
+const RECORDS: usize = 256;
+
+fn bench_hotpaths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(10);
+    for case in HOTPATH_CASES {
+        let prepared = prepare_case(case, RECORDS);
+        group.bench_function(BenchmarkId::new(case.kernel, case.config), |b| {
+            b.iter(|| prepared.run_once());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpaths);
+criterion_main!(benches);

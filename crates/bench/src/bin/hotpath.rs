@@ -1,0 +1,43 @@
+//! Engine hot-path throughput → `BENCH_hotpath.json`.
+//!
+//! Times the cycle-level engines' inner loops (dataflow event loop,
+//! MIMD fetch loop, mesh router) with scheduling excluded: each case in
+//! [`dlp_bench::hotpath::HOTPATH_CASES`] is lowered once and only the
+//! simulation is timed. Comparing `cells_per_sec` between two commits'
+//! artifacts is the perf-regression check; `sim_cycles` doubles as a
+//! determinism cross-check (it must only move when machine behavior
+//! does).
+//!
+//! Flags:
+//!
+//! * `--fast` — CI smoke scale (few records, few iterations); also
+//!   honors `--quick` for symmetry with the other binaries.
+//! * `--out PATH` — JSON destination (default `BENCH_hotpath.json`).
+
+use dlp_bench::hotpath::{measure, HotpathReport, HOTPATH_CASES};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast" || a == "--quick");
+    let flag = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
+    let out_path = flag("--out").cloned().unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    // Full scale keeps each case around a hundred milliseconds of timed
+    // work; fast scale is a sub-second smoke proof that the harness runs.
+    let (records, iters) = if fast { (24, 3) } else { (256, 20) };
+
+    let mut cases = Vec::with_capacity(HOTPATH_CASES.len());
+    for case in HOTPATH_CASES {
+        let m = measure(case, records, iters);
+        println!(
+            "{:>9} {:<9} [{}] {:>10.1} cells/s  {:>12.0} records/s  ({} sim cycles)",
+            m.kernel, m.config, m.engine, m.cells_per_sec, m.records_per_sec, m.sim_cycles
+        );
+        cases.push(m);
+    }
+
+    let report = HotpathReport { fast, cases };
+    std::fs::write(&out_path, dlp_common::json::to_string(&report))?;
+    eprintln!("wrote {out_path}");
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! The hot-path perf-regression harness.
+//!
+//! The cycle-level engines spend their time in three inner loops: the
+//! dataflow event loop (operand delivery, issue arbitration, NoC link
+//! reservation), the MIMD per-node fetch loop, and the mesh router.
+//! This module pins one *dataflow-heavy* and one *MIMD-heavy* kernel to
+//! the configurations that stress those loops and measures simulation
+//! throughput with the scheduling cost excluded — each case is prepared
+//! once ([`dlp_core::prepare_kernel`]) and only
+//! [`dlp_core::run_prepared`] is timed, so the numbers move when the
+//! engines' hot paths do and not when the scheduler does.
+//!
+//! Two consumers share the case list:
+//!
+//! * `cargo bench --bench hotpath` — the Criterion view, for quick
+//!   interactive comparisons.
+//! * `cargo run --release -p dlp-bench --bin hotpath` — the artifact
+//!   view, which writes `BENCH_hotpath.json` (schema documented in
+//!   `EXPERIMENTS.md`) for CI to archive; regressions show up as a drop
+//!   in `cells_per_sec` between two commits' artifacts.
+
+use std::time::Instant;
+
+use dlp_core::sweep::derive_seed;
+use dlp_core::{prepare_kernel, run_prepared, ExperimentParams, MachineConfig};
+use dlp_kernels::{suite, DlpKernel};
+use serde::{Deserialize, Serialize};
+
+/// One measured hot-path case: a kernel pinned to the engine family it
+/// stresses.
+#[derive(Clone, Copy, Debug)]
+pub struct HotpathCase {
+    /// Suite kernel name.
+    pub kernel: &'static str,
+    /// Machine configuration to simulate.
+    pub config: MachineConfig,
+    /// Which engine's inner loop dominates (`"dataflow"` or `"mimd"`).
+    pub engine: &'static str,
+}
+
+/// The measured grid: `fft` (long NoC-bound dataflow blocks, wide
+/// fan-out) across the dataflow configurations, `blowfish` (16 Feistel
+/// rounds of table lookups per record) across the MIMD ones.
+pub const HOTPATH_CASES: &[HotpathCase] = &[
+    HotpathCase { kernel: "fft", config: MachineConfig::Baseline, engine: "dataflow" },
+    HotpathCase { kernel: "fft", config: MachineConfig::SO, engine: "dataflow" },
+    HotpathCase { kernel: "fft", config: MachineConfig::SOD, engine: "dataflow" },
+    HotpathCase { kernel: "blowfish", config: MachineConfig::M, engine: "mimd" },
+    HotpathCase { kernel: "blowfish", config: MachineConfig::MD, engine: "mimd" },
+];
+
+/// A case lowered and ready to time: everything
+/// [`PreparedCase::run_once`] needs.
+pub struct PreparedCase {
+    kernel: Box<dyn DlpKernel>,
+    prepared: dlp_core::PreparedProgram,
+    records: usize,
+    params: ExperimentParams,
+}
+
+/// Lowers `case` for `records` records, with the same derived seed the
+/// sweep engine would use.
+///
+/// # Panics
+///
+/// Panics when the kernel is missing from the suite or fails to lower —
+/// the harness must not silently measure nothing.
+#[must_use]
+pub fn prepare_case(case: &HotpathCase, records: usize) -> PreparedCase {
+    let kernel = suite()
+        .into_iter()
+        .find(|k| k.name() == case.kernel)
+        .unwrap_or_else(|| panic!("{} is a suite kernel", case.kernel));
+    let base = ExperimentParams::default();
+    let params = ExperimentParams { seed: derive_seed(base.seed, case.kernel), ..base };
+    let prepared = prepare_kernel(kernel.as_ref(), case.config.mechanisms(), records, &params)
+        .expect("hot-path case lowers");
+    PreparedCase { kernel, prepared, records, params }
+}
+
+impl PreparedCase {
+    /// Runs the prepared case once (the timed unit), returning the
+    /// simulated cycle count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulation failure or an output mismatch: a hot-path
+    /// optimization that breaks verification must fail the bench, not
+    /// post a fast number.
+    #[must_use]
+    pub fn run_once(&self) -> u64 {
+        let (stats, mismatch) =
+            run_prepared(self.kernel.as_ref(), &self.prepared, self.records, &self.params)
+                .expect("hot-path case simulates");
+        assert_eq!(mismatch, None, "{} must verify", self.kernel.name());
+        stats.cycles()
+    }
+}
+
+/// One row of `BENCH_hotpath.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HotpathMeasurement {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configuration display name.
+    pub config: String,
+    /// Engine family the case stresses (`"dataflow"` / `"mimd"`).
+    pub engine: String,
+    /// Records simulated per cell.
+    pub records: usize,
+    /// Timed repetitions.
+    pub iters: usize,
+    /// Simulated machine cycles per cell (a determinism cross-check:
+    /// this must not move unless machine behavior changes).
+    pub sim_cycles: u64,
+    /// Total wall-clock for the timed repetitions, milliseconds.
+    pub wall_ms: f64,
+    /// Verified kernel runs per second of host time — the headline
+    /// throughput a hot-path regression shows up in.
+    pub cells_per_sec: f64,
+    /// Simulated records per second of host time.
+    pub records_per_sec: f64,
+}
+
+/// Prepares `case`, warms it once, then times `iters` runs.
+///
+/// # Panics
+///
+/// Panics on lowering, simulation, or verification failure (see
+/// [`PreparedCase::run_once`]).
+#[must_use]
+pub fn measure(case: &HotpathCase, records: usize, iters: usize) -> HotpathMeasurement {
+    let prepared = prepare_case(case, records);
+    let sim_cycles = prepared.run_once(); // warm: page in workload paths
+    let started = Instant::now();
+    for _ in 0..iters {
+        assert_eq!(prepared.run_once(), sim_cycles, "simulation is deterministic");
+    }
+    let wall = started.elapsed().as_secs_f64();
+    HotpathMeasurement {
+        kernel: case.kernel.to_string(),
+        config: case.config.to_string(),
+        engine: case.engine.to_string(),
+        records,
+        iters,
+        sim_cycles,
+        wall_ms: wall * 1e3,
+        cells_per_sec: iters as f64 / wall.max(1e-9),
+        records_per_sec: (iters * records) as f64 / wall.max(1e-9),
+    }
+}
+
+/// The full `BENCH_hotpath.json` artifact.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HotpathReport {
+    /// Whether the fast (CI smoke) scale was used.
+    pub fast: bool,
+    /// One row per [`HOTPATH_CASES`] entry.
+    pub cases: Vec<HotpathMeasurement>,
+}

@@ -14,13 +14,17 @@
 //! | `figure5` | Figure 5 — per-config speedups + flexible summary |
 //! | `section3` | §3 — classic-architecture survey |
 //! | `sweep` | the full kernel × configuration grid in one parallel batch → `BENCH_sweep.json` |
+//! | `hotpath` | engine hot-path throughput (simulation only, scheduling excluded) → `BENCH_hotpath.json` |
 //!
 //! The Criterion benches (`cargo bench`) measure simulator throughput per
-//! kernel/configuration and sweep the mechanism ablations (revitalize
-//! delay, L0 latency, LMW width).
+//! kernel/configuration, sweep the mechanism ablations (revitalize
+//! delay, L0 latency, LMW width), and time the engine hot paths
+//! ([`hotpath`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod hotpath;
 
 use dlp_core::{ExperimentParams, MachineConfig, RunOutcome, Sweep};
 

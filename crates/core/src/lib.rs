@@ -58,7 +58,7 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use flexible::{flexible, Figure5, Figure5Row, FlexibleSummary};
 pub use recommend::{recommend, Recommendation};
 pub use runner::{
-    default_records, prepare_kernel, run_kernel, run_kernel_mech, run_prepared, ExperimentParams,
-    PreparedProgram, RunOutcome,
+    default_records, natural_unroll, prepare_kernel, run_kernel, run_kernel_mech, run_prepared,
+    ExperimentParams, PreparedProgram, RunOutcome,
 };
 pub use sweep::{CellOutcome, CellSpec, Sweep, SweepCell, SweepReport};

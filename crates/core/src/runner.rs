@@ -121,7 +121,7 @@ pub fn run_kernel_mech(
     params: &ExperimentParams,
 ) -> Result<(SimStats, Option<usize>), DlpError> {
     let prepared = prepare_kernel(kernel, mech, records, params)?;
-    run_prepared(kernel, &prepared, params)
+    run_prepared(kernel, &prepared, records, params)
 }
 
 /// A kernel lowered for one mechanism set, grid, and timing model —
@@ -130,17 +130,14 @@ pub fn run_kernel_mech(
 /// For dataflow configurations this holds the scheduled block (the
 /// expensive part: placement, routing, unrolling); for MIMD
 /// configurations the per-node program replicas and the lookup-table
-/// image. Preparation is deterministic in its inputs, so a prepared
-/// program may be cached and shared across runs — the sweep engine keys
-/// its cache on exactly the inputs of [`prepare_kernel`].
+/// image. A prepared program is independent of the record count it runs
+/// over (the count only caps the dataflow unroll factor at preparation
+/// time), so one plan serves every [`run_prepared`] call whose record
+/// count maps to the same unroll — the sharing [`natural_unroll`]
+/// exposes to the sweep engine's schedule cache.
 #[derive(Clone)]
 pub struct PreparedProgram {
     mech: MechanismSet,
-    /// Requested records (the verified output length).
-    records: usize,
-    /// Records padded to a whole number of unrolled iterations
-    /// (equal to `records` on MIMD configurations).
-    padded_records: usize,
     variant: PreparedVariant,
 }
 
@@ -160,12 +157,6 @@ impl PreparedProgram {
         self.mech
     }
 
-    /// Requested (unpadded) record count.
-    #[must_use]
-    pub fn records(&self) -> usize {
-        self.records
-    }
-
     /// Dataflow unroll factor (1 for MIMD configurations).
     #[must_use]
     pub fn unroll(&self) -> usize {
@@ -176,13 +167,36 @@ impl PreparedProgram {
     }
 }
 
+/// The memory layout every dataflow schedule in this driver uses.
+fn dataflow_layout() -> LayoutPlan {
+    LayoutPlan {
+        base_in: memmap::BASE_IN,
+        base_out: memmap::BASE_OUT,
+        table_base: memmap::TABLE_BASE,
+    }
+}
+
+/// Map a mechanism set onto the scheduler's target description.
+fn dataflow_target(mech: MechanismSet) -> trips_sched::TargetConfig {
+    trips_sched::TargetConfig {
+        smc: mech.smc,
+        l0_data_store: mech.l0_data_store,
+        operand_revitalization: mech.operand_revitalization,
+        dlp_unroll: mech.inst_revitalization,
+    }
+}
+
 /// Lower `kernel` for `mech`: schedule the dataflow block (or assemble
 /// and replicate the MIMD program) for the machine shape in `params`.
 ///
-/// The result depends on `kernel`, `mech`, `records`, `params.grid` and
-/// `params.timing` — notably *not* on `params.seed`, which only affects
-/// the workload generated at run time. That independence is what makes
-/// the sweep engine's schedule cache sound.
+/// `records` only *caps* the dataflow unroll factor (a plan is never
+/// unrolled past the records it will process); MIMD preparation ignores
+/// it entirely. The result depends on `kernel`, `mech`, `records`,
+/// `params.grid` and `params.timing` — notably *not* on `params.seed`,
+/// which only affects the workload generated at run time. That
+/// independence, plus [`natural_unroll`] to collapse record counts that
+/// choose the same unroll, is what makes the sweep engine's schedule
+/// cache sound.
 ///
 /// # Errors
 ///
@@ -197,50 +211,63 @@ pub fn prepare_kernel(
         let prog = kernel.mimd_program(MimdTarget { tables_in_l0: mech.l0_data_store })?;
         let progs = replicate_mimd(&prog, params.grid.nodes());
         let table = kernel.mimd_table_image();
-        Ok(PreparedProgram {
-            mech,
-            records,
-            padded_records: records,
-            variant: PreparedVariant::Mimd { progs, table },
-        })
+        Ok(PreparedProgram { mech, variant: PreparedVariant::Mimd { progs, table } })
     } else {
-        let layout = LayoutPlan {
-            base_in: memmap::BASE_IN,
-            base_out: memmap::BASE_OUT,
-            table_base: memmap::TABLE_BASE,
-        };
-        let target = trips_sched::TargetConfig {
-            smc: mech.smc,
-            l0_data_store: mech.l0_data_store,
-            operand_revitalization: mech.operand_revitalization,
-            dlp_unroll: mech.inst_revitalization,
-        };
         let sched = schedule_dataflow(
             &kernel.ir(),
             params.grid,
             &params.timing,
-            target,
-            layout,
+            dataflow_target(mech),
+            dataflow_layout(),
             ScheduleOptions { max_unroll: Some(records), ..ScheduleOptions::default() },
         )?;
-        // Pad the record count to a whole number of unrolled iterations.
-        let padded_records = records.div_ceil(sched.unroll) * sched.unroll;
-        Ok(PreparedProgram {
-            mech,
-            records,
-            padded_records,
-            variant: PreparedVariant::Dataflow(sched),
-        })
+        Ok(PreparedProgram { mech, variant: PreparedVariant::Dataflow(sched) })
     }
 }
 
-/// Execute a [`PreparedProgram`]: generate the workload from
-/// `params.seed`, stage memory, simulate, and verify every output word
-/// against the kernel's reference implementation.
+/// The unroll factor [`prepare_kernel`] would pick for `kernel` on `mech`
+/// with an *unbounded* record count — computed without running the
+/// expensive placement and routing passes. Returns 0 for MIMD
+/// configurations (`local_pc`), which never unroll: every record count
+/// shares one plan there.
+///
+/// For a dataflow configuration the unroll `prepare_kernel` actually
+/// chooses for `records` is `natural_unroll(..).min(records)` (both
+/// sides are ≥ 1 and ≤ 512), and two record counts with the same value
+/// of that expression produce bit-identical [`PreparedProgram`]s. The
+/// sweep engine uses this to coarsen its schedule-cache key so that
+/// large grids varying only the record count reuse one plan.
+///
+/// # Errors
+///
+/// Propagates IR validation / lowering probe failures ([`DlpError`]).
+pub fn natural_unroll(
+    kernel: &dyn DlpKernel,
+    mech: MechanismSet,
+    params: &ExperimentParams,
+) -> Result<usize, DlpError> {
+    if mech.local_pc {
+        return Ok(0);
+    }
+    trips_sched::planned_unroll(
+        &kernel.ir(),
+        params.grid,
+        &params.timing,
+        dataflow_target(mech),
+        dataflow_layout(),
+        ScheduleOptions::default(),
+    )
+}
+
+/// Execute a [`PreparedProgram`] over `records` records: generate the
+/// workload from `params.seed`, stage memory, simulate, and verify every
+/// output word against the kernel's reference implementation.
 ///
 /// `kernel` must be the kernel `prepared` was built from (it supplies
 /// the workload and reference outputs); the grid and timing in `params`
-/// must match the ones used at preparation time.
+/// must match the ones used at preparation time, and `records` must not
+/// exceed the cap given to [`prepare_kernel`] (the dataflow unroll never
+/// exceeds that cap, so any such count pads cleanly).
 ///
 /// # Errors
 ///
@@ -248,15 +275,20 @@ pub fn prepare_kernel(
 pub fn run_prepared(
     kernel: &dyn DlpKernel,
     prepared: &PreparedProgram,
+    records: usize,
     params: &ExperimentParams,
 ) -> Result<(SimStats, Option<usize>), DlpError> {
     let ir = kernel.ir();
     let in_words = ir.record_in_words() as usize;
     let out_words = ir.record_out_words() as usize;
-    let records = prepared.records;
+    // Pad the record count to a whole number of unrolled iterations.
+    let padded_records = match &prepared.variant {
+        PreparedVariant::Mimd { .. } => records,
+        PreparedVariant::Dataflow(sched) => records.div_ceil(sched.unroll) * sched.unroll,
+    };
     let mut machine = Machine::new(params.grid, params.timing, prepared.mech);
 
-    let workload = kernel.workload(prepared.padded_records, params.seed);
+    let workload = kernel.workload(padded_records, params.seed);
     stage(&mut machine, &workload, in_words)?;
 
     let stats = match &prepared.variant {
@@ -281,7 +313,7 @@ pub fn run_prepared(
             for (reg, v) in &sched.const_regs {
                 machine.set_reg(*reg, *v);
             }
-            let iterations = (prepared.padded_records / sched.unroll) as u64;
+            let iterations = (padded_records / sched.unroll) as u64;
             machine.run_dataflow(&sched.block, iterations)?
         }
     };

@@ -10,11 +10,19 @@
 //!   rest of the sweep behind it.
 //! * **Schedule caching** — lowering a kernel (placement, routing,
 //!   unrolling, or MIMD replication) depends only on the kernel, the
-//!   mechanism set, the grid/timing model, and the record cap. The
-//!   engine deduplicates those inputs and prepares each distinct
+//!   mechanism set, the grid/timing model, and the *unroll factor* the
+//!   record count caps. The engine coarsens the record count down to
+//!   that unroll cap (MIMD lowerings are record-independent outright;
+//!   dataflow cells share whenever `natural_unroll.min(records)`
+//!   agrees), deduplicates, and prepares each distinct
 //!   [`PreparedProgram`] exactly once, sharing it across all cells that
 //!   need it ([`SweepReport::plans_prepared`] vs
-//!   [`SweepReport::plan_reuses`] reports the savings).
+//!   [`SweepReport::plan_reuses`] reports the savings). Note the
+//!   default experiment grid (one record count per kernel, every
+//!   kernel × configuration pair distinct) legitimately reports
+//!   `plan_reuses: 0` — every cell really is a distinct lowering; the
+//!   cache pays off in grids that vary records, seeds, or repeat
+//!   configurations (scaling studies, ablations).
 //! * **Deterministic seeding** — each cell's workload seed is derived
 //!   from [`ExperimentParams::seed`] and the kernel's name alone, so
 //!   every configuration of a kernel sees the same records (speedups
@@ -59,7 +67,7 @@ use dlp_kernels::{suite, DlpKernel};
 use serde::{Deserialize, Serialize};
 use trips_sim::MechanismSet;
 
-use crate::runner::{prepare_kernel, run_prepared, PreparedProgram};
+use crate::runner::{natural_unroll, prepare_kernel, run_prepared, PreparedProgram};
 use crate::{ExperimentParams, MachineConfig};
 
 /// Handle to a kernel registered with a [`Sweep`].
@@ -201,7 +209,7 @@ impl Sweep {
     /// Runs every cell and collects a [`SweepReport`].
     ///
     /// Two work-stealing phases: first each *distinct* lowering (kernel
-    /// × mechanisms × grid × timing × record cap) is prepared once;
+    /// × mechanisms × grid × timing × unroll cap) is prepared once;
     /// then all cells execute against the shared prepared programs.
     /// Cell failures (e.g. incoherent mechanism sets in the
     /// configuration-space sweep) are captured per cell as
@@ -218,10 +226,11 @@ impl Sweep {
         // Linear-scan dedup: TimingParams is Eq but not Hash, and sweep
         // grids are tens-to-hundreds of cells, far below the n² that
         // would justify hashing around it.
+        let unroll_caps = self.unroll_caps();
         let mut plan_keys: Vec<PlanKey> = Vec::new();
         let mut cell_plan: Vec<usize> = Vec::with_capacity(self.cells.len());
-        for cell in &self.cells {
-            let key = PlanKey::of(cell);
+        for (cell, &cap) in self.cells.iter().zip(&unroll_caps) {
+            let key = PlanKey::of(cell, cap);
             let idx = match plan_keys.iter().position(|k| *k == key) {
                 Some(i) => i,
                 None => {
@@ -244,7 +253,7 @@ impl Sweep {
                     prepare_kernel(
                         self.kernels[key.kernel].as_ref(),
                         key.mech,
-                        key.records,
+                        key.unroll_cap,
                         &params,
                     )
                 })
@@ -262,7 +271,12 @@ impl Sweep {
                         ..cell.params
                     };
                     let ran = catch_cell(|| {
-                        run_prepared(self.kernels[cell.kernel].as_ref(), prepared, &params)
+                        run_prepared(
+                            self.kernels[cell.kernel].as_ref(),
+                            prepared,
+                            cell.records,
+                            &params,
+                        )
                     });
                     match ran {
                         Ok((stats, mismatch)) => CellOutcome::Ran { stats, mismatch },
@@ -296,6 +310,66 @@ impl Sweep {
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
             cells,
         }
+    }
+
+    /// Computes each cell's schedule-cache *unroll cap*: the record
+    /// count coarsened down to what the lowering can actually observe,
+    /// so cells differing only in record count share one
+    /// [`PreparedProgram`] whenever the plans are provably identical.
+    ///
+    /// Per coarse group (kernel × mechanisms × grid × timing):
+    ///
+    /// * **MIMD** (`local_pc`): the lowering never reads the record
+    ///   count — every cell gets cap 0 and shares one plan.
+    /// * **Dataflow, one distinct record count**: the cap is that count
+    ///   verbatim; no probe runs and the prepared plan is bit-for-bit
+    ///   the one the uncoarsened key produced.
+    /// * **Dataflow, several record counts**: one cheap
+    ///   [`natural_unroll`] probe (IR validation + instruction count,
+    ///   no placement) finds the unroll `n` an unbounded record supply
+    ///   would pick; each cell's cap is `n.min(records)` — exactly the
+    ///   unroll [`prepare_kernel`] chooses for that count, so equal
+    ///   caps imply identical schedules. A failing probe falls back to
+    ///   the raw record counts and lets phase 1 surface the error per
+    ///   distinct count.
+    fn unroll_caps(&self) -> Vec<usize> {
+        let mut caps: Vec<usize> = self.cells.iter().map(|c| c.records).collect();
+        // Group by a PlanKey with the cap zeroed out (linear scan, same
+        // rationale as the phase-1 dedup).
+        let mut groups: Vec<(PlanKey, Vec<usize>)> = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let key = PlanKey::of(cell, 0);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        for (key, members) in &groups {
+            if key.mech.local_pc {
+                for &i in members {
+                    caps[i] = 0;
+                }
+                continue;
+            }
+            let first = self.cells[members[0]].records;
+            if members.iter().all(|&i| self.cells[i].records == first) {
+                continue;
+            }
+            let params = ExperimentParams {
+                grid: key.grid,
+                timing: key.timing,
+                ..ExperimentParams::default()
+            };
+            let probe = catch_cell(|| {
+                natural_unroll(self.kernels[key.kernel].as_ref(), key.mech, &params)
+            });
+            if let Ok(n) = probe {
+                for &i in members {
+                    caps[i] = n.min(self.cells[i].records);
+                }
+            }
+        }
+        caps
     }
 
     /// Maps `f` over `0..n` with the work-stealing pool, preserving
@@ -356,25 +430,26 @@ fn catch_cell<T>(f: impl FnOnce() -> Result<T, DlpError>) -> Result<T, DlpError>
     }
 }
 
-/// Cache key for one lowering: exactly the inputs of
-/// [`prepare_kernel`] (the workload seed deliberately excluded).
+/// Cache key for one lowering: the inputs of [`prepare_kernel`], with
+/// the record count coarsened to the unroll cap [`Sweep::unroll_caps`]
+/// computes (the workload seed deliberately excluded).
 #[derive(Clone, Copy, PartialEq)]
 struct PlanKey {
     kernel: KernelId,
     mech: MechanismSet,
     grid: dlp_common::GridShape,
     timing: dlp_common::TimingParams,
-    records: usize,
+    unroll_cap: usize,
 }
 
 impl PlanKey {
-    fn of(cell: &CellSpec) -> Self {
+    fn of(cell: &CellSpec, unroll_cap: usize) -> Self {
         PlanKey {
             kernel: cell.kernel,
             mech: cell.mech,
             grid: cell.params.grid,
             timing: cell.params.timing,
-            records: cell.records,
+            unroll_cap,
         }
     }
 }
@@ -595,6 +670,81 @@ mod tests {
         let report = sweep.run();
         assert_eq!(report.plans_prepared, 1, "one distinct lowering");
         assert_eq!(report.plan_reuses, 3);
+        report.ensure_verified().expect("verifies");
+    }
+
+    /// Runs one cell outside the sweep (fresh lowering, no cache) with
+    /// the seed the sweep would derive, for bit-identity comparisons.
+    fn uncached(kernel_name: &str, config: MachineConfig, records: usize) -> SimStats {
+        let base = ExperimentParams::default();
+        let params =
+            ExperimentParams { seed: derive_seed(base.seed, kernel_name), ..base };
+        let k = suite().into_iter().find(|k| k.name() == kernel_name).expect("suite kernel");
+        let (stats, mismatch) =
+            crate::run_kernel_mech(k.as_ref(), config.mechanisms(), records, &params)
+                .expect("uncached run succeeds");
+        assert_eq!(mismatch, None, "{kernel_name} on {config} verifies");
+        stats
+    }
+
+    #[test]
+    fn mimd_cells_share_one_plan_across_record_counts() {
+        // MIMD lowering never reads the record count, so a scaling
+        // study over records reuses a single replicated program.
+        let params = ExperimentParams::default();
+        let mut sweep = Sweep::with_threads(2);
+        let id = sweep.add_kernel_by_name("convert").expect("suite kernel");
+        for records in [8, 24, 48] {
+            sweep.push_config(id, MachineConfig::M, records, &params);
+        }
+        let report = sweep.run();
+        assert_eq!(report.plans_prepared, 1, "one shared MIMD lowering");
+        assert_eq!(report.plan_reuses, 2);
+        report.ensure_verified().expect("verifies");
+        for (cell, records) in report.cells.iter().zip([8, 24, 48]) {
+            let fresh = uncached("convert", MachineConfig::M, records);
+            assert_eq!(cell.outcome.stats(), Some(&fresh), "cached == uncached at {records}");
+        }
+    }
+
+    #[test]
+    fn dataflow_record_counts_sharing_an_unroll_share_one_plan() {
+        // The unroll clamp tops out at 512, so any record count ≥ 512
+        // yields the same effective unroll — one plan serves them all,
+        // with statistics bit-identical to fresh uncached lowerings.
+        let params = ExperimentParams::default();
+        let mut sweep = Sweep::with_threads(2);
+        let id = sweep.add_kernel_by_name("convert").expect("suite kernel");
+        for records in [512, 768, 1024] {
+            sweep.push_config(id, MachineConfig::SO, records, &params);
+        }
+        let report = sweep.run();
+        assert_eq!(report.plans_prepared, 1, "one shared dataflow lowering");
+        assert_eq!(report.plan_reuses, 2);
+        report.ensure_verified().expect("verifies");
+        for (cell, records) in report.cells.iter().zip([512, 768, 1024]) {
+            let fresh = uncached("convert", MachineConfig::SO, records);
+            assert_eq!(cell.outcome.stats(), Some(&fresh), "cached == uncached at {records}");
+        }
+    }
+
+    #[test]
+    fn dataflow_cache_splits_when_the_effective_unroll_differs() {
+        // A tiny record count caps the unroll below the natural factor,
+        // which is a genuinely different schedule — it must not share.
+        let params = ExperimentParams::default();
+        let k = suite().into_iter().find(|k| k.name() == "convert").expect("suite kernel");
+        let n = natural_unroll(k.as_ref(), MachineConfig::SO.mechanisms(), &params)
+            .expect("probe succeeds");
+        assert!(n > 8, "convert's unroll budget exceeds 8 instances (got {n})");
+
+        let mut sweep = Sweep::with_threads(2);
+        let id = sweep.add_kernel_by_name("convert").expect("suite kernel");
+        sweep.push_config(id, MachineConfig::SO, 8, &params);
+        sweep.push_config(id, MachineConfig::SO, 512, &params);
+        let report = sweep.run();
+        assert_eq!(report.plans_prepared, 2, "unroll 8 vs {n} are distinct lowerings");
+        assert_eq!(report.plan_reuses, 0);
         report.ensure_verified().expect("verifies");
     }
 

@@ -32,8 +32,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-
 use dlp_common::{Coord, GridShape, NetParams, Tick};
 use serde::{Deserialize, Serialize};
 
@@ -63,18 +61,22 @@ impl Endpoint {
 /// Direction of a unidirectional mesh link leaving a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 enum Dir {
-    North,
-    South,
-    East,
-    West,
+    North = 0,
+    South = 1,
+    East = 2,
+    West = 3,
 }
 
-/// A unidirectional link: the node it leaves and the direction it points.
-type Link = (Coord, Dir);
+/// Links leaving each node (one per [`Dir`]).
+const LINKS_PER_NODE: usize = 4;
 
 /// Reservation state for one link: the latest tick with traffic and how many
 /// messages already departed on that tick.
-#[derive(Clone, Copy, Debug)]
+///
+/// The all-zero state is the "never used" state: `tick: 0, count: 0` never
+/// blocks or delays a message (a zero count can't fill a slot), so a
+/// pre-filled flat table behaves exactly like an absent hash entry.
+#[derive(Clone, Copy, Debug, Default)]
 struct LinkUse {
     tick: Tick,
     count: u32,
@@ -100,7 +102,10 @@ pub struct NetStats {
 pub struct MeshRouter {
     grid: GridShape,
     params: NetParams,
-    usage: HashMap<Link, LinkUse>,
+    /// Per-link reservation state in a flat table indexed by
+    /// `node_index * LINKS_PER_NODE + direction` — the per-hop path is a
+    /// dense array access, never a hash lookup.
+    usage: Vec<LinkUse>,
     stats: NetStats,
 }
 
@@ -108,7 +113,12 @@ impl MeshRouter {
     /// Create a router for `grid` with the given parameters.
     #[must_use]
     pub fn new(grid: GridShape, params: NetParams) -> Self {
-        MeshRouter { grid, params, usage: HashMap::new(), stats: NetStats::default() }
+        MeshRouter {
+            grid,
+            params,
+            usage: vec![LinkUse::default(); grid.nodes() * LINKS_PER_NODE],
+            stats: NetStats::default(),
+        }
     }
 
     /// The grid this router serves.
@@ -124,8 +134,10 @@ impl MeshRouter {
     }
 
     /// Forget link occupancy and statistics (used between kernel runs).
+    ///
+    /// Clears the link table in place; the storage is reused across runs.
     pub fn reset(&mut self) {
-        self.usage.clear();
+        self.usage.fill(LinkUse::default());
         self.stats = NetStats::default();
     }
 
@@ -184,9 +196,8 @@ impl MeshRouter {
     /// Traverse one link: wait for a departure slot, reserve it, advance
     /// time. A link carries at most `link_msgs_per_tick` messages per tick.
     fn traverse(&mut self, at: Coord, dir: Dir, ready: Tick) -> Tick {
-        let link = (at, dir);
         let cap = self.params.link_msgs_per_tick.max(1);
-        let entry = self.usage.entry(link).or_insert(LinkUse { tick: 0, count: 0 });
+        let entry = &mut self.usage[self.grid.index(at) * LINKS_PER_NODE + dir as usize];
         let mut depart = ready;
         if entry.tick >= ready && entry.count >= cap {
             depart = entry.tick + 1; // slot on `entry.tick` is full

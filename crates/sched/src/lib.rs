@@ -31,7 +31,9 @@
 mod lower;
 mod place;
 
-pub use lower::{schedule_dataflow, LayoutPlan, ScheduleOptions, ScheduledKernel, TargetConfig};
+pub use lower::{
+    planned_unroll, schedule_dataflow, LayoutPlan, ScheduleOptions, ScheduledKernel, TargetConfig,
+};
 pub use place::Placer;
 
 use dlp_common::GridShape;

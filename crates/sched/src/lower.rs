@@ -112,6 +112,38 @@ pub fn schedule_dataflow(
     layout: LayoutPlan,
     opts: ScheduleOptions,
 ) -> Result<ScheduledKernel, DlpError> {
+    let unroll = planned_unroll(ir, grid, params, cfg, layout, opts)?;
+
+    let mut lowering = Lowering::new(ir, grid, params, cfg, layout, unroll);
+    for u in 0..unroll {
+        lowering.lower_instance(u)?;
+    }
+    let kernel = lowering.finish()?;
+    // Surface scheduler bugs immediately.
+    kernel.block.validate(grid, params.core.rs_slots_per_node)?;
+    Ok(kernel)
+}
+
+/// The unroll factor [`schedule_dataflow`] would pick for these inputs,
+/// computed from a one-instance dry run without lowering the full block.
+///
+/// This is the *only* way [`ScheduleOptions::max_unroll`] (and hence a
+/// workload's record count) influences a schedule, so two option sets
+/// that map to the same planned unroll produce identical
+/// [`ScheduledKernel`]s — the property the sweep engine's schedule
+/// cache exploits to share lowerings across record counts.
+///
+/// # Errors
+///
+/// [`DlpError::MalformedProgram`] — the IR fails validation.
+pub fn planned_unroll(
+    ir: &KernelIr,
+    grid: GridShape,
+    params: &TimingParams,
+    cfg: TargetConfig,
+    layout: LayoutPlan,
+    opts: ScheduleOptions,
+) -> Result<usize, DlpError> {
     ir.validate()?;
     // Dry-run one instance to learn its lowered size.
     let probe = Lowering::new(ir, grid, params, cfg, layout, 1);
@@ -126,16 +158,7 @@ pub fn schedule_dataflow(
     // Keep one instance per row when possible so LMW channels spread, and
     // bound the block so event counts stay sane.
     let capped = natural.min(opts.max_unroll.unwrap_or(usize::MAX));
-    let unroll = opts.unroll.unwrap_or(capped).clamp(1, 512);
-
-    let mut lowering = Lowering::new(ir, grid, params, cfg, layout, unroll);
-    for u in 0..unroll {
-        lowering.lower_instance(u)?;
-    }
-    let kernel = lowering.finish()?;
-    // Surface scheduler bugs immediately.
-    kernel.block.validate(grid, params.core.rs_slots_per_node)?;
-    Ok(kernel)
+    Ok(opts.unroll.unwrap_or(capped).clamp(1, 512))
 }
 
 struct Lowering<'a> {

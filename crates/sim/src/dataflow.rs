@@ -22,7 +22,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use dlp_common::{DlpError, SimStats, Tick, Value};
+use dlp_common::{Coord, DlpError, SimStats, Tick, Value};
 use trips_isa::{DataflowBlock, MemSpace, OpClass, OpRole, Opcode, Port, Target};
 use trips_mem::Throttle;
 use trips_noc::Endpoint;
@@ -43,6 +43,19 @@ fn port_idx(p: Port) -> usize {
         Port::Right => 1,
         Port::Pred => 2,
     }
+}
+
+/// A [`Target`] with every per-event lookup resolved at block-map time:
+/// port targets carry the destination's dense instruction index (no
+/// slot-hash lookup on delivery) and register targets carry their bank
+/// column.
+#[derive(Clone, Copy)]
+enum ResolvedTarget {
+    /// An operand port of instruction `inst`, which lives on `node`.
+    Port { inst: usize, node: Coord, port: Port },
+    /// Architectural register `reg`, written through the bank above
+    /// `bank_col`.
+    Reg { reg: u16, bank_col: u8 },
 }
 
 /// Events, ordered by (tick, sequence).
@@ -105,11 +118,19 @@ impl Frame {
 struct Engine<'a> {
     m: &'a mut Machine,
     block: &'a DataflowBlock,
-    idx_of: HashMap<trips_isa::Slot, usize>,
     frames: Vec<Frame>,
     /// Which ports of each instruction must be filled before issue.
     required: Vec<[bool; 3]>,
-    node_issue: HashMap<dlp_common::Coord, Throttle>,
+    /// Per-instruction targets with slot lookups pre-resolved (same order
+    /// as `insts()[i].targets`, so LMW word `k` still maps to target `k`).
+    resolved: Vec<Vec<ResolvedTarget>>,
+    /// Port destinations of each register read (same order as the port
+    /// targets in `reg_reads()[ri].targets`).
+    reg_read_dsts: Vec<Vec<(usize, Port, Coord)>>,
+    /// Dense grid index of each instruction's node, for issue throttling.
+    inst_node: Vec<usize>,
+    /// Per-node issue throttles, indexed by dense grid index.
+    node_issue: Vec<Throttle>,
     reg_bank_ports: Vec<Throttle>,
     events: BinaryHeap<Reverse<EvEntry>>,
     seq: u64,
@@ -138,7 +159,9 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Index instructions by slot and record which ports are fed.
+        // Index instructions by slot (setup-time only: the hot paths go
+        // through the pre-resolved tables built below) and record which
+        // ports are fed.
         let mut idx_of = HashMap::new();
         for (i, inst) in block.insts().iter().enumerate() {
             idx_of.insert(inst.slot, i);
@@ -173,14 +196,47 @@ impl<'a> Engine<'a> {
 
         let banks = m.params().core.reg_banks.max(1);
         let reads_per = m.params().core.reg_reads_per_bank_per_cycle.max(1);
+        let reg_cols = m.grid().cols();
+        let resolve = |t: &Target| match *t {
+            Target::Port { slot, port } => {
+                ResolvedTarget::Port { inst: idx_of[&slot], node: slot.node, port }
+            }
+            Target::Reg(reg) => {
+                let bank_col = ((reg % banks as u16) as u8).min(reg_cols - 1);
+                ResolvedTarget::Reg { reg, bank_col }
+            }
+        };
+        let resolved: Vec<Vec<ResolvedTarget>> =
+            block.insts().iter().map(|inst| inst.targets.iter().map(resolve).collect()).collect();
+        let reg_read_dsts: Vec<Vec<(usize, Port, Coord)>> = block
+            .reg_reads()
+            .iter()
+            .map(|rr| {
+                rr.targets
+                    .iter()
+                    .filter_map(|t| match *t {
+                        Target::Port { slot, port } => Some((idx_of[&slot], port, slot.node)),
+                        Target::Reg(_) => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let grid = m.grid();
+        let inst_node: Vec<usize> =
+            block.insts().iter().map(|inst| grid.index(inst.slot.node)).collect();
+        // Preallocate the event heap for one operand per target plus
+        // per-frame slack, so steady-state pushes never reallocate.
+        let ev_cap = (resolved.iter().map(Vec::len).sum::<usize>() + block.len() + 8) * n_frames;
         Ok(Engine {
             block,
-            idx_of,
             frames: vec![Frame::new(block.len()); n_frames],
             required,
-            node_issue: HashMap::new(),
+            resolved,
+            reg_read_dsts,
+            inst_node,
+            node_issue: (0..grid.nodes()).map(|_| Throttle::new(1)).collect(),
             reg_bank_ports: (0..banks).map(|_| Throttle::new(reads_per)).collect(),
-            events: BinaryHeap::new(),
+            events: BinaryHeap::with_capacity(ev_cap),
             seq: 0,
             stats: SimStats::new(),
             m,
@@ -202,7 +258,7 @@ impl<'a> Engine<'a> {
         // Register reads.
         let banks = self.reg_bank_ports.len() as u16;
         let reg_cols = self.m.grid().cols();
-        for rr in block.reg_reads() {
+        for (ri, rr) in block.reg_reads().iter().enumerate() {
             if !first && op_revit && rr.persistent {
                 continue; // value survived revitalization
             }
@@ -211,15 +267,11 @@ impl<'a> Engine<'a> {
             self.stats.reg_reads += 1;
             let bank_col = (bank as u8).min(reg_cols - 1);
             let value = self.m.regs[rr.reg as usize];
-            for t in &rr.targets {
-                if let Target::Port { slot, port } = *t {
-                    let arrive = self
-                        .m
-                        .router
-                        .send(Endpoint::RegBank(bank_col), Endpoint::Node(slot.node), inject);
-                    let inst = self.idx_of[&slot];
-                    self.push(frame, arrive, Ev::Operand { inst, port, value });
-                }
+            for k in 0..self.reg_read_dsts[ri].len() {
+                let (inst, port, node) = self.reg_read_dsts[ri][k];
+                let arrive =
+                    self.m.router.send(Endpoint::RegBank(bank_col), Endpoint::Node(node), inject);
+                self.push(frame, arrive, Ev::Operand { inst, port, value });
             }
         }
         // Source instructions with no required operands (MovI, Iter,
@@ -246,8 +298,7 @@ impl<'a> Engine<'a> {
         let block = self.block;
         let inst = &block.insts()[i];
         let node = inst.slot.node;
-        let throttle = self.node_issue.entry(node).or_insert_with(|| Throttle::new(1));
-        let issue = reserve_cycle(throttle, t);
+        let issue = reserve_cycle(&mut self.node_issue[self.inst_node[i]], t);
         self.frames[frame].rs[i].executed = true;
         self.frames[frame].executed += 1;
 
@@ -319,9 +370,10 @@ impl<'a> Engine<'a> {
                 self.stats.lmw_words += u64::from(n);
                 let served = self.m.smc[row as usize].access_wide(addr, n, req);
                 // The streaming channel delivers word k straight to target k.
-                for (k, tgt) in inst.targets.iter().enumerate() {
+                for k in 0..self.resolved[i].len() {
+                    let tgt = self.resolved[i][k];
                     let v = self.m.mem.read(addr + k as u64);
-                    self.deliver(frame, *tgt, Endpoint::MemPort(row), served, v);
+                    self.deliver(frame, tgt, Endpoint::MemPort(row), served, v);
                 }
             }
             Opcode::Store(space) => {
@@ -354,27 +406,24 @@ impl<'a> Engine<'a> {
 
     /// Route instruction `i`'s result to all its targets at `t`.
     fn fan_out(&mut self, frame: usize, i: usize, t: Tick, v: Value) {
-        let block = self.block;
-        let inst = &block.insts()[i];
-        let node = inst.slot.node;
-        for tgt in &inst.targets {
-            self.deliver(frame, *tgt, Endpoint::Node(node), t, v);
+        let node = self.block.insts()[i].slot.node;
+        let n_targets = self.resolved[i].len();
+        for k in 0..n_targets {
+            let tgt = self.resolved[i][k];
+            self.deliver(frame, tgt, Endpoint::Node(node), t, v);
         }
-        if inst.targets.is_empty() {
+        if n_targets == 0 {
             self.push(frame, t, Ev::Quiesce);
         }
     }
 
-    fn deliver(&mut self, frame: usize, tgt: Target, from: Endpoint, t: Tick, v: Value) {
+    fn deliver(&mut self, frame: usize, tgt: ResolvedTarget, from: Endpoint, t: Tick, v: Value) {
         match tgt {
-            Target::Port { slot, port } => {
-                let arrive = self.m.router.send(from, Endpoint::Node(slot.node), t);
-                let inst = self.idx_of[&slot];
+            ResolvedTarget::Port { inst, node, port } => {
+                let arrive = self.m.router.send(from, Endpoint::Node(node), t);
                 self.push(frame, arrive, Ev::Operand { inst, port, value: v });
             }
-            Target::Reg(reg) => {
-                let banks = self.reg_bank_ports.len() as u16;
-                let bank_col = ((reg % banks) as u8).min(self.m.grid().cols() - 1);
+            ResolvedTarget::Reg { reg, bank_col } => {
                 let arrive = self.m.router.send(from, Endpoint::RegBank(bank_col), t);
                 self.m.regs[reg as usize] = v;
                 self.stats.reg_writes += 1;

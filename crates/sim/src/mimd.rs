@@ -9,7 +9,7 @@
 //! `Send`/`Recv` give fine-grain ALU-ALU synchronization.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use dlp_common::{Coord, DlpError, SimStats, Tick, Value};
 use trips_isa::{
@@ -37,7 +37,28 @@ impl NodeState {
 }
 
 /// In-flight messages `src rank -> dst rank`: FIFO of (arrival tick, value).
-type Channels = HashMap<(usize, usize), VecDeque<(Tick, Value)>>;
+///
+/// A flat table indexed `src * n_ranks + dst`, so every `Send`/`Recv` is a
+/// dense array access instead of a hash lookup.
+struct Channels {
+    queues: Vec<VecDeque<(Tick, Value)>>,
+    n_ranks: usize,
+}
+
+impl Channels {
+    fn new(n_ranks: usize) -> Self {
+        Channels { queues: vec![VecDeque::new(); n_ranks * n_ranks], n_ranks }
+    }
+
+    fn get_mut(&mut self, src: usize, dst: usize) -> &mut VecDeque<(Tick, Value)> {
+        &mut self.queues[src * self.n_ranks + dst]
+    }
+}
+
+/// The ready queue: nodes keyed by (tick they may proceed, rank). There is
+/// no sequence number — ties are broken by rank — so pop order depends only
+/// on the multiset of pushed entries, not on push order.
+type ReadyQueue = BinaryHeap<Reverse<(Tick, usize)>>;
 
 /// Outcome of executing one instruction.
 enum Step {
@@ -167,9 +188,12 @@ impl Machine {
             stats.iterations = stats.iterations.max(recs);
         }
         let coords: Vec<Coord> = ranks.iter().map(|&i| self.grid().coord(i)).collect();
+        // Where `Send dst` routes to, precomputed per destination rank.
+        let send_coords: Vec<Coord> =
+            (0..ranks.len()).map(|d| self.grid().coord_of_rank(d, ranks.len())).collect();
 
-        let mut channels: Channels = HashMap::new();
-        let mut queue: BinaryHeap<Reverse<(Tick, usize)>> = BinaryHeap::new();
+        let mut channels = Channels::new(ranks.len());
+        let mut queue: ReadyQueue = BinaryHeap::with_capacity(ranks.len() * 2);
         for rank in 0..ranks.len() {
             queue.push(Reverse((start, rank)));
         }
@@ -203,6 +227,8 @@ impl Machine {
                 inst,
                 &mut nodes,
                 &mut channels,
+                &mut queue,
+                &send_coords,
                 &mut stats,
                 &mut max_drain,
             );
@@ -213,18 +239,6 @@ impl Machine {
                 }
                 Step::Halted => {}
                 Step::BlockedRecv => {}
-            }
-
-            // Wake any receiver whose channel now has a deliverable message.
-            for (wrank, st) in nodes.iter_mut().enumerate() {
-                if let Some(src) = st.blocked_recv {
-                    if let Some(q) = channels.get(&(src, wrank)) {
-                        if let Some(&(arrive, _)) = q.front() {
-                            st.blocked_recv = None;
-                            queue.push(Reverse((arrive.max(t), wrank)));
-                        }
-                    }
-                }
             }
         }
 
@@ -243,6 +257,11 @@ impl Machine {
 
     /// Execute one instruction for node `rank` at tick `t`, mutating the
     /// node state (registers, pc) and returning when the node may proceed.
+    ///
+    /// `Send` wakes its destination directly (pushing onto `queue`) when
+    /// that node is blocked on the matching channel; a blocked node's
+    /// channel is always empty, so the arriving message is necessarily the
+    /// queue front the old post-step scan would have found.
     #[allow(clippy::too_many_arguments)]
     fn step_inst(
         &mut self,
@@ -252,6 +271,8 @@ impl Machine {
         inst: MimdInst,
         nodes: &mut [NodeState],
         channels: &mut Channels,
+        queue: &mut ReadyQueue,
+        send_coords: &[Coord],
         stats: &mut SimStats,
         max_drain: &mut Tick,
     ) -> Step {
@@ -365,17 +386,27 @@ impl Machine {
             }
             MimdOp::Send => {
                 let dst = (imm as usize).min(nodes.len().saturating_sub(1));
-                let dst_coord = self.grid().coord_of_rank(dst, nodes.len());
                 let arrive =
-                    self.router.send(Endpoint::Node(coord), Endpoint::Node(dst_coord), t + alu);
-                channels.entry((rank, dst)).or_default().push_back((arrive, ra));
+                    self.router.send(Endpoint::Node(coord), Endpoint::Node(send_coords[dst]), t + alu);
+                channels.get_mut(rank, dst).push_back((arrive, ra));
+                if nodes[dst].blocked_recv == Some(rank) {
+                    // The receiver blocked on an empty channel; this message
+                    // is the front, so it proceeds at the arrival tick.
+                    nodes[dst].blocked_recv = None;
+                    queue.push(Reverse((arrive, dst)));
+                }
                 nodes[rank].pc += 1;
                 count!(false);
                 Step::Continue(t + alu)
             }
             MimdOp::Recv => {
                 let src = imm as usize;
-                let q = channels.entry((src, rank)).or_default();
+                if src >= nodes.len() {
+                    // No such peer: block forever (reported as a deadlock).
+                    nodes[rank].blocked_recv = Some(src);
+                    return Step::BlockedRecv;
+                }
+                let q = channels.get_mut(src, rank);
                 match q.front().copied() {
                     Some((arrive, v)) if arrive <= t => {
                         q.pop_front();
@@ -385,7 +416,12 @@ impl Machine {
                         count!(false);
                         Step::Continue(t + alu)
                     }
-                    _ => {
+                    Some((arrive, _)) => {
+                        // In flight but not yet arrived: retry at arrival.
+                        queue.push(Reverse((arrive, rank)));
+                        Step::BlockedRecv
+                    }
+                    None => {
                         nodes[rank].blocked_recv = Some(src);
                         Step::BlockedRecv
                     }

@@ -1,0 +1,118 @@
+//! Golden statistics: full [`SimStats`] pinned bit-for-bit for one cell
+//! of each engine family, run through the [`Sweep`] pipeline exactly as
+//! the `BENCH_sweep.json` artifact is produced (derived per-kernel
+//! seeds, schedule cache, work-stealing workers).
+//!
+//! These literals were captured from the sweep engine *before* the
+//! flat-indexed hot-path rewrite of the dataflow/MIMD/NoC engines, so
+//! they pin the simulated machine's behavior across performance work:
+//! any change to routing, issue arbitration, wake-up order, cache
+//! modeling, or scheduling that shifts even one counter fails here
+//! loudly instead of silently skewing every figure. If a change is
+//! *meant* to alter machine behavior, re-capture the literals with
+//! `cargo run --release -p dlp-bench --bin sweep -- --quick` and say so
+//! in the commit message.
+
+use dlp_common::SimStats;
+use dlp_core::sweep::Sweep;
+use dlp_core::{ExperimentParams, MachineConfig};
+
+/// Runs one kernel × configuration cell at 24 records through a real
+/// two-worker sweep and returns its statistics.
+fn sweep_stats(kernel: &str, config: MachineConfig) -> SimStats {
+    let params = ExperimentParams::default();
+    let mut sweep = Sweep::with_threads(2);
+    let id = sweep.add_kernel_by_name(kernel).expect("suite kernel");
+    sweep.push_config(id, config, 24, &params);
+    let report = sweep.run();
+    report.ensure_verified().expect("cell verifies");
+    *report.cells[0].outcome.stats().expect("cell ran")
+}
+
+#[test]
+fn convert_baseline_stats_are_pinned() {
+    // Baseline dataflow: per-word L1 loads, block refetch every
+    // iteration — the engine family with no universal mechanisms.
+    let got = sweep_stats("convert", MachineConfig::Baseline);
+    let want = SimStats {
+        ticks: 271,
+        useful_ops: 360,
+        overhead_ops: 264,
+        loads: 72,
+        stores: 72,
+        lmw_words: 0,
+        l1_accesses: 144,
+        l1_misses: 81,
+        smc_accesses: 0,
+        l0_accesses: 0,
+        reg_reads: 54,
+        reg_writes: 0,
+        net_msgs: 1248,
+        net_hops: 3504,
+        blocks_fetched: 6,
+        revitalizations: 0,
+        iterations: 6,
+        mimd_fetches: 0,
+        mem_stall_node_cycles: 0,
+    };
+    assert_eq!(got, want);
+}
+
+#[test]
+fn convert_so_stats_are_pinned() {
+    // S-O dataflow: SMC streams (LMW wide fetches) plus operand and
+    // instruction revitalization — one fetched block, revitalized.
+    let got = sweep_stats("convert", MachineConfig::SO);
+    let want = SimStats {
+        ticks: 428,
+        useful_ops: 360,
+        overhead_ops: 288,
+        loads: 24,
+        stores: 72,
+        lmw_words: 72,
+        l1_accesses: 0,
+        l1_misses: 0,
+        smc_accesses: 24,
+        l0_accesses: 0,
+        reg_reads: 9,
+        reg_writes: 0,
+        net_msgs: 1152,
+        net_hops: 4093,
+        blocks_fetched: 1,
+        revitalizations: 0,
+        iterations: 1,
+        mimd_fetches: 0,
+        mem_stall_node_cycles: 0,
+    };
+    assert_eq!(got, want);
+}
+
+#[test]
+fn blowfish_m_stats_are_pinned() {
+    // M MIMD: local program counters, per-node fetch, Feistel table
+    // lookups through the L1 — exercises the MIMD engine's channel and
+    // wake-up machinery plus the memory-stall accounting.
+    let got = sweep_stats("blowfish", MachineConfig::M);
+    let want = SimStats {
+        ticks: 3314,
+        useful_ops: 5136,
+        overhead_ops: 2064,
+        loads: 1992,
+        stores: 24,
+        lmw_words: 0,
+        l1_accesses: 1968,
+        l1_misses: 399,
+        smc_accesses: 24,
+        l0_accesses: 0,
+        reg_reads: 0,
+        reg_writes: 0,
+        net_msgs: 4008,
+        net_hops: 18036,
+        blocks_fetched: 1,
+        revitalizations: 0,
+        iterations: 24,
+        mimd_fetches: 9280,
+        mem_stall_node_cycles: 24648,
+    };
+    assert_eq!(got, want);
+}
