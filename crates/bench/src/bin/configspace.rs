@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 CellOutcome::Ran { mismatch: Some(at), .. } => {
                     println!("  {:<40} WRONG OUTPUT at word {at}", cell.config);
                 }
-                CellOutcome::Failed { error } => {
+                CellOutcome::Failed { error, .. } => {
                     println!("  {:<40} unsupported: {error}", cell.config);
                 }
             }

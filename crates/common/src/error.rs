@@ -38,12 +38,50 @@ pub enum DlpError {
     Watchdog {
         /// Ticks elapsed when the watchdog fired.
         ticks: u64,
+        /// Where the simulation was when the watchdog fired (engine, block
+        /// or rank, progress) — so a failed sweep cell can be located
+        /// without a re-run. Empty when the site offered no context.
+        context: String,
     },
     /// A configuration parameter was invalid.
     InvalidConfig {
         /// Description of the problem.
         detail: String,
     },
+    /// An injected fault exhausted its retry budget; the run was aborted
+    /// cleanly instead of delivering corrupt data or spinning to the
+    /// watchdog.
+    FaultUnrecoverable {
+        /// The fault site (stable name from `FaultSite::name`).
+        site: &'static str,
+        /// Simulated tick at which recovery was abandoned.
+        tick: u64,
+        /// What was tried before giving up.
+        detail: String,
+    },
+    /// A bug in the simulator itself (e.g. a panic caught at a sweep-cell
+    /// boundary) — never the simulated program's fault.
+    Internal {
+        /// Description of the defect, including any panic payload.
+        detail: String,
+    },
+}
+
+impl DlpError {
+    /// A stable, machine-readable kind tag for each variant — used by the
+    /// sweep's structured failure diagnostics and the fault bins.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DlpError::CapacityExceeded { .. } => "capacity-exceeded",
+            DlpError::Unsupported { .. } => "unsupported",
+            DlpError::MalformedProgram { .. } => "malformed-program",
+            DlpError::Watchdog { .. } => "watchdog",
+            DlpError::InvalidConfig { .. } => "invalid-config",
+            DlpError::FaultUnrecoverable { .. } => "fault-unrecoverable",
+            DlpError::Internal { .. } => "internal",
+        }
+    }
 }
 
 impl fmt::Display for DlpError {
@@ -54,10 +92,21 @@ impl fmt::Display for DlpError {
             }
             DlpError::Unsupported { what } => write!(f, "unsupported on this configuration: {what}"),
             DlpError::MalformedProgram { detail } => write!(f, "malformed program: {detail}"),
-            DlpError::Watchdog { ticks } => {
-                write!(f, "simulation watchdog fired after {ticks} ticks (deadlock?)")
+            DlpError::Watchdog { ticks, context } => {
+                if context.is_empty() {
+                    write!(f, "simulation watchdog fired after {ticks} ticks (deadlock?)")
+                } else {
+                    write!(
+                        f,
+                        "simulation watchdog fired after {ticks} ticks in {context} (deadlock?)"
+                    )
+                }
             }
             DlpError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            DlpError::FaultUnrecoverable { site, tick, detail } => {
+                write!(f, "unrecoverable fault at {site} (tick {tick}): {detail}")
+            }
+            DlpError::Internal { detail } => write!(f, "internal simulator error: {detail}"),
         }
     }
 }
@@ -74,8 +123,11 @@ mod tests {
             DlpError::CapacityExceeded { resource: "reservation stations", needed: 10, available: 4 },
             DlpError::Unsupported { what: "data-dependent branch".into() },
             DlpError::MalformedProgram { detail: "dangling target".into() },
-            DlpError::Watchdog { ticks: 100 },
+            DlpError::Watchdog { ticks: 100, context: String::new() },
+            DlpError::Watchdog { ticks: 100, context: "mimd rank 3".into() },
             DlpError::InvalidConfig { detail: "zero rows".into() },
+            DlpError::FaultUnrecoverable { site: "noc-link", tick: 42, detail: "8 retries".into() },
+            DlpError::Internal { detail: "panicked: index out of bounds".into() },
         ];
         for e in errs {
             let msg = e.to_string();
@@ -83,6 +135,25 @@ mod tests {
             assert!(msg.chars().next().unwrap().is_lowercase());
             assert!(!msg.ends_with('.'));
         }
+    }
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let errs = [
+            DlpError::CapacityExceeded { resource: "r", needed: 1, available: 0 },
+            DlpError::Unsupported { what: "x".into() },
+            DlpError::MalformedProgram { detail: "d".into() },
+            DlpError::Watchdog { ticks: 1, context: String::new() },
+            DlpError::InvalidConfig { detail: "d".into() },
+            DlpError::FaultUnrecoverable { site: "dma", tick: 0, detail: "d".into() },
+            DlpError::Internal { detail: "d".into() },
+        ];
+        let kinds: Vec<_> = errs.iter().map(DlpError::kind).collect();
+        let mut unique = kinds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), kinds.len());
+        assert_eq!(DlpError::Watchdog { ticks: 1, context: String::new() }.kind(), "watchdog");
     }
 
     #[test]

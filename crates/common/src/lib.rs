@@ -14,6 +14,9 @@
 //! * [`SimStats`] — counters accumulated by the timing simulator, and the
 //!   derived metrics the paper reports (ops/cycle, speedup, harmonic mean).
 //! * [`SplitMix64`] — a tiny deterministic RNG for reproducible workloads.
+//! * [`fault`] — deterministic transient-fault injection ([`FaultPlan`],
+//!   [`FaultInjector`]): seeded chaos at the NoC/DMA/SMC/L1/operand-store
+//!   hook points, with honest recovery accounting.
 //! * [`json`] — compact JSON emission through serde's data model (the
 //!   workspace has no `serde_json`; the experiment harness writes its
 //!   artifacts with [`json::to_string`]).
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fault;
 mod geom;
 pub mod json;
 mod params;
@@ -43,6 +47,7 @@ mod stats;
 mod value;
 
 pub use error::DlpError;
+pub use fault::{FatalFault, FaultInjector, FaultPlan, FaultRate, FaultSite, FaultStats};
 pub use geom::{Coord, GridShape};
 pub use params::{MemParams, NetParams, OpClassLatency, TimingParams};
 pub use rng::SplitMix64;

@@ -54,6 +54,13 @@ pub struct SimStats {
     pub mimd_fetches: u64,
     /// Cycles any node spent stalled waiting on memory.
     pub mem_stall_node_cycles: u64,
+    /// Transient faults injected by the fault plan (zero without one).
+    pub faults_injected: u64,
+    /// Fault-recovery replays performed (NoC resends, operand re-latches).
+    pub fault_retries: u64,
+    /// Extra simulated ticks charged to fault recovery (backoff waits,
+    /// stall windows, delayed fills).
+    pub fault_stall_ticks: u64,
 }
 
 impl SimStats {
@@ -95,6 +102,13 @@ impl SimStats {
         }
     }
 
+    /// Fold a run's fault-injector counters into this record.
+    pub fn record_faults(&mut self, f: crate::fault::FaultStats) {
+        self.faults_injected += f.injected;
+        self.fault_retries += f.retries;
+        self.fault_stall_ticks += f.stall_ticks;
+    }
+
     /// Speedup of `self` over `baseline` in execution cycles (the paper's
     /// Figure 5 metric: relative speedup measured in execution cycles).
     ///
@@ -129,6 +143,9 @@ impl AddAssign for SimStats {
         self.iterations += rhs.iterations;
         self.mimd_fetches += rhs.mimd_fetches;
         self.mem_stall_node_cycles += rhs.mem_stall_node_cycles;
+        self.faults_injected += rhs.faults_injected;
+        self.fault_retries += rhs.fault_retries;
+        self.fault_stall_ticks += rhs.fault_stall_ticks;
     }
 }
 

@@ -93,10 +93,15 @@ pub fn flexible(params: &ExperimentParams, record_scale: usize) -> Result<Figure
 
     let mut rows = Vec::new();
     for (name, recommended) in entries {
-        let base = report.stats(&name, "baseline").expect("baseline cell ran");
+        let missing = |what: &str| DlpError::Internal {
+            detail: format!("{name}: {what} missing after ensure_verified"),
+        };
+        let base = report.stats(&name, "baseline").ok_or_else(|| missing("baseline cell"))?;
         let mut speedup = BTreeMap::new();
         for config in MachineConfig::DLP {
-            let out = report.stats(&name, &config.to_string()).expect("config cell ran");
+            let out = report
+                .stats(&name, &config.to_string())
+                .ok_or_else(|| missing("configuration cell"))?;
             speedup.insert(config, out.speedup_over(base));
         }
         // Prefer the simplest configuration on (near-)ties: S-O and S-O-D
@@ -106,7 +111,7 @@ pub fn flexible(params: &ExperimentParams, record_scale: usize) -> Result<Figure
         let best = *speedup
             .iter()
             .find(|(_, &s)| s >= max * 0.999)
-            .expect("five configs")
+            .ok_or_else(|| missing("best configuration"))?
             .0;
         rows.push(Figure5Row {
             kernel: name,

@@ -44,6 +44,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panicking escape hatches are banned outside tests: a bad cell or an
+// injected fault must surface as a structured `DlpError`, never tear
+// down a whole sweep (CI promotes these to errors).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
 mod energy;
@@ -61,4 +66,4 @@ pub use runner::{
     default_records, natural_unroll, prepare_kernel, run_kernel, run_kernel_mech, run_prepared,
     ExperimentParams, PreparedProgram, RunOutcome,
 };
-pub use sweep::{CellOutcome, CellSpec, Sweep, SweepCell, SweepReport};
+pub use sweep::{CellOutcome, CellSpec, Sweep, SweepCell, SweepPolicy, SweepReport};

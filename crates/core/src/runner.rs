@@ -1,6 +1,6 @@
 //! The experiment driver: kernel × configuration → verified simulation.
 
-use dlp_common::{DlpError, GridShape, SimStats, TimingParams, Value};
+use dlp_common::{DlpError, FaultPlan, GridShape, SimStats, Tick, TimingParams, Value};
 use dlp_kernels::{first_mismatch, memmap, DlpKernel, MimdTarget, Workload};
 use serde::{Deserialize, Serialize};
 use trips_isa::MimdProgram;
@@ -20,6 +20,19 @@ pub struct ExperimentParams {
     pub timing: TimingParams,
     /// Workload seed (fixed for reproducibility).
     pub seed: u64,
+    /// Transient-fault injection plan. The default ([`FaultPlan::none`])
+    /// is a strict no-op: the injector stays disabled and every hook
+    /// takes the exact fault-free path with zero RNG draws, so
+    /// fault-free statistics are bit-identical to builds without the
+    /// fault machinery. The fault schedule is seeded from `seed` (plus
+    /// the plan's salt), never from wall-clock, so a faulted run is
+    /// reproducible across hosts and worker counts.
+    pub fault: FaultPlan,
+    /// Per-run watchdog override in simulated ticks (`None` keeps the
+    /// simulator's generous default). Sweeps over fault rates lower
+    /// this so a pathological cell fails fast with
+    /// [`DlpError::Watchdog`] instead of stalling the batch.
+    pub watchdog: Option<Tick>,
 }
 
 impl Default for ExperimentParams {
@@ -28,6 +41,8 @@ impl Default for ExperimentParams {
             grid: GridShape::trips_baseline(),
             timing: TimingParams::default(),
             seed: 0xD1_2003,
+            fault: FaultPlan::none(),
+            watchdog: None,
         }
     }
 }
@@ -287,6 +302,14 @@ pub fn run_prepared(
         PreparedVariant::Dataflow(sched) => records.div_ceil(sched.unroll) * sched.unroll,
     };
     let mut machine = Machine::new(params.grid, params.timing, prepared.mech);
+    if let Some(ticks) = params.watchdog {
+        machine.set_watchdog(ticks);
+    }
+    // Install the injector before staging so DMA faults during SMC
+    // staging are part of the deterministic schedule too.
+    if !params.fault.is_none() {
+        machine.install_fault_plan(params.fault, params.seed);
+    }
 
     let workload = kernel.workload(padded_records, params.seed);
     stage(&mut machine, &workload, in_words)?;

@@ -104,9 +104,9 @@ pub fn table6(params: &ExperimentParams, record_scale: usize) -> Result<Vec<Tabl
     let reference = paper_reference();
     let mut sweep = Sweep::new();
     for (name, ..) in &reference {
-        let id = sweep
-            .add_kernel_by_name(name)
-            .expect("reference rows name suite kernels");
+        let id = sweep.add_kernel_by_name(name).ok_or_else(|| DlpError::Internal {
+            detail: format!("Table 6 reference row '{name}' is not a suite kernel"),
+        })?;
         let config = recommend(&sweep.kernel(id).ir().attributes()).config;
         // record_scale 0 means "smoke test": clamp to a minimal workload.
         let records =
@@ -120,7 +120,9 @@ pub fn table6(params: &ExperimentParams, record_scale: usize) -> Result<Vec<Tabl
     for ((name, paper_trips, specialized, hardware, units), cell) in
         reference.into_iter().zip(&report.cells)
     {
-        let stats = cell.outcome.stats().expect("ensure_verified passed");
+        let stats = cell.outcome.stats().ok_or_else(|| DlpError::Internal {
+            detail: format!("{name}: cell has no statistics after ensure_verified"),
+        })?;
         let cyc_per_rec = stats.cycles() as f64 / cell.records.max(1) as f64;
         let trips = match units {
             Units::OpsPerCycle => stats.ops_per_cycle().0,

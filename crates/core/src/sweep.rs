@@ -23,6 +23,13 @@
 //!   `plan_reuses: 0` — every cell really is a distinct lowering; the
 //!   cache pays off in grids that vary records, seeds, or repeat
 //!   configurations (scaling studies, ablations).
+//! * **Graceful degradation** — a failing cell (panic, watchdog,
+//!   unrecoverable injected fault) is captured as a structured
+//!   [`CellOutcome::Failed`] with the [`DlpError::kind`] taxonomy,
+//!   attempt count, and soft-timeout flag; it never aborts the batch
+//!   or poisons sibling cells. A [`SweepPolicy`] can grant failed
+//!   cells bounded retries (each with an independently re-salted fault
+//!   schedule) and a per-cell wall-clock soft budget.
 //! * **Deterministic seeding** — each cell's workload seed is derived
 //!   from [`ExperimentParams::seed`] and the kernel's name alone, so
 //!   every configuration of a kernel sees the same records (speedups
@@ -107,6 +114,53 @@ pub struct Sweep {
     kernels: Vec<Box<dyn DlpKernel>>,
     cells: Vec<CellSpec>,
     threads: usize,
+    policy: SweepPolicy,
+}
+
+/// Degradation policy for failing cells: how hard a sweep tries before
+/// accepting a [`CellOutcome::Failed`], and how much wall-clock one cell
+/// may soak up before the engine stops investing in it.
+///
+/// The default (`max_attempts: 1`, no soft timeout) is exactly the
+/// historical behavior, and keeps sweeps bit-deterministic: wall-clock
+/// only enters the picture when a soft timeout is explicitly set.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepPolicy {
+    /// Execution attempts granted per cell (clamped to ≥ 1). Each retry
+    /// re-salts the cell's [`dlp_common::FaultPlan`], so a cell that
+    /// drew an unrecoverable fault schedule gets an independent — still
+    /// fully deterministic — draw, while deterministic failures
+    /// (malformed programs, genuine deadlocks) fail every attempt and
+    /// report the final error with the attempt count.
+    pub max_attempts: u32,
+    /// Per-cell wall-clock soft budget in milliseconds. A running cell
+    /// is never preempted (simulated statistics stay exact); instead a
+    /// cell that finishes over budget is denied further retries and
+    /// counted in [`SweepReport::soft_timeouts`]. `None` disables the
+    /// check.
+    pub soft_timeout_ms: Option<f64>,
+}
+
+impl Default for SweepPolicy {
+    fn default() -> Self {
+        SweepPolicy { max_attempts: 1, soft_timeout_ms: None }
+    }
+}
+
+impl SweepPolicy {
+    /// Grants each cell up to `n` execution attempts.
+    #[must_use]
+    pub fn with_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Sets the per-cell wall-clock soft budget.
+    #[must_use]
+    pub fn with_soft_timeout_ms(mut self, ms: f64) -> Self {
+        self.soft_timeout_ms = Some(ms);
+        self
+    }
 }
 
 impl Default for Sweep {
@@ -133,13 +187,29 @@ impl Sweep {
     /// bit-identical to any parallel run.
     #[must_use]
     pub fn with_threads(threads: usize) -> Self {
-        Sweep { kernels: Vec::new(), cells: Vec::new(), threads: threads.max(1) }
+        Sweep {
+            kernels: Vec::new(),
+            cells: Vec::new(),
+            threads: threads.max(1),
+            policy: SweepPolicy::default(),
+        }
     }
 
     /// The worker count [`Sweep::run`] will use.
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Installs a degradation policy for [`Sweep::run`].
+    pub fn set_policy(&mut self, policy: SweepPolicy) {
+        self.policy = policy;
+    }
+
+    /// The degradation policy [`Sweep::run`] will apply.
+    #[must_use]
+    pub fn policy(&self) -> SweepPolicy {
+        self.policy
     }
 
     /// Registers a kernel and returns its handle.
@@ -260,14 +330,40 @@ impl Sweep {
             });
 
         // ---- Phase 2: execute all cells against the shared plans. ---
-        let cell_results: Vec<(CellOutcome, f64)> = self.parallel_map(self.cells.len(), |i| {
-            let cell = &self.cells[i];
-            let cell_started = Instant::now();
-            let outcome = match &plans[cell_plan[i]] {
-                Err(e) => CellOutcome::Failed { error: e.to_string() },
-                Ok(prepared) => {
+        let max_attempts = self.policy.max_attempts.max(1);
+        let cell_results: Vec<(CellOutcome, f64, u32)> =
+            self.parallel_map(self.cells.len(), |i| {
+                let cell = &self.cells[i];
+                let cell_started = Instant::now();
+                let prepared = match &plans[cell_plan[i]] {
+                    Err(e) => {
+                        // Lowering failed: the cell never executed, so it
+                        // gets no attempts and no retry — re-lowering the
+                        // same inputs would fail identically.
+                        let outcome = CellOutcome::Failed {
+                            error: e.to_string(),
+                            kind: e.kind().to_string(),
+                            attempts: 0,
+                            timed_out: false,
+                        };
+                        return (outcome, cell_started.elapsed().as_secs_f64() * 1e3, 0);
+                    }
+                    Ok(prepared) => prepared,
+                };
+                let mut attempt = 0u32;
+                loop {
+                    attempt += 1;
+                    // Each retry re-salts the fault schedule: same
+                    // workload, independent deterministic fault draw.
+                    // Attempt 1 keeps the cell's own salt, so single-
+                    // attempt sweeps are bit-identical to the policy-free
+                    // engine.
+                    let fault = cell.params.fault.with_salt(
+                        cell.params.fault.salt.wrapping_add(u64::from(attempt - 1)),
+                    );
                     let params = ExperimentParams {
                         seed: derive_seed(cell.params.seed, self.kernels[cell.kernel].name()),
+                        fault,
                         ..cell.params
                     };
                     let ran = catch_cell(|| {
@@ -278,20 +374,41 @@ impl Sweep {
                             &params,
                         )
                     });
+                    let elapsed_ms = cell_started.elapsed().as_secs_f64() * 1e3;
+                    let timed_out =
+                        self.policy.soft_timeout_ms.is_some_and(|budget| elapsed_ms > budget);
                     match ran {
-                        Ok((stats, mismatch)) => CellOutcome::Ran { stats, mismatch },
-                        Err(e) => CellOutcome::Failed { error: e.to_string() },
+                        Ok((stats, mismatch)) => {
+                            break (CellOutcome::Ran { stats, mismatch }, elapsed_ms, attempt);
+                        }
+                        Err(e) => {
+                            if attempt < max_attempts && !timed_out {
+                                continue;
+                            }
+                            let outcome = CellOutcome::Failed {
+                                error: e.to_string(),
+                                kind: e.kind().to_string(),
+                                attempts: attempt,
+                                timed_out,
+                            };
+                            break (outcome, elapsed_ms, attempt);
+                        }
                     }
                 }
-            };
-            (outcome, cell_started.elapsed().as_secs_f64() * 1e3)
-        });
+            });
+
+        let soft_timeouts = match self.policy.soft_timeout_ms {
+            Some(budget) => cell_results.iter().filter(|(_, wall_ms, _)| *wall_ms > budget).count(),
+            None => 0,
+        };
+        let extra_attempts =
+            cell_results.iter().map(|&(_, _, attempts)| u64::from(attempts.saturating_sub(1))).sum();
 
         let cells = self
             .cells
             .iter()
             .zip(cell_results)
-            .map(|(spec, (outcome, wall_ms))| SweepCell {
+            .map(|(spec, (outcome, wall_ms, _))| SweepCell {
                 kernel: self.kernels[spec.kernel].name().to_string(),
                 config: spec
                     .config
@@ -308,6 +425,8 @@ impl Sweep {
             plans_prepared: plan_keys.len(),
             plan_reuses: self.cells.len().saturating_sub(plan_keys.len()),
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            soft_timeouts,
+            extra_attempts,
             cells,
         }
     }
@@ -374,6 +493,12 @@ impl Sweep {
 
     /// Maps `f` over `0..n` with the work-stealing pool, preserving
     /// index order in the result.
+    //
+    // The two `expect`s below guard pool invariants, not cell work: cell
+    // panics are already converted to `DlpError` by `catch_cell` inside
+    // `f`, so a violation here means the harness itself is broken and
+    // there is no per-cell result to degrade to.
+    #[allow(clippy::expect_used)]
     fn parallel_map<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -425,7 +550,7 @@ fn catch_cell<T>(f: impl FnOnce() -> Result<T, DlpError>) -> Result<T, DlpError>
                 .map(|s| (*s).to_string())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "simulation panicked".to_string());
-            Err(DlpError::MalformedProgram { detail: format!("panicked: {msg}") })
+            Err(DlpError::Internal { detail: format!("panicked: {msg}") })
         }
     }
 }
@@ -484,10 +609,21 @@ pub enum CellOutcome {
         mismatch: Option<usize>,
     },
     /// Scheduling or simulation failed (e.g. an incoherent mechanism
-    /// set); the cell has no statistics.
+    /// set, a watchdog trip, or an unrecoverable injected fault); the
+    /// cell has no statistics but carries structured diagnostics.
     Failed {
         /// The rendered [`DlpError`].
         error: String,
+        /// The stable [`DlpError::kind`] tag (e.g. `"watchdog"`,
+        /// `"fault-unrecoverable"`, `"internal"`), so report consumers
+        /// can triage failures without parsing prose.
+        kind: String,
+        /// Execution attempts spent before giving up (0 when the
+        /// lowering itself failed and the cell never executed).
+        attempts: u32,
+        /// Whether the cell blew the policy's wall-clock soft budget,
+        /// which is what stopped further retries.
+        timed_out: bool,
     },
 }
 
@@ -498,6 +634,15 @@ impl CellOutcome {
         match self {
             CellOutcome::Ran { stats, .. } => Some(stats),
             CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure taxonomy tag, when the cell failed.
+    #[must_use]
+    pub fn failure_kind(&self) -> Option<&str> {
+        match self {
+            CellOutcome::Ran { .. } => None,
+            CellOutcome::Failed { kind, .. } => Some(kind),
         }
     }
 
@@ -558,6 +703,13 @@ pub struct SweepReport {
     pub plan_reuses: usize,
     /// Total host wall-clock, milliseconds.
     pub wall_ms: f64,
+    /// Cells whose wall-clock exceeded the policy's soft budget
+    /// (informational, like `wall_ms`; always 0 without a soft
+    /// timeout).
+    pub soft_timeouts: usize,
+    /// Retry attempts spent beyond each cell's first (0 under the
+    /// default single-attempt policy).
+    pub extra_attempts: u64,
     /// Per-cell results, in push order.
     pub cells: Vec<SweepCell>,
 }
@@ -573,6 +725,14 @@ impl SweepReport {
     #[must_use]
     pub fn stats(&self, kernel: &str, config: &str) -> Option<&SimStats> {
         self.cell(kernel, config).and_then(|c| c.outcome.stats())
+    }
+
+    /// Every failed cell, in push order — the structured view a
+    /// degraded sweep's consumer triages (pair with
+    /// [`CellOutcome::failure_kind`]).
+    #[must_use]
+    pub fn failures(&self) -> Vec<&SweepCell> {
+        self.cells.iter().filter(|c| matches!(c.outcome, CellOutcome::Failed { .. })).collect()
     }
 
     /// Speedup of `config` over `baseline` on `kernel`, in execution
@@ -621,7 +781,7 @@ impl SweepReport {
                         ),
                     });
                 }
-                CellOutcome::Failed { error } => {
+                CellOutcome::Failed { error, .. } => {
                     return Err(DlpError::MalformedProgram {
                         detail: format!("{} on {} failed: {error}", cell.kernel, cell.config),
                     });

@@ -1,6 +1,6 @@
 //! The per-bank DMA engine that stages data between DRAM and an SMC bank.
 
-use dlp_common::{MemParams, Tick};
+use dlp_common::{FaultInjector, MemParams, Tick};
 
 /// The explicitly programmed DMA engine attached to each SMC bank (§4.2).
 ///
@@ -46,6 +46,24 @@ impl DmaEngine {
         let stream_cycles = words.div_ceil(u64::from(self.words_per_cycle));
         now + self.dram_latency + stream_cycles * 2
     }
+
+    /// [`DmaEngine::transfer_done`] with fault injection: the engine may
+    /// stall mid-transfer for the plan's stall window, absorbed into the
+    /// staging time (the launch throttle simply starts the kernel later).
+    /// Disabled injector ⇒ exactly `transfer_done`.
+    pub fn transfer_done_faulty(&self, words: u64, now: Tick, inj: &mut FaultInjector) -> Tick {
+        let done = self.transfer_done(words, now);
+        if words == 0 || !inj.enabled() {
+            return done;
+        }
+        let plan = inj.plan();
+        if inj.roll(plan.dma_stall) {
+            inj.stalled(plan.stall_ticks);
+            done + plan.stall_ticks
+        } else {
+            done
+        }
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +88,23 @@ mod tests {
         let stream1 = t1 - MemParams::default().dram_latency;
         let stream2 = t2 - MemParams::default().dram_latency;
         assert!((stream2 as f64 / stream1 as f64 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn stalled_transfer_is_absorbed_not_fatal() {
+        use dlp_common::{FaultPlan, FaultRate};
+        let mut plan = FaultPlan::none();
+        plan.dma_stall = FaultRate::per_million(1_000_000);
+        let dma = DmaEngine::new(&MemParams::default());
+        let mut inj = plan.injector(11);
+        let clean = dma.transfer_done(1024, 0);
+        let faulted = dma.transfer_done_faulty(1024, 0, &mut inj);
+        assert_eq!(faulted, clean + plan.stall_ticks);
+        assert!(inj.fatal().is_none());
+        // Zero-word transfers never roll.
+        let before = inj.stats();
+        assert_eq!(dma.transfer_done_faulty(0, 7, &mut inj), 7);
+        assert_eq!(inj.stats(), before);
     }
 
     #[test]

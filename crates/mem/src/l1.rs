@@ -1,6 +1,6 @@
 //! Hardware-managed L1 cache bank (timing model).
 
-use dlp_common::{MemParams, Tick};
+use dlp_common::{FaultInjector, MemParams, Tick};
 
 use crate::Throttle;
 
@@ -84,6 +84,27 @@ impl L1Cache {
         };
         let lat = if hit { self.hit_latency } else { self.hit_latency + self.miss_penalty };
         (start + lat, hit)
+    }
+
+    /// [`L1Cache::access`] with fault injection: a miss fill may be struck
+    /// and retried from DRAM, delaying completion by the plan's fill-delay
+    /// window (hits are unaffected — the data is already in the bank).
+    /// Disabled injector ⇒ exactly `access`.
+    pub fn access_faulty(
+        &mut self,
+        addr: u64,
+        now: Tick,
+        inj: &mut FaultInjector,
+    ) -> (Tick, bool) {
+        let (mut done, hit) = self.access(addr, now);
+        if !hit && inj.enabled() {
+            let plan = inj.plan();
+            if inj.roll(plan.l1_fill_delay) {
+                inj.stalled(plan.fill_delay_ticks);
+                done += plan.fill_delay_ticks;
+            }
+        }
+        (done, hit)
     }
 
     /// Reserve an issue slot, granting at most the configured accesses per
@@ -202,6 +223,25 @@ mod tests {
         let (t3, _) = c.access(0, 100);
         assert_eq!(t1, t2, "two ports serve the same cycle");
         assert!(t3 > t2, "the third access spills to the next cycle");
+    }
+
+    #[test]
+    fn fill_delay_hits_misses_only() {
+        use dlp_common::{FaultPlan, FaultRate};
+        let mut plan = FaultPlan::none();
+        plan.l1_fill_delay = FaultRate::per_million(1_000_000);
+        let mut c = cache();
+        let mut inj = plan.injector(4);
+        let (t_miss, hit) = c.access_faulty(0, 0, &mut inj);
+        assert!(!hit);
+        let mut clean = cache();
+        let (t_clean, _) = clean.access(0, 0);
+        assert_eq!(t_miss, t_clean + plan.fill_delay_ticks);
+        // The refill installed the line; the hit path never rolls.
+        let before = inj.stats();
+        let (_, hit) = c.access_faulty(0, 1000, &mut inj);
+        assert!(hit);
+        assert_eq!(inj.stats(), before);
     }
 
     #[test]

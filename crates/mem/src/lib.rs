@@ -25,6 +25,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panicking escape hatches are banned outside tests: a bad cell or an
+// injected fault must surface as a structured `DlpError`, never tear
+// down a whole sweep (CI promotes these to errors).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod dma;
 mod l1;

@@ -2,7 +2,7 @@
 
 use std::ops::Range;
 
-use dlp_common::{MemParams, Tick};
+use dlp_common::{FaultInjector, MemParams, Tick};
 
 use crate::Throttle;
 
@@ -138,6 +138,50 @@ impl SmcBank {
         start + self.latency
     }
 
+    /// [`SmcBank::access`] with fault injection: the bank may go busy for a
+    /// stall window before the transaction starts (recovered by waiting —
+    /// no replay, no data loss). Disabled injector ⇒ exactly `access`.
+    pub fn access_faulty(&mut self, addr: u64, now: Tick, inj: &mut FaultInjector) -> Tick {
+        self.access(addr, self.faulty_start(now, inj))
+    }
+
+    /// [`SmcBank::access_wide`] with fault injection (see
+    /// [`SmcBank::access_faulty`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds [`SmcBank::lmw_max_words`].
+    pub fn access_wide_faulty(
+        &mut self,
+        addr: u64,
+        n: u32,
+        now: Tick,
+        inj: &mut FaultInjector,
+    ) -> Tick {
+        self.access_wide(addr, n, self.faulty_start(now, inj))
+    }
+
+    /// [`SmcBank::store`] with fault injection (see
+    /// [`SmcBank::access_faulty`]).
+    pub fn store_faulty(&mut self, addr: u64, now: Tick, inj: &mut FaultInjector) -> Tick {
+        self.store(addr, self.faulty_start(now, inj))
+    }
+
+    /// Roll the bank-stall hazard: a struck transaction waits out a stall
+    /// window before it can issue.
+    fn faulty_start(&self, now: Tick, inj: &mut FaultInjector) -> Tick {
+        if !inj.enabled() {
+            return now;
+        }
+        let plan = inj.plan();
+        if inj.roll(plan.smc_stall) {
+            inj.stalled(plan.stall_ticks);
+            now + plan.stall_ticks
+        } else {
+            now
+        }
+    }
+
     /// Total transactions issued.
     #[must_use]
     pub fn accesses(&self) -> u64 {
@@ -233,6 +277,34 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn oversized_lmw_panics() {
         bank().access_wide(0, 64, 0);
+    }
+
+    #[test]
+    fn faulty_access_with_zero_plan_is_identical() {
+        use dlp_common::FaultPlan;
+        let mut clean = bank();
+        let mut faulty = bank();
+        let mut inj = FaultPlan::none().injector(9);
+        for i in 0..20 {
+            assert_eq!(clean.access(i, i), faulty.access_faulty(i, i, &mut inj));
+        }
+        assert_eq!(clean.accesses(), faulty.accesses());
+        assert_eq!(inj.stats().injected, 0);
+    }
+
+    #[test]
+    fn bank_stall_delays_the_struck_transaction() {
+        use dlp_common::{FaultPlan, FaultRate};
+        let mut plan = FaultPlan::none();
+        plan.smc_stall = FaultRate::per_million(1_000_000);
+        let mut b = bank();
+        let mut inj = plan.injector(9);
+        let clean = bank().access(100, 0);
+        let faulted = b.access_faulty(100, 0, &mut inj);
+        assert_eq!(faulted, clean + plan.stall_ticks);
+        assert_eq!(inj.stats().injected, 1);
+        assert_eq!(inj.stats().stall_ticks, plan.stall_ticks);
+        assert!(inj.fatal().is_none(), "stall windows are always recoverable");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Per-row coalescing store buffer.
 
-use dlp_common::{MemParams, Tick};
+use dlp_common::{FaultInjector, MemParams, Tick};
 
 /// A coalescing store buffer (§4.2): stores from different nodes in a row
 /// merge into line-sized write-backs before reaching the SMC bank, reducing
@@ -59,6 +59,16 @@ impl StoreBuffer {
         }
         self.open.push((line, drain));
         drain
+    }
+
+    /// [`StoreBuffer::push`] with fault injection: the buffered entry is an
+    /// operand store, so it is parity-protected like any other — a flipped
+    /// entry is re-latched from the node's write port (bounded retries via
+    /// [`FaultInjector::operand_write`]). Disabled injector ⇒ exactly
+    /// `push`.
+    pub fn push_faulty(&mut self, addr: u64, now: Tick, inj: &mut FaultInjector) -> Tick {
+        let drained = self.push(addr, now);
+        inj.operand_write(drained)
     }
 
     /// Stores accepted.

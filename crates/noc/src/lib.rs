@@ -31,8 +31,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Panicking escape hatches are banned outside tests: a bad cell or an
+// injected fault must surface as a structured `DlpError`, never tear
+// down a whole sweep (CI promotes these to errors).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
-use dlp_common::{Coord, GridShape, NetParams, Tick};
+use dlp_common::{Coord, FaultInjector, FaultSite, GridShape, NetParams, Tick};
 use serde::{Deserialize, Serialize};
 
 /// A source or destination attached to the mesh.
@@ -193,6 +198,55 @@ impl MeshRouter {
         t
     }
 
+    /// Route a message with fault injection: each routing attempt may be
+    /// dropped or corrupted per the injector's plan; link-level CRC detects
+    /// either, NACKs, and the message is replayed after a bounded
+    /// exponential backoff. Every replay re-reserves links through
+    /// [`MeshRouter::send`], so retry traffic contends honestly.
+    ///
+    /// With the injector disabled this is exactly [`MeshRouter::send`] —
+    /// no RNG draws, bit-identical timing. If the retry budget exhausts,
+    /// the injector latches a fatal fault (the engines surface it as
+    /// `DlpError::FaultUnrecoverable`) and the last attempt's arrival is
+    /// returned so the caller can keep unwinding deterministically.
+    pub fn send_faulty(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        now: Tick,
+        inj: &mut FaultInjector,
+    ) -> Tick {
+        if !inj.enabled() {
+            return self.send(from, to, now);
+        }
+        let plan = inj.plan();
+        let mut inject = now;
+        let mut attempt = 0u32;
+        let mut first_arrive = None;
+        loop {
+            let arrive = self.send(from, to, inject);
+            let base = *first_arrive.get_or_insert(arrive);
+            // One roll per configured hazard per attempt, in fixed order.
+            let dropped = inj.roll(plan.noc_drop);
+            let corrupt = inj.roll(plan.noc_corrupt);
+            if !dropped && !corrupt {
+                if attempt > 0 {
+                    inj.recovered(u64::from(attempt), u64::from(attempt), arrive - base);
+                }
+                return arrive;
+            }
+            attempt += 1;
+            if attempt > plan.max_retries {
+                inj.recovered(u64::from(attempt), u64::from(attempt - 1), arrive - base);
+                inj.escalate(FaultSite::NocLink, arrive, attempt - 1);
+                return arrive;
+            }
+            // NACK observed at the (would-be) arrival tick; replay after a
+            // bounded exponential backoff.
+            inject = arrive + inj.backoff(attempt);
+        }
+    }
+
     /// Traverse one link: wait for a departure slot, reserve it, advance
     /// time. A link carries at most `link_msgs_per_tick` messages per tick.
     fn traverse(&mut self, at: Coord, dir: Dir, ready: Tick) -> Tick {
@@ -296,6 +350,67 @@ mod tests {
         // A second message using the same southward link queues...
         let t = net.send(Endpoint::Node(Coord::new(0, 0)), Endpoint::Node(Coord::new(1, 0)), 0);
         assert_eq!(t, 2);
+    }
+
+    #[test]
+    fn faulty_send_with_zero_plan_matches_clean_send() {
+        use dlp_common::FaultPlan;
+        let mut clean = router();
+        let mut faulty = router();
+        let mut inj = FaultPlan::none().injector(1234);
+        let a = Endpoint::Node(Coord::new(0, 0));
+        let b = Endpoint::Node(Coord::new(3, 5));
+        for now in 0..50 {
+            assert_eq!(clean.send(a, b, now), faulty.send_faulty(a, b, now, &mut inj));
+        }
+        assert_eq!(clean.stats(), faulty.stats());
+        assert_eq!(inj.stats(), dlp_common::FaultStats::default());
+    }
+
+    #[test]
+    fn dropped_messages_are_replayed_with_backoff() {
+        use dlp_common::{FaultPlan, FaultRate};
+        let mut plan = FaultPlan::none();
+        plan.noc_drop = FaultRate::per_million(400_000);
+        let mut net = router();
+        let mut inj = plan.injector(7);
+        let a = Endpoint::Node(Coord::new(0, 0));
+        let b = Endpoint::Node(Coord::new(7, 7));
+        let mut recovered_any = false;
+        for _ in 0..200 {
+            net.reset();
+            let t = net.send_faulty(a, b, 0, &mut inj);
+            assert!(t >= 14, "arrival {t} can never beat the clean path");
+            if t > 14 {
+                recovered_any = true;
+            }
+            if inj.fatal().is_some() {
+                break;
+            }
+        }
+        assert!(recovered_any, "40% drop rate must force at least one replay");
+        assert!(inj.stats().injected > 0);
+        assert_eq!(inj.stats().injected, inj.stats().retries + inj.fatal().iter().count() as u64);
+    }
+
+    #[test]
+    fn certain_drop_exhausts_budget_and_escalates() {
+        use dlp_common::{FaultPlan, FaultRate};
+        let mut plan = FaultPlan::none();
+        plan.noc_drop = FaultRate::per_million(1_000_000);
+        plan.max_retries = 3;
+        let mut net = router();
+        let mut inj = plan.injector(0);
+        let a = Endpoint::Node(Coord::new(0, 0));
+        let b = Endpoint::Node(Coord::new(1, 1));
+        let t = net.send_faulty(a, b, 0, &mut inj);
+        let fatal = inj.fatal().expect("certain drop must escalate");
+        assert_eq!(fatal.site, FaultSite::NocLink);
+        assert_eq!(fatal.retries, 3);
+        assert!(t > 0);
+        // Escalated: injection stops, subsequent sends are clean.
+        let t2 = net.send_faulty(a, b, 100, &mut inj);
+        assert_eq!(t2, net.distance(a, b) as u64 + 100);
     }
 
     proptest! {

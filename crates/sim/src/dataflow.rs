@@ -269,8 +269,13 @@ impl<'a> Engine<'a> {
             let value = self.m.regs[rr.reg as usize];
             for k in 0..self.reg_read_dsts[ri].len() {
                 let (inst, port, node) = self.reg_read_dsts[ri][k];
-                let arrive =
-                    self.m.router.send(Endpoint::RegBank(bank_col), Endpoint::Node(node), inject);
+                let arrive = self.m.router.send_faulty(
+                    Endpoint::RegBank(bank_col),
+                    Endpoint::Node(node),
+                    inject,
+                    &mut self.m.fault,
+                );
+                let arrive = self.m.fault.operand_write(arrive);
                 self.push(frame, arrive, Ev::Operand { inst, port, value });
             }
         }
@@ -342,22 +347,33 @@ impl<'a> Engine<'a> {
             Opcode::Load(space) => {
                 let addr = l.as_u64().wrapping_add(inst.imm.map_or(0, |v| v.as_u64()));
                 let handoff = issue + lat;
-                let req = self.m.router.send(Endpoint::Node(node), Endpoint::MemPort(row), handoff);
+                let req = self.m.router.send_faulty(
+                    Endpoint::Node(node),
+                    Endpoint::MemPort(row),
+                    handoff,
+                    &mut self.m.fault,
+                );
                 let served = match space {
                     MemSpace::Smc => {
                         self.stats.smc_accesses += 1;
-                        self.m.smc[row as usize].access(addr, req)
+                        self.m.smc[row as usize].access_faulty(addr, req, &mut self.m.fault)
                     }
                     MemSpace::L1 => {
                         self.stats.l1_accesses += 1;
-                        let (t2, hit) = self.m.l1[row as usize].access(addr, req);
+                        let (t2, hit) =
+                            self.m.l1[row as usize].access_faulty(addr, req, &mut self.m.fault);
                         if !hit {
                             self.stats.l1_misses += 1;
                         }
                         t2
                     }
                 };
-                let back = self.m.router.send(Endpoint::MemPort(row), Endpoint::Node(node), served);
+                let back = self.m.router.send_faulty(
+                    Endpoint::MemPort(row),
+                    Endpoint::Node(node),
+                    served,
+                    &mut self.m.fault,
+                );
                 let v = self.m.mem.read(addr);
                 self.fan_out(frame, i, back, v);
             }
@@ -365,10 +381,20 @@ impl<'a> Engine<'a> {
                 let addr = l.as_u64();
                 let n = inst.imm.map_or(0, |v| v.as_u64()) as u32;
                 let handoff = issue + lat;
-                let req = self.m.router.send(Endpoint::Node(node), Endpoint::MemPort(row), handoff);
+                let req = self.m.router.send_faulty(
+                    Endpoint::Node(node),
+                    Endpoint::MemPort(row),
+                    handoff,
+                    &mut self.m.fault,
+                );
                 self.stats.smc_accesses += 1;
                 self.stats.lmw_words += u64::from(n);
-                let served = self.m.smc[row as usize].access_wide(addr, n, req);
+                let served = self.m.smc[row as usize].access_wide_faulty(
+                    addr,
+                    n,
+                    req,
+                    &mut self.m.fault,
+                );
                 // The streaming channel delivers word k straight to target k.
                 for k in 0..self.resolved[i].len() {
                     let tgt = self.resolved[i][k];
@@ -380,15 +406,21 @@ impl<'a> Engine<'a> {
                 let addr = l.as_u64().wrapping_add(inst.imm.map_or(0, |v| v.as_u64()));
                 self.m.mem.write(addr, r);
                 let handoff = issue + lat;
-                let req = self.m.router.send(Endpoint::Node(node), Endpoint::MemPort(row), handoff);
+                let req = self.m.router.send_faulty(
+                    Endpoint::Node(node),
+                    Endpoint::MemPort(row),
+                    handoff,
+                    &mut self.m.fault,
+                );
                 let drained = match space {
                     MemSpace::Smc => {
-                        let t2 = self.m.stb[row as usize].push(addr, req);
-                        self.m.smc[row as usize].store(addr, t2)
+                        let t2 = self.m.stb[row as usize].push_faulty(addr, req, &mut self.m.fault);
+                        self.m.smc[row as usize].store_faulty(addr, t2, &mut self.m.fault)
                     }
                     MemSpace::L1 => {
                         self.stats.l1_accesses += 1;
-                        let (t2, hit) = self.m.l1[row as usize].access(addr, req);
+                        let (t2, hit) =
+                            self.m.l1[row as usize].access_faulty(addr, req, &mut self.m.fault);
                         if !hit {
                             self.stats.l1_misses += 1;
                         }
@@ -420,11 +452,16 @@ impl<'a> Engine<'a> {
     fn deliver(&mut self, frame: usize, tgt: ResolvedTarget, from: Endpoint, t: Tick, v: Value) {
         match tgt {
             ResolvedTarget::Port { inst, node, port } => {
-                let arrive = self.m.router.send(from, Endpoint::Node(node), t);
+                let arrive =
+                    self.m.router.send_faulty(from, Endpoint::Node(node), t, &mut self.m.fault);
+                // The destination reservation station is an operand store:
+                // a flipped entry is detected by parity and re-latched.
+                let arrive = self.m.fault.operand_write(arrive);
                 self.push(frame, arrive, Ev::Operand { inst, port, value: v });
             }
             ResolvedTarget::Reg { reg, bank_col } => {
-                let arrive = self.m.router.send(from, Endpoint::RegBank(bank_col), t);
+                let arrive =
+                    self.m.router.send_faulty(from, Endpoint::RegBank(bank_col), t, &mut self.m.fault);
                 self.m.regs[reg as usize] = v;
                 self.stats.reg_writes += 1;
                 self.push(frame, arrive, Ev::Quiesce);
@@ -515,7 +552,16 @@ impl Machine {
         let mut final_tick: Tick = fetch_done;
         while let Some(Reverse(entry)) = engine.events.pop() {
             if entry.tick > engine.m.watchdog_ticks {
-                return Err(DlpError::Watchdog { ticks: entry.tick });
+                return Err(DlpError::Watchdog {
+                    ticks: entry.tick,
+                    context: format!(
+                        "dataflow block '{}' ({done_iters}/{iterations} iterations done)",
+                        block.name()
+                    ),
+                });
+            }
+            if let Some(fatal) = engine.m.fault.fatal() {
+                return Err(fatal.to_error());
             }
             let frame = entry.frame;
             engine.frames[frame].pending -= 1;
@@ -562,6 +608,12 @@ impl Machine {
             }
         }
 
+        // A fault escalated by the very last event has no successor pop to
+        // observe it — catch it before declaring the run complete.
+        if let Some(fatal) = engine.m.fault.fatal() {
+            return Err(fatal.to_error());
+        }
+
         if done_iters != iterations {
             return Err(DlpError::MalformedProgram {
                 detail: format!(
@@ -576,6 +628,7 @@ impl Machine {
         let net = self.router.stats();
         stats.net_msgs = net.msgs;
         stats.net_hops = net.hops;
+        stats.record_faults(self.fault.take_stats());
         Ok(stats)
     }
 }

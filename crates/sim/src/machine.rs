@@ -1,6 +1,6 @@
 //! Shared machine state: grid, memory system, register file, L0 stores.
 
-use dlp_common::{DlpError, GridShape, SimStats, Tick, TimingParams, Value};
+use dlp_common::{DlpError, FaultInjector, FaultPlan, GridShape, SimStats, Tick, TimingParams, Value};
 use trips_mem::{DmaEngine, L1Cache, MainMemory, SmcBank, StoreBuffer};
 use trips_noc::MeshRouter;
 
@@ -31,6 +31,9 @@ pub struct Machine {
     pub(crate) setup_ticks: Tick,
     /// Simulated-time limit per run (deadlock/livelock guard).
     pub(crate) watchdog_ticks: Tick,
+    /// Transient-fault state; [`FaultInjector::disabled`] by default, so
+    /// the faulty hook paths are exact no-ops.
+    pub(crate) fault: FaultInjector,
 }
 
 impl Machine {
@@ -64,6 +67,7 @@ impl Machine {
             regs: vec![Value::ZERO; Self::NUM_REGS],
             setup_ticks: 0,
             watchdog_ticks: crate::WATCHDOG_TICKS,
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -72,6 +76,21 @@ impl Machine {
     /// when driving untrusted or generated programs.
     pub fn set_watchdog(&mut self, ticks: Tick) {
         self.watchdog_ticks = ticks.max(1);
+    }
+
+    /// Install a transient-fault plan, seeded from `run_seed` (normally the
+    /// experiment seed). Affects every subsequent stage/run on this machine
+    /// until replaced; an all-zero plan restores the exact fault-free
+    /// behavior (the injector disables itself and draws no randomness).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan, run_seed: u64) {
+        self.fault = plan.injector(run_seed);
+    }
+
+    /// The fault counters accumulated since the plan was installed
+    /// (staging faults included — they are charged to setup time).
+    #[must_use]
+    pub fn fault_stats(&self) -> dlp_common::FaultStats {
+        self.fault.stats()
     }
 
     /// The array shape.
@@ -150,9 +169,11 @@ impl Machine {
             bank.set_resident_raw(clamped.clone());
         }
         let dma = DmaEngine::new(&self.params.mem);
-        // The per-row engines stream their shares concurrently.
+        // The per-row engines stream their shares concurrently. A DMA
+        // stall is absorbed here: the launch throttle (setup_ticks) simply
+        // starts the kernel later.
         let share = len.div_ceil(self.smc.len() as u64);
-        self.setup_ticks += dma.transfer_done(share, 0);
+        self.setup_ticks += dma.transfer_done_faulty(share, 0, &mut self.fault);
         Ok(())
     }
 
@@ -162,7 +183,7 @@ impl Machine {
     pub fn charge_smc_writeback(&mut self, words: u64) {
         let dma = DmaEngine::new(&self.params.mem);
         let share = words.div_ceil(self.smc.len() as u64);
-        self.setup_ticks += dma.transfer_done(share, 0);
+        self.setup_ticks += dma.transfer_done_faulty(share, 0, &mut self.fault);
     }
 
     /// Load (replacing) the L0 data-store contents broadcast to every node,

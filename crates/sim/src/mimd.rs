@@ -203,7 +203,17 @@ impl Machine {
 
         while let Some(Reverse((t, rank))) = queue.pop() {
             if t > self.watchdog_ticks || steps > 500_000_000 {
-                return Err(DlpError::Watchdog { ticks: t });
+                return Err(DlpError::Watchdog {
+                    ticks: t,
+                    context: format!(
+                        "mimd rank {rank} at pc {} ({steps} steps, {} nodes)",
+                        nodes[rank].pc,
+                        ranks.len()
+                    ),
+                });
+            }
+            if let Some(fatal) = self.fault.fatal() {
+                return Err(fatal.to_error());
             }
             steps += 1;
             if nodes[rank].halted {
@@ -242,6 +252,12 @@ impl Machine {
             }
         }
 
+        // A fault escalated by the last step has no successor pop to
+        // observe it — catch it before declaring the run complete.
+        if let Some(fatal) = self.fault.fatal() {
+            return Err(fatal.to_error());
+        }
+
         if let Some(rank) = nodes.iter().position(|s| !s.halted) {
             return Err(DlpError::MalformedProgram {
                 detail: format!("mimd deadlock: node rank {rank} never halted"),
@@ -252,6 +268,7 @@ impl Machine {
         let net = self.router.stats();
         stats.net_msgs = net.msgs;
         stats.net_hops = net.hops;
+        stats.record_faults(self.fault.take_stats());
         Ok(stats)
     }
 
@@ -319,22 +336,35 @@ impl Machine {
                 let addr = ra.as_u64().wrapping_add(imm as u64);
                 stats.loads += 1;
                 let row = coord.row;
-                let req = self.router.send(Endpoint::Node(coord), Endpoint::MemPort(row), t + alu);
+                let req = self.router.send_faulty(
+                    Endpoint::Node(coord),
+                    Endpoint::MemPort(row),
+                    t + alu,
+                    &mut self.fault,
+                );
                 let served = match space {
                     MemSpace::Smc => {
                         stats.smc_accesses += 1;
-                        self.smc[row as usize].access(addr, req)
+                        self.smc[row as usize].access_faulty(addr, req, &mut self.fault)
                     }
                     MemSpace::L1 => {
                         stats.l1_accesses += 1;
-                        let (t2, hit) = self.l1[row as usize].access(addr, req);
+                        let (t2, hit) = self.l1[row as usize].access_faulty(addr, req, &mut self.fault);
                         if !hit {
                             stats.l1_misses += 1;
                         }
                         t2
                     }
                 };
-                let back = self.router.send(Endpoint::MemPort(row), Endpoint::Node(coord), served);
+                let back = self.router.send_faulty(
+                    Endpoint::MemPort(row),
+                    Endpoint::Node(coord),
+                    served,
+                    &mut self.fault,
+                );
+                // The loaded value lands in the node's operand storage; a
+                // parity flip there is re-latched from the network buffer.
+                let back = self.fault.operand_write(back);
                 stats.mem_stall_node_cycles += (back - t) / 2;
                 nodes[rank].regs[inst.rd as usize] = self.mem.read(addr);
                 nodes[rank].pc += 1;
@@ -345,15 +375,20 @@ impl Machine {
                 stats.stores += 1;
                 self.mem.write(addr, rb);
                 let row = coord.row;
-                let req = self.router.send(Endpoint::Node(coord), Endpoint::MemPort(row), t + alu);
+                let req = self.router.send_faulty(
+                    Endpoint::Node(coord),
+                    Endpoint::MemPort(row),
+                    t + alu,
+                    &mut self.fault,
+                );
                 let drained = match space {
                     MemSpace::Smc => {
-                        let t2 = self.stb[row as usize].push(addr, req);
-                        self.smc[row as usize].store(addr, t2)
+                        let t2 = self.stb[row as usize].push_faulty(addr, req, &mut self.fault);
+                        self.smc[row as usize].store_faulty(addr, t2, &mut self.fault)
                     }
                     MemSpace::L1 => {
                         stats.l1_accesses += 1;
-                        let (t2, hit) = self.l1[row as usize].access(addr, req);
+                        let (t2, hit) = self.l1[row as usize].access_faulty(addr, req, &mut self.fault);
                         if !hit {
                             stats.l1_misses += 1;
                         }
@@ -386,8 +421,15 @@ impl Machine {
             }
             MimdOp::Send => {
                 let dst = (imm as usize).min(nodes.len().saturating_sub(1));
-                let arrive =
-                    self.router.send(Endpoint::Node(coord), Endpoint::Node(send_coords[dst]), t + alu);
+                let arrive = self.router.send_faulty(
+                    Endpoint::Node(coord),
+                    Endpoint::Node(send_coords[dst]),
+                    t + alu,
+                    &mut self.fault,
+                );
+                // The message parks in the receiver's operand buffer; a
+                // flipped entry is re-latched before it becomes visible.
+                let arrive = self.fault.operand_write(arrive);
                 channels.get_mut(rank, dst).push_back((arrive, ra));
                 if nodes[dst].blocked_recv == Some(rank) {
                     // The receiver blocked on an empty channel; this message

@@ -54,6 +54,9 @@ fn convert_baseline_stats_are_pinned() {
         iterations: 6,
         mimd_fetches: 0,
         mem_stall_node_cycles: 0,
+        faults_injected: 0,
+        fault_retries: 0,
+        fault_stall_ticks: 0,
     };
     assert_eq!(got, want);
 }
@@ -83,6 +86,9 @@ fn convert_so_stats_are_pinned() {
         iterations: 1,
         mimd_fetches: 0,
         mem_stall_node_cycles: 0,
+        faults_injected: 0,
+        fault_retries: 0,
+        fault_stall_ticks: 0,
     };
     assert_eq!(got, want);
 }
@@ -113,6 +119,9 @@ fn blowfish_m_stats_are_pinned() {
         iterations: 24,
         mimd_fetches: 9280,
         mem_stall_node_cycles: 24648,
+        faults_injected: 0,
+        fault_retries: 0,
+        fault_stall_ticks: 0,
     };
     assert_eq!(got, want);
 }

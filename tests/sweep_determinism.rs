@@ -66,7 +66,7 @@ fn every_cell_verified_against_reference() {
             CellOutcome::Ran { mismatch, .. } => {
                 assert_eq!(*mismatch, None, "{} on {}", cell.kernel, cell.config);
             }
-            CellOutcome::Failed { error } => {
+            CellOutcome::Failed { error, .. } => {
                 panic!("{} on {} failed: {error}", cell.kernel, cell.config);
             }
         }
