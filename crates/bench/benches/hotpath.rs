@@ -2,20 +2,24 @@
 //! `hotpath` binary (one dataflow-heavy kernel, one MIMD-heavy kernel,
 //! across their engine's configurations), prepared once so only
 //! simulation — the dataflow event loop, the MIMD fetch loop, and the
-//! mesh router — is inside the timed region.
+//! mesh router — is inside the timed region, plus the event-scheduler
+//! microbenchmark (calendar queue vs the `BinaryHeap` it replaced).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dlp_bench::hotpath::{prepare_case, HOTPATH_CASES};
+use dlp_bench::hotpath::{heap_churn, prepare_case, queue_churn, HOTPATH_CASES};
 
 /// Matches the `hotpath` binary's full-scale record count so the two
 /// views stay comparable.
 const RECORDS: usize = 256;
 
+/// Pop-then-push rounds per queue-churn sample.
+const CHURN_OPS: u64 = 10_000;
+
 fn bench_hotpaths(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotpath");
     group.sample_size(10);
     for case in HOTPATH_CASES {
-        let prepared = prepare_case(case, RECORDS);
+        let mut prepared = prepare_case(case, RECORDS);
         group.bench_function(BenchmarkId::new(case.kernel, case.config), |b| {
             b.iter(|| prepared.run_once());
         });
@@ -23,5 +27,18 @@ fn bench_hotpaths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hotpaths);
+fn bench_equeue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equeue");
+    for live in [64usize, 1024] {
+        group.bench_function(BenchmarkId::new("calendar", live), |b| {
+            b.iter(|| queue_churn(live, CHURN_OPS));
+        });
+        group.bench_function(BenchmarkId::new("binary-heap", live), |b| {
+            b.iter(|| heap_churn(live, CHURN_OPS));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpaths, bench_equeue);
 criterion_main!(benches);

@@ -6,7 +6,9 @@
 //! simulation is timed. Comparing `cells_per_sec` between two commits'
 //! artifacts is the perf-regression check; `sim_cycles` doubles as a
 //! determinism cross-check (it must only move when machine behavior
-//! does).
+//! does). A queue microbenchmark row times the calendar-queue event
+//! scheduler against the `BinaryHeap` it replaced, with an order
+//! checksum asserting equivalence.
 //!
 //! Flags:
 //!
@@ -14,7 +16,7 @@
 //!   honors `--quick` for symmetry with the other binaries.
 //! * `--out PATH` — JSON destination (default `BENCH_hotpath.json`).
 
-use dlp_bench::hotpath::{measure, HotpathReport, HOTPATH_CASES};
+use dlp_bench::hotpath::{measure, measure_queue, HotpathReport, HOTPATH_CASES, HOTPATH_SCHEMA};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -25,18 +27,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Full scale keeps each case around a hundred milliseconds of timed
     // work; fast scale is a sub-second smoke proof that the harness runs.
     let (records, iters) = if fast { (24, 3) } else { (256, 20) };
+    let (queue_live, queue_ops) = if fast { (256, 100_000) } else { (1024, 2_000_000) };
 
     let mut cases = Vec::with_capacity(HOTPATH_CASES.len());
     for case in HOTPATH_CASES {
         let m = measure(case, records, iters);
         println!(
-            "{:>9} {:<9} [{}] {:>10.1} cells/s  {:>12.0} records/s  ({} sim cycles)",
-            m.kernel, m.config, m.engine, m.cells_per_sec, m.records_per_sec, m.sim_cycles
+            "{:>9} {:<9} [{}] {:>10.1} cells/s  {:>12.0} records/s  ({} sim cycles, {} cache hits)",
+            m.kernel,
+            m.config,
+            m.engine,
+            m.cells_per_sec,
+            m.records_per_sec,
+            m.sim_cycles,
+            m.workload_cache_hits
         );
         cases.push(m);
     }
 
-    let report = HotpathReport { fast, cases };
+    let queue = measure_queue(queue_live, queue_ops);
+    println!(
+        "{:>9} {:<9} [equeue ] {:>10.2}M ops/s  vs heap {:>6.2}M ops/s  (checksum {:#018x})",
+        "calendar",
+        format!("live={}", queue.live),
+        queue.ops_per_sec / 1e6,
+        queue.heap_ops_per_sec / 1e6,
+        queue.checksum
+    );
+
+    let report = HotpathReport { schema: HOTPATH_SCHEMA, fast, cases, queue };
     std::fs::write(&out_path, dlp_common::json::to_string(&report))?;
     eprintln!("wrote {out_path}");
     Ok(())

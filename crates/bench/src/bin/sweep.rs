@@ -11,6 +11,10 @@
 //! * `--threads N` — worker-thread count (default: one per CPU, max 8).
 //!   `--threads 1` is the serial reference; any N produces bit-identical
 //!   statistics.
+//! * `--no-workload-cache` — disable the shared workload cache.
+//!   Statistics are bit-identical either way (the CI purity check
+//!   compares the two paths); the flag exists for A/B wall-clock
+//!   comparisons.
 //! * `--out PATH` — JSON destination (default `BENCH_sweep.json`).
 
 use dlp_bench::{quick_flag, records_for};
@@ -25,6 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let params = ExperimentParams::default();
     let mut sweep = threads.map_or_else(Sweep::new, Sweep::with_threads);
+    if args.iter().any(|a| a == "--no-workload-cache") {
+        sweep.set_workload_cache(false);
+    }
     for id in sweep.add_perf_suite() {
         let records = records_for(sweep.kernel(id).name(), quick);
         sweep.push_config(id, MachineConfig::Baseline, records, &params);
@@ -45,6 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "schedule cache: {} lowerings prepared, {} cells served from cache",
         report.plans_prepared, report.plan_reuses
+    );
+    println!(
+        "workload cache: {} hits, {} generated",
+        report.workload_cache_hits, report.workload_cache_misses
     );
     println!("wall clock: {:.0} ms on {} threads", report.wall_ms, report.threads);
 

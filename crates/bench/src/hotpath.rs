@@ -7,8 +7,11 @@
 //! the configurations that stress those loops and measures simulation
 //! throughput with the scheduling cost excluded — each case is prepared
 //! once ([`dlp_core::prepare_kernel`]) and only
-//! [`dlp_core::run_prepared`] is timed, so the numbers move when the
-//! engines' hot paths do and not when the scheduler does.
+//! [`dlp_core::run_prepared_in`] is timed, so the numbers move when the
+//! engines' hot paths do and not when the scheduler does. A
+//! [`measure_queue`] microbenchmark additionally times the event
+//! scheduler itself — the calendar queue against the `BinaryHeap` it
+//! replaced — with a checksum asserting both emit the identical order.
 //!
 //! Two consumers share the case list:
 //!
@@ -19,12 +22,19 @@
 //!   `EXPERIMENTS.md`) for CI to archive; regressions show up as a drop
 //!   in `cells_per_sec` between two commits' artifacts.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
+use dlp_common::{SplitMix64, Tick};
 use dlp_core::sweep::derive_seed;
-use dlp_core::{prepare_kernel, run_prepared, ExperimentParams, MachineConfig};
+use dlp_core::{
+    prepare_kernel, run_prepared_in, ExperimentParams, MachineConfig, RunScratch, WorkloadCache,
+};
 use dlp_kernels::{suite, DlpKernel};
 use serde::{Deserialize, Serialize};
+use trips_sim::equeue::CalendarQueue;
 
 /// One measured hot-path case: a kernel pinned to the engine family it
 /// stresses.
@@ -50,12 +60,17 @@ pub const HOTPATH_CASES: &[HotpathCase] = &[
 ];
 
 /// A case lowered and ready to time: everything
-/// [`PreparedCase::run_once`] needs.
+/// [`PreparedCase::run_once`] needs, including the reusable
+/// [`RunScratch`] (engine arena + workload cache) a sweep worker would
+/// carry — so the timed region exercises the steady-state
+/// (allocation-free, cached-workload) path.
 pub struct PreparedCase {
     kernel: Box<dyn DlpKernel>,
     prepared: dlp_core::PreparedProgram,
     records: usize,
     params: ExperimentParams,
+    cache: Arc<WorkloadCache>,
+    scratch: RunScratch,
 }
 
 /// Lowers `case` for `records` records, with the same derived seed the
@@ -75,7 +90,9 @@ pub fn prepare_case(case: &HotpathCase, records: usize) -> PreparedCase {
     let params = ExperimentParams { seed: derive_seed(base.seed, case.kernel), ..base };
     let prepared = prepare_kernel(kernel.as_ref(), case.config.mechanisms(), records, &params)
         .expect("hot-path case lowers");
-    PreparedCase { kernel, prepared, records, params }
+    let cache = Arc::new(WorkloadCache::new());
+    let scratch = RunScratch::with_workload_cache(Arc::clone(&cache));
+    PreparedCase { kernel, prepared, records, params, cache, scratch }
 }
 
 impl PreparedCase {
@@ -88,12 +105,24 @@ impl PreparedCase {
     /// optimization that breaks verification must fail the bench, not
     /// post a fast number.
     #[must_use]
-    pub fn run_once(&self) -> u64 {
-        let (stats, mismatch) =
-            run_prepared(self.kernel.as_ref(), &self.prepared, self.records, &self.params)
-                .expect("hot-path case simulates");
+    pub fn run_once(&mut self) -> u64 {
+        let (stats, mismatch) = run_prepared_in(
+            self.kernel.as_ref(),
+            &self.prepared,
+            self.records,
+            &self.params,
+            &mut self.scratch,
+        )
+        .expect("hot-path case simulates");
         assert_eq!(mismatch, None, "{} must verify", self.kernel.name());
         stats.cycles()
+    }
+
+    /// Workload-cache hits accumulated across this case's runs (every
+    /// run after the first warm-up is a hit).
+    #[must_use]
+    pub fn workload_cache_hits(&self) -> u64 {
+        self.cache.hits()
     }
 }
 
@@ -120,6 +149,10 @@ pub struct HotpathMeasurement {
     pub cells_per_sec: f64,
     /// Simulated records per second of host time.
     pub records_per_sec: f64,
+    /// Workload-cache hits over this case's runs (deterministic: equal
+    /// to `iters`, since the warm-up generates and every timed run
+    /// hits).
+    pub workload_cache_hits: u64,
 }
 
 /// Prepares `case`, warms it once, then times `iters` runs.
@@ -130,7 +163,7 @@ pub struct HotpathMeasurement {
 /// [`PreparedCase::run_once`]).
 #[must_use]
 pub fn measure(case: &HotpathCase, records: usize, iters: usize) -> HotpathMeasurement {
-    let prepared = prepare_case(case, records);
+    let mut prepared = prepare_case(case, records);
     let sim_cycles = prepared.run_once(); // warm: page in workload paths
     let started = Instant::now();
     for _ in 0..iters {
@@ -147,14 +180,149 @@ pub fn measure(case: &HotpathCase, records: usize, iters: usize) -> HotpathMeasu
         wall_ms: wall * 1e3,
         cells_per_sec: iters as f64 / wall.max(1e-9),
         records_per_sec: (iters * records) as f64 / wall.max(1e-9),
+        workload_cache_hits: prepared.workload_cache_hits(),
+    }
+}
+
+/// Seed for the queue-churn microbenchmark's deterministic schedule.
+const CHURN_SEED: u64 = 0x0051_EEED;
+
+/// Drives a [`CalendarQueue`] through a hold-model churn — `live`
+/// resident events, `ops` pop-then-push rounds with pseudo-random tick
+/// deltas in 1..=64 — and folds every popped `(tick, payload)` into a
+/// checksum. The identical schedule runs through [`heap_churn`]; equal
+/// checksums prove the two schedulers emit the same total order.
+#[must_use]
+pub fn queue_churn(live: usize, ops: u64) -> u64 {
+    let mut q: CalendarQueue<(), u64> = CalendarQueue::new();
+    let mut rng = SplitMix64::new(CHURN_SEED ^ live as u64);
+    for i in 0..live as u64 {
+        q.push((rng.next_u64() & 63) + 1, (), i);
+    }
+    let mut checksum = 0u64;
+    for _ in 0..ops {
+        let (t, (), v) = q.pop().expect("churn queue stays populated");
+        checksum = checksum.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(t ^ v);
+        q.push(t + (rng.next_u64() & 63) + 1, (), v);
+    }
+    checksum
+}
+
+/// The `BinaryHeap` reference for [`queue_churn`]: same schedule, same
+/// checksum, through a `Reverse<(tick, seq)>` heap — the scheduler both
+/// engines used before the calendar queue.
+#[must_use]
+pub fn heap_churn(live: usize, ops: u64) -> u64 {
+    let mut q: BinaryHeap<Reverse<(Tick, u64, u64)>> = BinaryHeap::new();
+    let mut rng = SplitMix64::new(CHURN_SEED ^ live as u64);
+    let mut seq = 0u64;
+    for i in 0..live as u64 {
+        q.push(Reverse(((rng.next_u64() & 63) + 1, seq, i)));
+        seq += 1;
+    }
+    let mut checksum = 0u64;
+    for _ in 0..ops {
+        let Reverse((t, _, v)) = q.pop().expect("churn heap stays populated");
+        checksum = checksum.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(t ^ v);
+        q.push(Reverse((t + (rng.next_u64() & 63) + 1, seq, v)));
+        seq += 1;
+    }
+    checksum
+}
+
+/// The event-scheduler microbenchmark row of `BENCH_hotpath.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QueueMeasurement {
+    /// Resident events held in the queue throughout the churn.
+    pub live: usize,
+    /// Pop-then-push rounds timed.
+    pub ops: u64,
+    /// Calendar-queue wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Calendar-queue rounds per second.
+    pub ops_per_sec: f64,
+    /// `BinaryHeap` reference wall-clock, milliseconds.
+    pub heap_wall_ms: f64,
+    /// `BinaryHeap` reference rounds per second.
+    pub heap_ops_per_sec: f64,
+    /// Order checksum (identical for both schedulers by construction —
+    /// [`measure_queue`] asserts it — and deterministic, so it doubles
+    /// as a cross-commit determinism check).
+    pub checksum: u64,
+}
+
+/// Times [`queue_churn`] against [`heap_churn`] at `live` resident
+/// events and asserts their order checksums agree.
+///
+/// # Panics
+///
+/// Panics when the calendar queue and the heap emit different orders —
+/// a scheduler-equivalence violation that must fail the bench.
+#[must_use]
+pub fn measure_queue(live: usize, ops: u64) -> QueueMeasurement {
+    // Warm both once so allocation warm-up is outside the timed region
+    // (matching how the engines hold their queues across runs).
+    let warm_q = queue_churn(live, ops);
+    let warm_h = heap_churn(live, ops);
+    assert_eq!(warm_q, warm_h, "calendar queue must emit the heap's exact order");
+
+    let started = Instant::now();
+    let checksum = queue_churn(live, ops);
+    let wall = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let heap_checksum = heap_churn(live, ops);
+    let heap_wall = started.elapsed().as_secs_f64();
+    assert_eq!(checksum, heap_checksum, "checksums diverged between timed runs");
+
+    QueueMeasurement {
+        live,
+        ops,
+        wall_ms: wall * 1e3,
+        ops_per_sec: ops as f64 / wall.max(1e-9),
+        heap_wall_ms: heap_wall * 1e3,
+        heap_ops_per_sec: ops as f64 / heap_wall.max(1e-9),
+        checksum,
     }
 }
 
 /// The full `BENCH_hotpath.json` artifact.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HotpathReport {
+    /// Artifact schema version. 2 added `queue` and the per-case
+    /// `workload_cache_hits` (see `EXPERIMENTS.md`).
+    pub schema: u32,
     /// Whether the fast (CI smoke) scale was used.
     pub fast: bool,
     /// One row per [`HOTPATH_CASES`] entry.
     pub cases: Vec<HotpathMeasurement>,
+    /// The event-scheduler microbenchmark.
+    pub queue: QueueMeasurement,
+}
+
+/// Current [`HotpathReport::schema`] version.
+pub const HOTPATH_SCHEMA: u32 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_checksums_agree_and_are_deterministic() {
+        for live in [1usize, 7, 64, 700] {
+            let a = queue_churn(live, 2_000);
+            let b = heap_churn(live, 2_000);
+            assert_eq!(a, b, "order parity at {live} live events");
+            assert_eq!(a, queue_churn(live, 2_000), "deterministic at {live}");
+        }
+    }
+
+    #[test]
+    fn hotpath_case_reuses_workload_via_cache() {
+        let mut prepared = prepare_case(&HOTPATH_CASES[0], 8);
+        let first = prepared.run_once();
+        assert_eq!(prepared.workload_cache_hits(), 0, "first run generates");
+        let second = prepared.run_once();
+        assert_eq!(first, second, "deterministic");
+        assert_eq!(prepared.workload_cache_hits(), 1, "second run hits");
+    }
 }

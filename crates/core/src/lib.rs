@@ -64,6 +64,8 @@ pub use flexible::{flexible, Figure5, Figure5Row, FlexibleSummary};
 pub use recommend::{recommend, Recommendation};
 pub use runner::{
     default_records, natural_unroll, prepare_kernel, run_kernel, run_kernel_mech, run_prepared,
-    ExperimentParams, PreparedProgram, RunOutcome,
+    run_prepared_in, ExperimentParams, PreparedProgram, RunOutcome, RunScratch, WorkloadCache,
 };
-pub use sweep::{CellOutcome, CellSpec, Sweep, SweepCell, SweepPolicy, SweepReport};
+pub use sweep::{
+    default_worker_count, CellOutcome, CellSpec, Sweep, SweepCell, SweepPolicy, SweepReport,
+};

@@ -1,5 +1,8 @@
 //! The experiment driver: kernel × configuration → verified simulation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
 use dlp_common::{DlpError, FaultPlan, GridShape, SimStats, Tick, TimingParams, Value};
 use dlp_kernels::{first_mismatch, memmap, DlpKernel, MimdTarget, Workload};
 use serde::{Deserialize, Serialize};
@@ -7,7 +10,7 @@ use trips_isa::MimdProgram;
 use trips_sched::{
     replicate_mimd, schedule_dataflow, LayoutPlan, ScheduleOptions, ScheduledKernel,
 };
-use trips_sim::{Machine, MechanismSet};
+use trips_sim::{EngineArena, Machine, MechanismSet};
 
 use crate::MachineConfig;
 
@@ -274,6 +277,101 @@ pub fn natural_unroll(
     )
 }
 
+/// Cross-run cache of generated workloads, keyed on
+/// `(kernel name, padded record count, seed)` — exactly the inputs of
+/// [`DlpKernel::workload`] — so a sweep generates each kernel's input
+/// stream and reference output once and shares it (via [`Arc`]) across
+/// all the configurations of a cell group instead of regenerating it per
+/// cell.
+///
+/// Strictly observational: the cached [`Workload`] is bit-identical to a
+/// fresh generation (kernel workloads are pure functions of the key), so
+/// statistics with and without the cache match exactly. The hit/miss
+/// counters are deterministic too — the lock is held across generation,
+/// so the counts depend only on the multiset of keys requested, never on
+/// thread interleaving.
+#[derive(Default)]
+pub struct WorkloadCache {
+    /// Linear scan, not a hash map: sweep grids touch a handful of
+    /// distinct keys, and a scan avoids allocating a `String` key per
+    /// lookup on the (dominant) hit path.
+    entries: Mutex<Vec<(WorkloadKey, Arc<Workload>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// `(kernel name, padded record count, seed)` — the inputs of
+/// [`DlpKernel::workload`].
+type WorkloadKey = (String, usize, u64);
+
+impl WorkloadCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lookups served from the cache so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to generate the workload.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The workload for `(kernel, padded_records, seed)`, generated on
+    /// first request and shared thereafter.
+    fn get(&self, kernel: &dyn DlpKernel, padded_records: usize, seed: u64) -> Arc<Workload> {
+        let name = kernel.name();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some((_, w)) = entries
+            .iter()
+            .find(|((k, r, s), _)| k == name && *r == padded_records && *s == seed)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(w);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let w = Arc::new(kernel.workload(padded_records, seed));
+        entries.push(((name.to_string(), padded_records, seed), Arc::clone(&w)));
+        w
+    }
+}
+
+/// Reusable per-worker state for [`run_prepared_in`]: the engines'
+/// [`EngineArena`] plus an optional shared [`WorkloadCache`]. One scratch
+/// per worker thread turns a sweep's steady state allocation-free.
+#[derive(Default)]
+pub struct RunScratch {
+    arena: EngineArena,
+    workloads: Option<Arc<WorkloadCache>>,
+}
+
+impl RunScratch {
+    /// A fresh scratch with no workload cache (workloads are generated
+    /// per run, as [`run_prepared`] always did).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh scratch whose runs share `cache` for workload generation.
+    #[must_use]
+    pub fn with_workload_cache(cache: Arc<WorkloadCache>) -> Self {
+        RunScratch { arena: EngineArena::new(), workloads: Some(cache) }
+    }
+
+    /// The shared workload cache, when one is installed.
+    #[must_use]
+    pub fn workload_cache(&self) -> Option<&Arc<WorkloadCache>> {
+        self.workloads.as_ref()
+    }
+}
+
 /// Execute a [`PreparedProgram`] over `records` records: generate the
 /// workload from `params.seed`, stage memory, simulate, and verify every
 /// output word against the kernel's reference implementation.
@@ -293,6 +391,25 @@ pub fn run_prepared(
     records: usize,
     params: &ExperimentParams,
 ) -> Result<(SimStats, Option<usize>), DlpError> {
+    run_prepared_in(kernel, prepared, records, params, &mut RunScratch::new())
+}
+
+/// As [`run_prepared`], threading a reusable [`RunScratch`] through the
+/// run: the engines recycle `scratch`'s arena (frames, throttle tables,
+/// MIMD channels, event-queue buckets) and the workload comes from the
+/// scratch's [`WorkloadCache`] when one is installed. Statistics and
+/// verification are bit-identical to [`run_prepared`].
+///
+/// # Errors
+///
+/// Propagates simulation failures ([`DlpError`]).
+pub fn run_prepared_in(
+    kernel: &dyn DlpKernel,
+    prepared: &PreparedProgram,
+    records: usize,
+    params: &ExperimentParams,
+    scratch: &mut RunScratch,
+) -> Result<(SimStats, Option<usize>), DlpError> {
     let ir = kernel.ir();
     let in_words = ir.record_in_words() as usize;
     let out_words = ir.record_out_words() as usize;
@@ -311,7 +428,10 @@ pub fn run_prepared(
         machine.install_fault_plan(params.fault, params.seed);
     }
 
-    let workload = kernel.workload(padded_records, params.seed);
+    let workload = match &scratch.workloads {
+        Some(cache) => cache.get(kernel, padded_records, params.seed),
+        None => Arc::new(kernel.workload(padded_records, params.seed)),
+    };
     stage(&mut machine, &workload, in_words)?;
 
     let stats = match &prepared.variant {
@@ -323,7 +443,7 @@ pub fn run_prepared(
                     machine.memory_mut().write_words(memmap::TABLE_BASE, table);
                 }
             }
-            machine.run_mimd(progs, records as u64)?
+            machine.run_mimd_in(progs, records as u64, &mut scratch.arena)?
         }
         PreparedVariant::Dataflow(sched) => {
             if !sched.table_image.is_empty() {
@@ -337,7 +457,14 @@ pub fn run_prepared(
                 machine.set_reg(*reg, *v);
             }
             let iterations = (padded_records / sched.unroll) as u64;
-            machine.run_dataflow(&sched.block, iterations)?
+            // The lowering validated this block as its final step, so
+            // the engine need not re-hash it per cell.
+            scratch.arena.mark_dataflow_block_validated(
+                &sched.block,
+                params.grid,
+                params.timing.core.rs_slots_per_node,
+            );
+            machine.run_dataflow_in(&sched.block, iterations, &mut scratch.arena)?
         }
     };
 
@@ -414,6 +541,24 @@ mod tests {
     fn cycles_per_record_is_positive() {
         let out = quick("lu", MachineConfig::S);
         assert!(out.cycles_per_record() > 0.0);
+    }
+
+    #[test]
+    fn workload_cache_and_scratch_are_observationally_pure() {
+        let params = ExperimentParams::default();
+        let k = suite().into_iter().find(|k| k.name() == "convert").expect("kernel exists");
+        let prepared =
+            prepare_kernel(k.as_ref(), MachineConfig::S.mechanisms(), 24, &params).unwrap();
+        let fresh = run_prepared(k.as_ref(), &prepared, 24, &params).unwrap();
+
+        let cache = Arc::new(WorkloadCache::new());
+        let mut scratch = RunScratch::with_workload_cache(Arc::clone(&cache));
+        let first = run_prepared_in(k.as_ref(), &prepared, 24, &params, &mut scratch).unwrap();
+        let second = run_prepared_in(k.as_ref(), &prepared, 24, &params, &mut scratch).unwrap();
+        assert_eq!(fresh, first, "cached+arena run == plain run");
+        assert_eq!(fresh, second, "warm scratch stays bit-identical");
+        assert_eq!(cache.misses(), 1, "workload generated once");
+        assert_eq!(cache.hits(), 1, "second run served from the cache");
     }
 
     #[test]

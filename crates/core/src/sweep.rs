@@ -65,7 +65,7 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal};
@@ -74,7 +74,9 @@ use dlp_kernels::{suite, DlpKernel};
 use serde::{Deserialize, Serialize};
 use trips_sim::MechanismSet;
 
-use crate::runner::{natural_unroll, prepare_kernel, run_prepared, PreparedProgram};
+use crate::runner::{
+    natural_unroll, prepare_kernel, run_prepared_in, PreparedProgram, RunScratch, WorkloadCache,
+};
 use crate::{ExperimentParams, MachineConfig};
 
 /// Handle to a kernel registered with a [`Sweep`].
@@ -115,6 +117,7 @@ pub struct Sweep {
     cells: Vec<CellSpec>,
     threads: usize,
     policy: SweepPolicy,
+    workload_cache: bool,
 }
 
 /// Degradation policy for failing cells: how hard a sweep tries before
@@ -169,17 +172,30 @@ impl Default for Sweep {
     }
 }
 
+/// The worker count [`Sweep::new`] picks for a host with `cores` CPUs:
+/// one worker on a single-core host (spawning a second thread there only
+/// adds contention), otherwise `cores` clamped to 2..=8 — at least two so
+/// the work-stealing path is always exercised (results are
+/// thread-count-independent, so this is free), at most eight because the
+/// cells are simulation-bound and oversubscription only adds scheduling
+/// noise.
+#[must_use]
+pub fn default_worker_count(cores: usize) -> usize {
+    if cores <= 1 {
+        1
+    } else {
+        cores.clamp(2, 8)
+    }
+}
+
 impl Sweep {
-    /// An empty sweep using one worker per available CPU, clamped to
-    /// 2..=8: at least two so the work-stealing path is always
-    /// exercised (results are thread-count-independent, so this is
-    /// free), at most eight because the cells are simulation-bound and
-    /// oversubscription only adds scheduling noise.
+    /// An empty sweep sized for the host by [`default_worker_count`]
+    /// applied to `available_parallelism`.
     #[must_use]
     pub fn new() -> Self {
-        let threads =
+        let cores =
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self::with_threads(threads.clamp(2, 8))
+        Self::with_threads(default_worker_count(cores))
     }
 
     /// An empty sweep with an explicit worker count (clamped to ≥ 1).
@@ -192,6 +208,7 @@ impl Sweep {
             cells: Vec::new(),
             threads: threads.max(1),
             policy: SweepPolicy::default(),
+            workload_cache: true,
         }
     }
 
@@ -210,6 +227,21 @@ impl Sweep {
     #[must_use]
     pub fn policy(&self) -> SweepPolicy {
         self.policy
+    }
+
+    /// Enables or disables the shared [`WorkloadCache`] (on by default).
+    /// Caching is observationally pure — statistics are bit-identical
+    /// either way — so the switch exists for A/B timing comparisons and
+    /// the CI purity cross-check, not correctness.
+    pub fn set_workload_cache(&mut self, enabled: bool) {
+        self.workload_cache = enabled;
+    }
+
+    /// Whether [`Sweep::run`] will share workloads through a
+    /// [`WorkloadCache`].
+    #[must_use]
+    pub fn workload_cache_enabled(&self) -> bool {
+        self.workload_cache
     }
 
     /// Registers a kernel and returns its handle.
@@ -330,9 +362,19 @@ impl Sweep {
             });
 
         // ---- Phase 2: execute all cells against the shared plans. ---
+        // Each worker carries one RunScratch for its whole drain: the
+        // engine arena makes repeat cells allocation-free, and the
+        // (optional) workload cache is shared across all workers.
         let max_attempts = self.policy.max_attempts.max(1);
-        let cell_results: Vec<(CellOutcome, f64, u32)> =
-            self.parallel_map(self.cells.len(), |i| {
+        let workload_cache =
+            if self.workload_cache { Some(Arc::new(WorkloadCache::new())) } else { None };
+        let cell_results: Vec<(CellOutcome, f64, u32)> = self.parallel_map_with(
+            self.cells.len(),
+            || match &workload_cache {
+                Some(cache) => RunScratch::with_workload_cache(Arc::clone(cache)),
+                None => RunScratch::new(),
+            },
+            |scratch, i| {
                 let cell = &self.cells[i];
                 let cell_started = Instant::now();
                 let prepared = match &plans[cell_plan[i]] {
@@ -367,11 +409,12 @@ impl Sweep {
                         ..cell.params
                     };
                     let ran = catch_cell(|| {
-                        run_prepared(
+                        run_prepared_in(
                             self.kernels[cell.kernel].as_ref(),
                             prepared,
                             cell.records,
                             &params,
+                            scratch,
                         )
                     });
                     let elapsed_ms = cell_started.elapsed().as_secs_f64() * 1e3;
@@ -395,7 +438,11 @@ impl Sweep {
                         }
                     }
                 }
-            });
+            },
+        );
+
+        let (workload_cache_hits, workload_cache_misses) =
+            workload_cache.as_ref().map_or((0, 0), |c| (c.hits(), c.misses()));
 
         let soft_timeouts = match self.policy.soft_timeout_ms {
             Some(budget) => cell_results.iter().filter(|(_, wall_ms, _)| *wall_ms > budget).count(),
@@ -427,6 +474,8 @@ impl Sweep {
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
             soft_timeouts,
             extra_attempts,
+            workload_cache_hits,
+            workload_cache_misses,
             cells,
         }
     }
@@ -493,16 +542,29 @@ impl Sweep {
 
     /// Maps `f` over `0..n` with the work-stealing pool, preserving
     /// index order in the result.
+    fn parallel_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.parallel_map_with(n, || (), |(), i| f(i))
+    }
+
+    /// As [`Sweep::parallel_map`], but each worker thread first builds a
+    /// private context with `init` and threads it (`&mut`) through every
+    /// index it steals — how phase 2 gives each worker a reusable
+    /// [`RunScratch`] without any cross-thread sharing of mutable state.
     //
     // The two `expect`s below guard pool invariants, not cell work: cell
     // panics are already converted to `DlpError` by `catch_cell` inside
     // `f`, so a violation here means the harness itself is broken and
     // there is no per-cell result to degrade to.
     #[allow(clippy::expect_used)]
-    fn parallel_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    fn parallel_map_with<C, T, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize) -> T + Sync,
+        I: Fn() -> C + Sync,
+        F: Fn(&mut C, usize) -> T + Sync,
     {
         let injector: Injector<usize> = Injector::new();
         for i in 0..n {
@@ -512,15 +574,19 @@ impl Sweep {
         let workers = self.threads.min(n.max(1));
         crossbeam::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    match injector.steal() {
-                        Steal::Success(i) => {
-                            let out = f(i);
-                            *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
-                                Some(out);
+                scope.spawn(|_| {
+                    let mut ctx = init();
+                    loop {
+                        match injector.steal() {
+                            Steal::Success(i) => {
+                                let out = f(&mut ctx, i);
+                                *slots[i]
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => {}
                         }
-                        Steal::Empty => break,
-                        Steal::Retry => {}
                     }
                 });
             }
@@ -710,6 +776,14 @@ pub struct SweepReport {
     /// Retry attempts spent beyond each cell's first (0 under the
     /// default single-attempt policy).
     pub extra_attempts: u64,
+    /// Workload-cache lookups served from the cache. Deterministic —
+    /// the counts depend only on the set of distinct
+    /// `(kernel, padded records, seed)` keys the grid requests, never on
+    /// worker count or interleaving; 0 when the cache is disabled.
+    pub workload_cache_hits: u64,
+    /// Workload-cache lookups that generated a workload (the number of
+    /// distinct keys); 0 when the cache is disabled.
+    pub workload_cache_misses: u64,
     /// Per-cell results, in push order.
     pub cells: Vec<SweepCell>,
 }
@@ -916,6 +990,46 @@ mod tests {
         for (config, hm) in &hms {
             assert!(*hm > 0.0, "{config}: {hm}");
         }
+    }
+
+    #[test]
+    fn default_worker_count_respects_single_core() {
+        assert_eq!(default_worker_count(1), 1, "no phantom second worker on 1 core");
+        assert_eq!(default_worker_count(2), 2);
+        assert_eq!(default_worker_count(3), 3);
+        assert_eq!(default_worker_count(8), 8);
+        assert_eq!(default_worker_count(64), 8, "cap at 8");
+        assert_eq!(default_worker_count(0), 1, "defensive floor");
+    }
+
+    #[test]
+    fn workload_cache_is_observationally_pure() {
+        // The same grid with and without the workload cache must produce
+        // identical per-cell outcomes; the cached run must actually hit.
+        let params = ExperimentParams::default();
+        let build = |cached: bool| {
+            let mut sweep = Sweep::with_threads(2);
+            sweep.set_workload_cache(cached);
+            let id = sweep.add_kernel_by_name("convert").expect("suite kernel");
+            for config in [MachineConfig::Baseline, MachineConfig::S, MachineConfig::S] {
+                sweep.push_config(id, config, 24, &params);
+            }
+            sweep.run()
+        };
+        let cached = build(true);
+        let plain = build(false);
+        assert!(cached.workload_cache_hits >= 1, "repeated config shares its workload");
+        assert_eq!(
+            cached.workload_cache_hits + cached.workload_cache_misses,
+            cached.cells.len() as u64,
+            "every cell looked its workload up exactly once"
+        );
+        assert_eq!(plain.workload_cache_hits, 0);
+        assert_eq!(plain.workload_cache_misses, 0);
+        for (a, b) in cached.cells.iter().zip(&plain.cells) {
+            assert_eq!(a.outcome, b.outcome, "{} on {}: cached == uncached", a.kernel, a.config);
+        }
+        cached.ensure_verified().expect("verifies");
     }
 
     #[test]

@@ -18,16 +18,22 @@
 //! * **Operand revitalization** — additionally, operands marked persistent
 //!   (and persistent register reads) survive revitalization, so constants
 //!   are delivered once per kernel.
+//!
+//! Events are dispatched through a [`CalendarQueue`] in `(tick, seq)`
+//! order — the determinism contract in DESIGN.md — with all per-run
+//! tables held in a recyclable [`DataflowScratch`] so repeated runs
+//! through one [`EngineArena`](crate::EngineArena) allocate nothing in
+//! steady state.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 use dlp_common::{Coord, DlpError, SimStats, Tick, Value};
-use trips_isa::{DataflowBlock, MemSpace, OpClass, OpRole, Opcode, Port, Target};
+use trips_isa::{DataflowBlock, MemSpace, OpClass, OpRole, Opcode, Port, Slot, Target};
 use trips_mem::Throttle;
 use trips_noc::Endpoint;
 
-use crate::Machine;
+use crate::equeue::CalendarQueue;
+use crate::{EngineArena, Machine};
 
 /// Reservation-station runtime state for one instruction in one frame.
 #[derive(Clone, Default)]
@@ -58,7 +64,7 @@ enum ResolvedTarget {
     Reg { reg: u16, bank_col: u8 },
 }
 
-/// Events, ordered by (tick, sequence).
+/// Events, dispatched in (tick, sequence) order.
 enum Ev {
     /// An operand arrives at an instruction port.
     Operand { inst: usize, port: Port, value: Value },
@@ -67,37 +73,12 @@ enum Ev {
     Quiesce,
 }
 
-struct EvEntry {
-    tick: Tick,
-    seq: u64,
-    frame: usize,
-    ev: Ev,
-}
-
-impl PartialEq for EvEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.tick == other.tick && self.seq == other.seq
-    }
-}
-impl Eq for EvEntry {}
-impl PartialOrd for EvEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EvEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.tick, self.seq).cmp(&(other.tick, other.seq))
-    }
-}
-
 /// Reserve an issue slot at cycle granularity on a per-tick [`Throttle`].
 fn reserve_cycle(t: &mut Throttle, now: Tick) -> Tick {
     (t.reserve(now / 2) * 2).max(now)
 }
 
 /// Per-frame bookkeeping.
-#[derive(Clone)]
 struct Frame {
     rs: Vec<RsState>,
     executed: usize,
@@ -113,33 +94,82 @@ impl Frame {
     fn new(len: usize) -> Self {
         Frame { rs: vec![RsState::default(); len], executed: 0, pending: 0, last_tick: 0, iter: 0 }
     }
+
+    /// Restore the pristine `Frame::new` state, retaining the `rs`
+    /// allocation.
+    fn reset(&mut self, len: usize) {
+        self.rs.clear();
+        self.rs.resize(len, RsState::default());
+        self.executed = 0;
+        self.pending = 0;
+        self.last_tick = 0;
+        self.iter = 0;
+    }
 }
 
-struct Engine<'a> {
-    m: &'a mut Machine,
-    block: &'a DataflowBlock,
+/// Recyclable storage for one dataflow run, owned by an
+/// [`EngineArena`](crate::EngineArena). Every table is rebuilt per run
+/// (the contents depend on the block and machine) but the allocations —
+/// including the calendar queue's bucket ring — carry over, so a sweep
+/// worker's steady state is allocation-free.
+#[derive(Default)]
+pub(crate) struct DataflowScratch {
+    /// The scheduler: `(frame, event)` pairs in `(tick, seq)` order.
+    events: CalendarQueue<(), (usize, Ev)>,
     frames: Vec<Frame>,
     /// Which ports of each instruction must be filled before issue.
     required: Vec<[bool; 3]>,
-    /// Per-instruction targets with slot lookups pre-resolved (same order
-    /// as `insts()[i].targets`, so LMW word `k` still maps to target `k`).
-    resolved: Vec<Vec<ResolvedTarget>>,
-    /// Port destinations of each register read (same order as the port
-    /// targets in `reg_reads()[ri].targets`).
-    reg_read_dsts: Vec<Vec<(usize, Port, Coord)>>,
+    /// Every instruction's resolved targets, flattened: instruction `i`
+    /// owns `resolved[span.0..span.1]` for `span = resolved_span[i]`, in
+    /// the same order as `insts()[i].targets` (so LMW word `k` still
+    /// maps to target `k`).
+    resolved: Vec<ResolvedTarget>,
+    resolved_span: Vec<(u32, u32)>,
+    /// Port destinations of register reads, flattened like `resolved`.
+    reg_read_dsts: Vec<(usize, Port, Coord)>,
+    reg_read_span: Vec<(u32, u32)>,
     /// Dense grid index of each instruction's node, for issue throttling.
     inst_node: Vec<usize>,
     /// Per-node issue throttles, indexed by dense grid index.
     node_issue: Vec<Throttle>,
     reg_bank_ports: Vec<Throttle>,
-    events: BinaryHeap<Reverse<EvEntry>>,
-    seq: u64,
+    /// Slot → dense instruction index (setup-time only: the hot paths go
+    /// through the pre-resolved tables above).
+    idx_of: HashMap<Slot, usize>,
+    /// Fingerprint of the last block this scratch validated —
+    /// `(block address, block length, grid, slots per node)`. Validation
+    /// is O(block) of hashing, so a sweep re-running one prepared (and
+    /// already-validated) block across many cells pays it once per
+    /// worker instead of once per run. Pre-seeded by
+    /// [`EngineArena::mark_dataflow_block_validated`](crate::EngineArena::mark_dataflow_block_validated)
+    /// for blocks a scheduler already validated.
+    pub(crate) validated: Option<(usize, usize, dlp_common::GridShape, usize)>,
+}
+
+struct Engine<'a> {
+    m: &'a mut Machine,
+    block: &'a DataflowBlock,
+    s: &'a mut DataflowScratch,
     stats: SimStats,
 }
 
 impl<'a> Engine<'a> {
-    fn new(m: &'a mut Machine, block: &'a DataflowBlock, n_frames: usize) -> Result<Self, DlpError> {
-        block.validate(m.grid(), m.params().core.rs_slots_per_node)?;
+    fn new(
+        m: &'a mut Machine,
+        block: &'a DataflowBlock,
+        n_frames: usize,
+        s: &'a mut DataflowScratch,
+    ) -> Result<Self, DlpError> {
+        let fingerprint = (
+            std::ptr::from_ref(block) as usize,
+            block.len(),
+            m.grid(),
+            m.params().core.rs_slots_per_node,
+        );
+        if s.validated != Some(fingerprint) {
+            block.validate(m.grid(), m.params().core.rs_slots_per_node)?;
+            s.validated = Some(fingerprint);
+        }
         let mech = m.mechanisms();
         for inst in block.insts() {
             match inst.op {
@@ -159,15 +189,23 @@ impl<'a> Engine<'a> {
             }
         }
 
-        // Index instructions by slot (setup-time only: the hot paths go
-        // through the pre-resolved tables built below) and record which
-        // ports are fed.
-        let mut idx_of = HashMap::new();
+        // A failed previous run may have left events queued; every other
+        // table below is rebuilt unconditionally.
+        s.events.clear();
+
+        s.idx_of.clear();
         for (i, inst) in block.insts().iter().enumerate() {
-            idx_of.insert(inst.slot, i);
+            s.idx_of.insert(inst.slot, i);
         }
-        let mut fed = vec![[false; 3]; block.len()];
+
+        // `required` doubles as the fed-port table while it is built:
+        // first mark which ports are fed, then rewrite each entry into
+        // the issue condition in place.
+        s.required.clear();
+        s.required.resize(block.len(), [false; 3]);
         {
+            let idx_of = &s.idx_of;
+            let fed = &mut s.required;
             let mut mark = |t: &Target| {
                 if let Target::Port { slot, port } = t {
                     fed[idx_of[slot]][port_idx(*port)] = true;
@@ -184,91 +222,95 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        let mut required = vec![[false; 3]; block.len()];
         for (i, inst) in block.insts().iter().enumerate() {
+            let fed = s.required[i];
             let (l, r, p) = inst.op.ports();
-            required[i][0] = l && (fed[i][0] || !matches!(inst.op, Opcode::Lut));
-            // A store's immediate is an address offset, so its right port
-            // (the stored value) still comes from the network.
-            required[i][1] = r && (inst.imm.is_none() || matches!(inst.op, Opcode::Store(_)));
-            required[i][2] = p;
+            s.required[i] = [
+                l && (fed[0] || !matches!(inst.op, Opcode::Lut)),
+                // A store's immediate is an address offset, so its right
+                // port (the stored value) still comes from the network.
+                r && (inst.imm.is_none() || matches!(inst.op, Opcode::Store(_))),
+                p,
+            ];
         }
 
         let banks = m.params().core.reg_banks.max(1);
         let reads_per = m.params().core.reg_reads_per_bank_per_cycle.max(1);
         let reg_cols = m.grid().cols();
-        let resolve = |t: &Target| match *t {
-            Target::Port { slot, port } => {
-                ResolvedTarget::Port { inst: idx_of[&slot], node: slot.node, port }
+        {
+            let idx_of = &s.idx_of;
+            let resolve = |t: &Target| match *t {
+                Target::Port { slot, port } => {
+                    ResolvedTarget::Port { inst: idx_of[&slot], node: slot.node, port }
+                }
+                Target::Reg(reg) => {
+                    let bank_col = ((reg % banks as u16) as u8).min(reg_cols - 1);
+                    ResolvedTarget::Reg { reg, bank_col }
+                }
+            };
+            s.resolved.clear();
+            s.resolved_span.clear();
+            for inst in block.insts() {
+                let start = s.resolved.len() as u32;
+                s.resolved.extend(inst.targets.iter().map(resolve));
+                s.resolved_span.push((start, s.resolved.len() as u32));
             }
-            Target::Reg(reg) => {
-                let bank_col = ((reg % banks as u16) as u8).min(reg_cols - 1);
-                ResolvedTarget::Reg { reg, bank_col }
+            s.reg_read_dsts.clear();
+            s.reg_read_span.clear();
+            for rr in block.reg_reads() {
+                let start = s.reg_read_dsts.len() as u32;
+                s.reg_read_dsts.extend(rr.targets.iter().filter_map(|t| match *t {
+                    Target::Port { slot, port } => Some((idx_of[&slot], port, slot.node)),
+                    Target::Reg(_) => None,
+                }));
+                s.reg_read_span.push((start, s.reg_read_dsts.len() as u32));
             }
-        };
-        let resolved: Vec<Vec<ResolvedTarget>> =
-            block.insts().iter().map(|inst| inst.targets.iter().map(resolve).collect()).collect();
-        let reg_read_dsts: Vec<Vec<(usize, Port, Coord)>> = block
-            .reg_reads()
-            .iter()
-            .map(|rr| {
-                rr.targets
-                    .iter()
-                    .filter_map(|t| match *t {
-                        Target::Port { slot, port } => Some((idx_of[&slot], port, slot.node)),
-                        Target::Reg(_) => None,
-                    })
-                    .collect()
-            })
-            .collect();
+        }
         let grid = m.grid();
-        let inst_node: Vec<usize> =
-            block.insts().iter().map(|inst| grid.index(inst.slot.node)).collect();
-        // Preallocate the event heap for one operand per target plus
-        // per-frame slack, so steady-state pushes never reallocate.
-        let ev_cap = (resolved.iter().map(Vec::len).sum::<usize>() + block.len() + 8) * n_frames;
-        Ok(Engine {
-            block,
-            frames: vec![Frame::new(block.len()); n_frames],
-            required,
-            resolved,
-            reg_read_dsts,
-            inst_node,
-            node_issue: (0..grid.nodes()).map(|_| Throttle::new(1)).collect(),
-            reg_bank_ports: (0..banks).map(|_| Throttle::new(reads_per)).collect(),
-            events: BinaryHeap::with_capacity(ev_cap),
-            seq: 0,
-            stats: SimStats::new(),
-            m,
-        })
+        s.inst_node.clear();
+        s.inst_node.extend(block.insts().iter().map(|inst| grid.index(inst.slot.node)));
+        s.node_issue.clear();
+        s.node_issue.resize(grid.nodes(), Throttle::new(1));
+        s.reg_bank_ports.clear();
+        s.reg_bank_ports.resize(banks as usize, Throttle::new(reads_per));
+
+        s.frames.truncate(n_frames);
+        for f in &mut s.frames {
+            f.reset(block.len());
+        }
+        while s.frames.len() < n_frames {
+            s.frames.push(Frame::new(block.len()));
+        }
+
+        Ok(Engine { block, s, stats: SimStats::new(), m })
     }
 
     fn push(&mut self, frame: usize, tick: Tick, ev: Ev) {
-        self.seq += 1;
-        self.frames[frame].pending += 1;
-        self.events.push(Reverse(EvEntry { tick, seq: self.seq, frame, ev }));
+        self.s.frames[frame].pending += 1;
+        self.s.events.push(tick, (), (frame, ev));
     }
 
     /// Seed one iteration's initial activity at `start` on `frame`.
     fn seed_iteration(&mut self, frame: usize, start: Tick, iter: u64, first: bool) {
         let block = self.block;
-        self.frames[frame].iter = iter;
-        self.frames[frame].last_tick = self.frames[frame].last_tick.max(start);
+        self.s.frames[frame].iter = iter;
+        self.s.frames[frame].last_tick = self.s.frames[frame].last_tick.max(start);
         let op_revit = self.m.mechanisms().operand_revitalization;
         // Register reads.
-        let banks = self.reg_bank_ports.len() as u16;
+        let banks = self.s.reg_bank_ports.len() as u16;
         let reg_cols = self.m.grid().cols();
         for (ri, rr) in block.reg_reads().iter().enumerate() {
             if !first && op_revit && rr.persistent {
                 continue; // value survived revitalization
             }
             let bank = (rr.reg % banks) as usize;
-            let inject = reserve_cycle(&mut self.reg_bank_ports[bank], start);
+            let inject = reserve_cycle(&mut self.s.reg_bank_ports[bank], start);
             self.stats.reg_reads += 1;
             let bank_col = (bank as u8).min(reg_cols - 1);
             let value = self.m.regs[rr.reg as usize];
-            for k in 0..self.reg_read_dsts[ri].len() {
-                let (inst, port, node) = self.reg_read_dsts[ri][k];
+            let (span_start, span_end) = self.s.reg_read_span[ri];
+            for k in span_start..span_end {
+                let (inst, port, node) = self.s.reg_read_dsts[k as usize];
                 let arrive = self.m.router.send_faulty(
                     Endpoint::RegBank(bank_col),
                     Endpoint::Node(node),
@@ -282,7 +324,7 @@ impl<'a> Engine<'a> {
         // Source instructions with no required operands (MovI, Iter,
         // constant-indexed Lut) fire at iteration start.
         for i in 0..block.len() {
-            if self.frames[frame].rs[i].executed {
+            if self.s.frames[frame].rs[i].executed {
                 continue;
             }
             if self.ready(frame, i) {
@@ -292,8 +334,8 @@ impl<'a> Engine<'a> {
     }
 
     fn ready(&self, frame: usize, i: usize) -> bool {
-        let rs = &self.frames[frame].rs[i];
-        !rs.executed && (0..3).all(|p| !self.required[i][p] || rs.ops[p].is_some())
+        let rs = &self.s.frames[frame].rs[i];
+        !rs.executed && (0..3).all(|p| !self.s.required[i][p] || rs.ops[p].is_some())
     }
 
     /// Issue and execute instruction `i` of `frame`, whose operands became
@@ -303,16 +345,17 @@ impl<'a> Engine<'a> {
         let block = self.block;
         let inst = &block.insts()[i];
         let node = inst.slot.node;
-        let issue = reserve_cycle(&mut self.node_issue[self.inst_node[i]], t);
-        self.frames[frame].rs[i].executed = true;
-        self.frames[frame].executed += 1;
+        let node_idx = self.s.inst_node[i];
+        let issue = reserve_cycle(&mut self.s.node_issue[node_idx], t);
+        self.s.frames[frame].rs[i].executed = true;
+        self.s.frames[frame].executed += 1;
 
         let lat = inst.op.latency(&self.m.params().ops);
-        let rs = &self.frames[frame].rs[i];
+        let rs = &self.s.frames[frame].rs[i];
         let l = rs.ops[0].unwrap_or(Value::ZERO);
         let r = rs.ops[1].or(inst.imm).unwrap_or(Value::ZERO);
         let p = rs.ops[2].unwrap_or(Value::ZERO);
-        let iter = self.frames[frame].iter;
+        let iter = self.s.frames[frame].iter;
 
         // Metric accounting.
         match inst.op {
@@ -396,8 +439,9 @@ impl<'a> Engine<'a> {
                     &mut self.m.fault,
                 );
                 // The streaming channel delivers word k straight to target k.
-                for k in 0..self.resolved[i].len() {
-                    let tgt = self.resolved[i][k];
+                let (span_start, span_end) = self.s.resolved_span[i];
+                for (k, ti) in (span_start..span_end).enumerate() {
+                    let tgt = self.s.resolved[ti as usize];
                     let v = self.m.mem.read(addr + k as u64);
                     self.deliver(frame, tgt, Endpoint::MemPort(row), served, v);
                 }
@@ -439,12 +483,12 @@ impl<'a> Engine<'a> {
     /// Route instruction `i`'s result to all its targets at `t`.
     fn fan_out(&mut self, frame: usize, i: usize, t: Tick, v: Value) {
         let node = self.block.insts()[i].slot.node;
-        let n_targets = self.resolved[i].len();
-        for k in 0..n_targets {
-            let tgt = self.resolved[i][k];
+        let (span_start, span_end) = self.s.resolved_span[i];
+        for ti in span_start..span_end {
+            let tgt = self.s.resolved[ti as usize];
             self.deliver(frame, tgt, Endpoint::Node(node), t, v);
         }
-        if n_targets == 0 {
+        if span_start == span_end {
             self.push(frame, t, Ev::Quiesce);
         }
     }
@@ -473,7 +517,7 @@ impl<'a> Engine<'a> {
     /// `keep_persistent` preserves operand-revitalized values.
     fn reset_frame(&mut self, frame: usize, keep_persistent: bool) {
         let op_revit = keep_persistent && self.m.mechanisms().operand_revitalization;
-        for (i, state) in self.frames[frame].rs.iter_mut().enumerate() {
+        for (i, state) in self.s.frames[frame].rs.iter_mut().enumerate() {
             state.executed = false;
             let persist = self.block.insts()[i].persistent;
             for (pi, port) in [Port::Left, Port::Right, Port::Pred].into_iter().enumerate() {
@@ -482,7 +526,7 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        self.frames[frame].executed = 0;
+        self.s.frames[frame].executed = 0;
     }
 }
 
@@ -507,6 +551,23 @@ impl Machine {
         block: &DataflowBlock,
         iterations: u64,
     ) -> Result<SimStats, DlpError> {
+        let mut arena = EngineArena::new();
+        self.run_dataflow_in(block, iterations, &mut arena)
+    }
+
+    /// As [`Machine::run_dataflow`], reusing `arena`'s scratch storage —
+    /// bit-identical statistics, but a caller running many blocks (a
+    /// sweep worker) allocates nothing once the arena has warmed up.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run_dataflow`].
+    pub fn run_dataflow_in(
+        &mut self,
+        block: &DataflowBlock,
+        iterations: u64,
+        arena: &mut EngineArena,
+    ) -> Result<SimStats, DlpError> {
         if self.mechanisms().local_pc {
             return Err(DlpError::Unsupported {
                 what: "dataflow blocks on a machine configured for MIMD (local PCs)".into(),
@@ -521,7 +582,7 @@ impl Machine {
         };
         let revitalize_delay = self.params().fetch.revitalize_delay;
 
-        let mut engine = Engine::new(self, block, n_frames)?;
+        let mut engine = Engine::new(self, block, n_frames, &mut arena.dataflow)?;
         engine.stats = base;
         engine.stats.iterations = iterations;
         if iterations == 0 {
@@ -550,10 +611,10 @@ impl Machine {
         // Event loop across all in-flight frames.
         let mut done_iters: u64 = 0;
         let mut final_tick: Tick = fetch_done;
-        while let Some(Reverse(entry)) = engine.events.pop() {
-            if entry.tick > engine.m.watchdog_ticks {
+        while let Some((tick, (), (frame, ev))) = engine.s.events.pop() {
+            if tick > engine.m.watchdog_ticks {
                 return Err(DlpError::Watchdog {
-                    ticks: entry.tick,
+                    ticks: tick,
                     context: format!(
                         "dataflow block '{}' ({done_iters}/{iterations} iterations done)",
                         block.name()
@@ -563,33 +624,32 @@ impl Machine {
             if let Some(fatal) = engine.m.fault.fatal() {
                 return Err(fatal.to_error());
             }
-            let frame = entry.frame;
-            engine.frames[frame].pending -= 1;
-            engine.frames[frame].last_tick = engine.frames[frame].last_tick.max(entry.tick);
-            match entry.ev {
+            engine.s.frames[frame].pending -= 1;
+            engine.s.frames[frame].last_tick = engine.s.frames[frame].last_tick.max(tick);
+            match ev {
                 Ev::Operand { inst, port, value } => {
-                    engine.frames[frame].rs[inst].ops[port_idx(port)] = Some(value);
+                    engine.s.frames[frame].rs[inst].ops[port_idx(port)] = Some(value);
                     if engine.ready(frame, inst) {
-                        engine.execute(frame, inst, entry.tick);
+                        engine.execute(frame, inst, tick);
                     }
                 }
                 Ev::Quiesce => {}
             }
-            if engine.frames[frame].pending == 0 {
+            if engine.s.frames[frame].pending == 0 {
                 // Iteration complete (or deadlocked).
-                if engine.frames[frame].executed != block.len() {
+                if engine.s.frames[frame].executed != block.len() {
                     return Err(DlpError::MalformedProgram {
                         detail: format!(
                             "block {}: iteration {} stalled with {}/{} instructions executed",
                             block.name(),
-                            engine.frames[frame].iter,
-                            engine.frames[frame].executed,
+                            engine.s.frames[frame].iter,
+                            engine.s.frames[frame].executed,
                             block.len()
                         ),
                     });
                 }
                 done_iters += 1;
-                let t = engine.frames[frame].last_tick;
+                let t = engine.s.frames[frame].last_tick;
                 final_tick = final_tick.max(t);
                 if next_iter < iterations {
                     let start = if inst_revit {
@@ -670,6 +730,30 @@ mod tests {
         assert_eq!(stats.iterations, 1);
         assert!(stats.ticks > 0);
         assert_eq!(stats.useful_ops, 1); // the add
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical() {
+        // The same arena threaded through heterogeneous runs (different
+        // blocks, frame counts, mechanism sets) must not perturb any
+        // statistic relative to fresh-arena runs.
+        let mut arena = EngineArena::new();
+        let mut m = machine(MechanismSet::baseline());
+        let fresh_base = m.run_dataflow(&tiny_block(), 10).unwrap();
+        let mut m = machine(MechanismSet::baseline());
+        let arena_base = m.run_dataflow_in(&tiny_block(), 10, &mut arena).unwrap();
+        assert_eq!(fresh_base, arena_base, "baseline: arena == fresh");
+
+        let mut m = machine(MechanismSet::simd());
+        let fresh_revit = m.run_dataflow(&const_block(false), 20).unwrap();
+        let mut m = machine(MechanismSet::simd());
+        let arena_revit = m.run_dataflow_in(&const_block(false), 20, &mut arena).unwrap();
+        assert_eq!(fresh_revit, arena_revit, "revitalized: arena == fresh");
+
+        // And back to the first block: stale tables must not leak.
+        let mut m = machine(MechanismSet::baseline());
+        let again = m.run_dataflow_in(&tiny_block(), 10, &mut arena).unwrap();
+        assert_eq!(fresh_base, again, "arena reused across blocks");
     }
 
     #[test]

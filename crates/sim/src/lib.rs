@@ -61,12 +61,15 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod arena;
 mod dataflow;
+pub mod equeue;
 mod machine;
 mod mechanisms;
 mod mimd;
 mod partition;
 
+pub use arena::EngineArena;
 pub use machine::Machine;
 pub use mechanisms::MechanismSet;
 pub use partition::Partition;

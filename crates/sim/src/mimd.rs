@@ -8,8 +8,7 @@
 //! configuration lose to **S-O-D** on streaming kernels (§5.3) — and
 //! `Send`/`Recv` give fine-grain ALU-ALU synchronization.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use dlp_common::{Coord, DlpError, SimStats, Tick, Value};
 use trips_isa::{
@@ -18,7 +17,8 @@ use trips_isa::{
 };
 use trips_noc::Endpoint;
 
-use crate::Machine;
+use crate::equeue::CalendarQueue;
+use crate::{EngineArena, Machine};
 
 /// Per-node execution state.
 #[derive(Clone)]
@@ -40,14 +40,21 @@ impl NodeState {
 ///
 /// A flat table indexed `src * n_ranks + dst`, so every `Send`/`Recv` is a
 /// dense array access instead of a hash lookup.
+#[derive(Default)]
 struct Channels {
     queues: Vec<VecDeque<(Tick, Value)>>,
     n_ranks: usize,
 }
 
 impl Channels {
-    fn new(n_ranks: usize) -> Self {
-        Channels { queues: vec![VecDeque::new(); n_ranks * n_ranks], n_ranks }
+    /// Size the table for `n_ranks` and empty every channel, retaining
+    /// each queue's allocation from prior runs.
+    fn reset(&mut self, n_ranks: usize) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.queues.resize_with(n_ranks * n_ranks, VecDeque::new);
+        self.n_ranks = n_ranks;
     }
 
     fn get_mut(&mut self, src: usize, dst: usize) -> &mut VecDeque<(Tick, Value)> {
@@ -55,10 +62,28 @@ impl Channels {
     }
 }
 
-/// The ready queue: nodes keyed by (tick they may proceed, rank). There is
-/// no sequence number — ties are broken by rank — so pop order depends only
-/// on the multiset of pushed entries, not on push order.
-type ReadyQueue = BinaryHeap<Reverse<(Tick, usize)>>;
+/// The ready queue: nodes keyed by (tick they may proceed, rank). The
+/// calendar queue's internal sequence number only refines ties *after*
+/// `(tick, rank)` — and entries carrying the same `(tick, rank)` are
+/// value-identical — so the pop order is exactly the old binary heap's
+/// `(tick, rank)` order, independent of push order.
+type ReadyQueue = CalendarQueue<usize, ()>;
+
+/// Recyclable storage for one MIMD run, owned by an
+/// [`EngineArena`](crate::EngineArena). Rebuilt per run; the allocations
+/// (node states, channel table, ready-queue buckets, rank/coord tables)
+/// carry over.
+#[derive(Default)]
+pub(crate) struct MimdScratch {
+    queue: ReadyQueue,
+    channels: Channels,
+    nodes: Vec<NodeState>,
+    /// Participating node indices in rank order.
+    ranks: Vec<usize>,
+    coords: Vec<Coord>,
+    /// Where `Send dst` routes to, precomputed per destination rank.
+    send_coords: Vec<Coord>,
+}
 
 /// Outcome of executing one instruction.
 enum Step {
@@ -116,8 +141,29 @@ impl Machine {
         programs: &[MimdProgram],
         records: u64,
     ) -> Result<SimStats, DlpError> {
+        let mut arena = EngineArena::new();
+        self.run_mimd_in(programs, records, &mut arena)
+    }
+
+    /// As [`Machine::run_mimd`], reusing `arena`'s scratch storage —
+    /// bit-identical statistics, but a caller running many programs (a
+    /// sweep worker) allocates nothing once the arena has warmed up.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run_mimd`].
+    pub fn run_mimd_in(
+        &mut self,
+        programs: &[MimdProgram],
+        records: u64,
+        arena: &mut EngineArena,
+    ) -> Result<SimStats, DlpError> {
         let n_active = programs.iter().filter(|p| !p.is_empty()).count() as u64;
-        self.run_mimd_with_conventions(programs, &|rank| (rank as u64, n_active, records))
+        self.run_mimd_with_conventions_in(
+            programs,
+            &|rank| (rank as u64, n_active, records),
+            arena,
+        )
     }
 
     /// [`Machine::run_mimd`] with caller-supplied register conventions:
@@ -132,6 +178,22 @@ impl Machine {
         &mut self,
         programs: &[MimdProgram],
         conventions: &dyn Fn(usize) -> (u64, u64, u64),
+    ) -> Result<SimStats, DlpError> {
+        let mut arena = EngineArena::new();
+        self.run_mimd_with_conventions_in(programs, conventions, &mut arena)
+    }
+
+    /// As [`Machine::run_mimd_with_conventions`], reusing `arena`'s
+    /// scratch storage.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run_mimd`].
+    pub fn run_mimd_with_conventions_in(
+        &mut self,
+        programs: &[MimdProgram],
+        conventions: &dyn Fn(usize) -> (u64, u64, u64),
+        arena: &mut EngineArena,
     ) -> Result<SimStats, DlpError> {
         if !self.mechanisms().local_pc {
             return Err(DlpError::Unsupported {
@@ -168,47 +230,64 @@ impl Machine {
 
         let mut stats = self.begin_run();
         let n = programs.len().min(self.grid().nodes());
+        let s = &mut arena.mimd;
         // Participating nodes in rank order.
-        let ranks: Vec<usize> = (0..n).filter(|&i| !programs[i].is_empty()).collect();
-        if ranks.is_empty() {
+        s.ranks.clear();
+        s.ranks.extend((0..n).filter(|&i| !programs[i].is_empty()));
+        if s.ranks.is_empty() {
             return Ok(stats);
         }
+        let n_ranks = s.ranks.len();
 
         // Setup block: broadcast programs into the L0 instruction stores.
         let longest = programs.iter().map(MimdProgram::len).max().unwrap_or(0);
         let start = stats.ticks + self.fetch_ticks(longest);
         stats.blocks_fetched = 1;
 
-        let mut nodes: Vec<NodeState> = ranks.iter().map(|_| NodeState::new()).collect();
-        for (rank, st) in nodes.iter_mut().enumerate() {
+        s.nodes.clear();
+        s.nodes.resize_with(n_ranks, NodeState::new);
+        for (rank, st) in s.nodes.iter_mut().enumerate() {
             let (node_id, node_count, recs) = conventions(rank);
             st.regs[REG_NODE_ID as usize] = Value::from_u64(node_id);
             st.regs[REG_NODE_COUNT as usize] = Value::from_u64(node_count);
             st.regs[REG_RECORDS as usize] = Value::from_u64(recs);
             stats.iterations = stats.iterations.max(recs);
         }
-        let coords: Vec<Coord> = ranks.iter().map(|&i| self.grid().coord(i)).collect();
-        // Where `Send dst` routes to, precomputed per destination rank.
-        let send_coords: Vec<Coord> =
-            (0..ranks.len()).map(|d| self.grid().coord_of_rank(d, ranks.len())).collect();
+        s.coords.clear();
+        for &i in &s.ranks {
+            s.coords.push(self.grid().coord(i));
+        }
+        s.send_coords.clear();
+        for d in 0..n_ranks {
+            s.send_coords.push(self.grid().coord_of_rank(d, n_ranks));
+        }
 
-        let mut channels = Channels::new(ranks.len());
-        let mut queue: ReadyQueue = BinaryHeap::with_capacity(ranks.len() * 2);
-        for rank in 0..ranks.len() {
-            queue.push(Reverse((start, rank)));
+        s.channels.reset(n_ranks);
+        // A failed previous run may have left entries queued.
+        s.queue.clear();
+        for rank in 0..n_ranks {
+            s.queue.push(start, rank, ());
         }
         let mut last_tick = start;
         let mut max_drain = start;
         let mut steps: u64 = 0;
+        // The step budget follows from the watchdog: with every
+        // instruction advancing its node's tick by at least one cycle, a
+        // rank can be popped at most once per distinct tick in
+        // `0..=watchdog_ticks`. Exceeding it means a zero-latency livelock
+        // the tick check alone would never catch.
+        let step_budget =
+            (n_ranks as u64).saturating_mul(self.watchdog_ticks.saturating_add(1));
 
-        while let Some(Reverse((t, rank))) = queue.pop() {
-            if t > self.watchdog_ticks || steps > 500_000_000 {
+        while let Some((t, rank, ())) = s.queue.pop() {
+            if t > self.watchdog_ticks || steps > step_budget {
                 return Err(DlpError::Watchdog {
                     ticks: t,
                     context: format!(
-                        "mimd rank {rank} at pc {} ({steps} steps, {} nodes)",
-                        nodes[rank].pc,
-                        ranks.len()
+                        "mimd rank {rank} at pc {} ({steps} steps, budget {step_budget} = \
+                         {n_ranks} ranks x (watchdog {} + 1))",
+                        s.nodes[rank].pc,
+                        self.watchdog_ticks
                     ),
                 });
             }
@@ -216,11 +295,11 @@ impl Machine {
                 return Err(fatal.to_error());
             }
             steps += 1;
-            if nodes[rank].halted {
+            if s.nodes[rank].halted {
                 continue;
             }
-            let pc = nodes[rank].pc;
-            let prog = &programs[ranks[rank]];
+            let pc = s.nodes[rank].pc;
+            let prog = &programs[s.ranks[rank]];
             if pc >= prog.len() {
                 return Err(DlpError::MalformedProgram {
                     detail: format!("mimd node rank {rank} ran off the end of its program"),
@@ -232,20 +311,20 @@ impl Machine {
 
             let step = self.step_inst(
                 rank,
-                coords[rank],
+                s.coords[rank],
                 t,
                 inst,
-                &mut nodes,
-                &mut channels,
-                &mut queue,
-                &send_coords,
+                &mut s.nodes,
+                &mut s.channels,
+                &mut s.queue,
+                &s.send_coords,
                 &mut stats,
                 &mut max_drain,
             );
             match step {
                 Step::Continue(next_t) => {
                     last_tick = last_tick.max(next_t);
-                    queue.push(Reverse((next_t, rank)));
+                    s.queue.push(next_t, rank, ());
                 }
                 Step::Halted => {}
                 Step::BlockedRecv => {}
@@ -258,7 +337,7 @@ impl Machine {
             return Err(fatal.to_error());
         }
 
-        if let Some(rank) = nodes.iter().position(|s| !s.halted) {
+        if let Some(rank) = s.nodes.iter().position(|st| !st.halted) {
             return Err(DlpError::MalformedProgram {
                 detail: format!("mimd deadlock: node rank {rank} never halted"),
             });
@@ -435,7 +514,7 @@ impl Machine {
                     // The receiver blocked on an empty channel; this message
                     // is the front, so it proceeds at the arrival tick.
                     nodes[dst].blocked_recv = None;
-                    queue.push(Reverse((arrive, dst)));
+                    queue.push(arrive, dst, ());
                 }
                 nodes[rank].pc += 1;
                 count!(false);
@@ -460,7 +539,7 @@ impl Machine {
                     }
                     Some((arrive, _)) => {
                         // In flight but not yet arrived: retry at arrival.
-                        queue.push(Reverse((arrive, rank)));
+                        queue.push(arrive, rank, ());
                         Step::BlockedRecv
                     }
                     None => {
@@ -575,6 +654,56 @@ mod tests {
     }
 
     #[test]
+    fn arena_reuse_is_bit_identical() {
+        // Heterogeneous runs threaded through one arena must match
+        // fresh-arena runs exactly.
+        let sum_prog = || {
+            let mut asm = MimdAsm::new();
+            asm.li(1, 0);
+            asm.li(2, 10);
+            asm.label("top");
+            asm.alu(Opcode::Add, 1, 1, 2);
+            asm.alui(Opcode::Sub, 2, 2, 1);
+            asm.bnz(2, "top");
+            asm.li(3, 100);
+            asm.st(MemSpace::Smc, 3, 0, 1);
+            asm.halt();
+            asm.assemble().unwrap()
+        };
+        let rank_prog = || {
+            let mut asm = MimdAsm::new();
+            asm.li(1, 200);
+            asm.alu(Opcode::Add, 1, 1, REG_NODE_ID);
+            asm.st(MemSpace::Smc, 1, 0, REG_NODE_ID);
+            asm.halt();
+            asm.assemble().unwrap()
+        };
+        let mut arena = EngineArena::new();
+
+        let mut m = machine(MechanismSet::mimd());
+        m.stage_smc(0..1024).unwrap();
+        let fresh = m.run_mimd(&[sum_prog()], 1).unwrap();
+        let mut m = machine(MechanismSet::mimd());
+        m.stage_smc(0..1024).unwrap();
+        let reused = m.run_mimd_in(&[sum_prog()], 1, &mut arena).unwrap();
+        assert_eq!(fresh, reused, "single-rank: arena == fresh");
+
+        let mut m = machine(MechanismSet::mimd());
+        m.stage_smc(0..1024).unwrap();
+        let fresh4 = m.run_mimd(&vec![rank_prog(); 4], 4).unwrap();
+        let mut m = machine(MechanismSet::mimd());
+        m.stage_smc(0..1024).unwrap();
+        let reused4 = m.run_mimd_in(&vec![rank_prog(); 4], 4, &mut arena).unwrap();
+        assert_eq!(fresh4, reused4, "4-rank after 1-rank: arena == fresh");
+
+        // Shrinking back down must not see rank 1..3's stale state.
+        let mut m = machine(MechanismSet::mimd());
+        m.stage_smc(0..1024).unwrap();
+        let again = m.run_mimd_in(&[sum_prog()], 1, &mut arena).unwrap();
+        assert_eq!(fresh, again, "arena reused across rank counts");
+    }
+
+    #[test]
     fn unmatched_recv_deadlocks_cleanly() {
         let mut asm = MimdAsm::new();
         asm.recv(1, 0); // nobody ever sends
@@ -611,17 +740,23 @@ mod tests {
     #[test]
     fn watchdog_catches_livelock() {
         // `jmp 0` spins forever; a lowered watchdog turns that into a
-        // clean error instead of an unbounded simulation.
+        // clean error instead of an unbounded simulation. The error
+        // context reports the watchdog-derived step budget.
         let mut asm = MimdAsm::new();
         asm.label("spin");
         asm.jmp("spin");
         asm.halt();
         let mut m = machine(MechanismSet::mimd());
         m.set_watchdog(10_000);
-        assert!(matches!(
-            m.run_mimd(&single(asm), 1),
-            Err(DlpError::Watchdog { .. })
-        ));
+        match m.run_mimd(&single(asm), 1) {
+            Err(DlpError::Watchdog { context, .. }) => {
+                assert!(
+                    context.contains("budget 10001"),
+                    "context should carry the derived step budget (1 rank x (10000 + 1)): {context}"
+                );
+            }
+            other => panic!("expected watchdog, got {other:?}"),
+        }
     }
 
     #[test]
