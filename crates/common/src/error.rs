@@ -33,6 +33,20 @@ pub enum DlpError {
         /// Description of the defect.
         detail: String,
     },
+    /// The static program verifier rejected a lowered artifact before a
+    /// single cycle was simulated. Unlike [`DlpError::MalformedProgram`]
+    /// (the simulator's *dynamic* defect reports), every verifier
+    /// rejection carries a stable code from the [`crate::vcode`]
+    /// taxonomy, so sweep reports can be triaged mechanically.
+    Verify {
+        /// The stable `V*` diagnostic code (see [`crate::vcode`]).
+        code: &'static str,
+        /// Where in the artifact the defect sits (an instruction index,
+        /// slot, or rank rendering; empty when program-wide).
+        span: String,
+        /// Description of the defect.
+        detail: String,
+    },
     /// The simulator reached its watchdog limit without completing,
     /// indicating deadlock or livelock in the simulated program.
     Watchdog {
@@ -68,6 +82,16 @@ pub enum DlpError {
 }
 
 impl DlpError {
+    /// Shorthand constructor for a [`DlpError::Verify`] diagnostic.
+    #[must_use]
+    pub fn verify(
+        code: &'static str,
+        span: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> DlpError {
+        DlpError::Verify { code, span: span.into(), detail: detail.into() }
+    }
+
     /// A stable, machine-readable kind tag for each variant — used by the
     /// sweep's structured failure diagnostics and the fault bins.
     #[must_use]
@@ -76,6 +100,7 @@ impl DlpError {
             DlpError::CapacityExceeded { .. } => "capacity-exceeded",
             DlpError::Unsupported { .. } => "unsupported",
             DlpError::MalformedProgram { .. } => "malformed-program",
+            DlpError::Verify { .. } => "verify",
             DlpError::Watchdog { .. } => "watchdog",
             DlpError::InvalidConfig { .. } => "invalid-config",
             DlpError::FaultUnrecoverable { .. } => "fault-unrecoverable",
@@ -92,6 +117,13 @@ impl fmt::Display for DlpError {
             }
             DlpError::Unsupported { what } => write!(f, "unsupported on this configuration: {what}"),
             DlpError::MalformedProgram { detail } => write!(f, "malformed program: {detail}"),
+            DlpError::Verify { code, span, detail } => {
+                if span.is_empty() {
+                    write!(f, "verification failed [{code}]: {detail}")
+                } else {
+                    write!(f, "verification failed [{code}] at {span}: {detail}")
+                }
+            }
             DlpError::Watchdog { ticks, context } => {
                 if context.is_empty() {
                     write!(f, "simulation watchdog fired after {ticks} ticks (deadlock?)")
@@ -123,6 +155,8 @@ mod tests {
             DlpError::CapacityExceeded { resource: "reservation stations", needed: 10, available: 4 },
             DlpError::Unsupported { what: "data-dependent branch".into() },
             DlpError::MalformedProgram { detail: "dangling target".into() },
+            DlpError::verify("V0102-dangling-operand", "inst 3", "target names an empty slot"),
+            DlpError::verify("V0120-dependence-cycle", "", "4 instructions wait on each other"),
             DlpError::Watchdog { ticks: 100, context: String::new() },
             DlpError::Watchdog { ticks: 100, context: "mimd rank 3".into() },
             DlpError::InvalidConfig { detail: "zero rows".into() },
@@ -143,6 +177,7 @@ mod tests {
             DlpError::CapacityExceeded { resource: "r", needed: 1, available: 0 },
             DlpError::Unsupported { what: "x".into() },
             DlpError::MalformedProgram { detail: "d".into() },
+            DlpError::verify("V0101-off-grid", "inst 0", "d"),
             DlpError::Watchdog { ticks: 1, context: String::new() },
             DlpError::InvalidConfig { detail: "d".into() },
             DlpError::FaultUnrecoverable { site: "dma", tick: 0, detail: "d".into() },

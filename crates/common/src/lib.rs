@@ -45,6 +45,7 @@ mod params;
 mod rng;
 mod stats;
 mod value;
+pub mod vcode;
 
 pub use error::DlpError;
 pub use fault::{FatalFault, FaultInjector, FaultPlan, FaultRate, FaultSite, FaultStats};

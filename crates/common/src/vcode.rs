@@ -1,0 +1,137 @@
+//! The stable `V*` diagnostic taxonomy of the static program verifier.
+//!
+//! Every structural rejection of a lowered artifact — whether raised by
+//! the shallow shape checks in `trips-isa` or by the deep analyses in
+//! `dlp-verify` — carries one of these codes inside
+//! [`DlpError::Verify`](crate::DlpError::Verify), so sweep reports and CI
+//! logs can be triaged without parsing prose. Codes are append-only:
+//! `V01xx` covers dataflow blocks, `V02xx` covers MIMD programs, and a
+//! code, once published, never changes meaning.
+
+/// Dataflow: an instruction is placed on a node outside the grid.
+pub const OFF_GRID: &str = "V0101-off-grid";
+/// Dataflow: a target names a slot holding no instruction.
+pub const DANGLING_OPERAND: &str = "V0102-dangling-operand";
+/// Dataflow: two instructions claim the same reservation-station slot.
+pub const DUPLICATE_SLOT: &str = "V0103-duplicate-slot";
+/// Dataflow: a target feeds a port its opcode never reads.
+pub const UNREAD_PORT: &str = "V0104-unread-port";
+/// Dataflow: a right port is fed by both an immediate and the network.
+pub const IMMEDIATE_CONFLICT: &str = "V0105-immediate-conflict";
+/// Dataflow: one operand port has more than one producer.
+pub const MULTIPLE_PRODUCERS: &str = "V0106-multiple-producers";
+/// Dataflow: a required operand port has no producer at all.
+pub const MISSING_PRODUCER: &str = "V0107-missing-producer";
+/// Dataflow: an instruction's result is produced but routed nowhere.
+pub const DROPPED_RESULT: &str = "V0108-dropped-result";
+/// Dataflow: a result-less opcode (store, nop) carries targets.
+pub const TARGETS_ON_RESULTLESS: &str = "V0109-targets-on-resultless";
+/// Dataflow: an `lmw` word count disagrees with its target list.
+pub const LMW_ARITY: &str = "V0110-lmw-arity";
+/// Dataflow: a register read delivers to no consumer.
+pub const REGREAD_NO_TARGETS: &str = "V0111-regread-no-targets";
+/// Dataflow: a register read targets a register instead of a port.
+pub const REGREAD_TO_REGISTER: &str = "V0112-regread-to-register";
+/// Dataflow: the operand-dependence graph contains a cycle, so the
+/// instructions in it can never all fire — a static deadlock.
+pub const DEPENDENCE_CYCLE: &str = "V0120-dependence-cycle";
+/// Dataflow: a register target or register read exceeds the register
+/// file.
+pub const REGISTER_RANGE: &str = "V0121-register-out-of-range";
+/// Dataflow: an `lmw` fans out wider than the streaming channel allows.
+pub const LMW_FANOUT: &str = "V0122-lmw-fanout";
+/// Dataflow: a statically-indexed `lut` reads past the L0 data store.
+pub const L0_INDEX_BOUNDS: &str = "V0123-l0-index-bounds";
+/// Dataflow: the revitalization (unroll) count is outside the legal
+/// range or inconsistent with the block.
+pub const UNROLL_INCONSISTENT: &str = "V0124-unroll-inconsistent";
+/// Dataflow: persistent operands on a configuration without operand
+/// revitalization.
+pub const PERSISTENCE_WITHOUT_REVIT: &str = "V0125-persistence-without-revitalization";
+/// The lookup-table image exceeds the L0 data-store capacity.
+pub const L0_TABLE_OVERFLOW: &str = "V0126-l0-table-overflow";
+
+/// MIMD: a branch references a label that was never defined.
+pub const UNDEFINED_LABEL: &str = "V0201-undefined-label";
+/// MIMD: a non-register opcode appears in an ALU instruction.
+pub const NON_ALU_OPCODE: &str = "V0202-non-alu-opcode";
+/// MIMD: a register operand exceeds the 32-register file.
+pub const MIMD_REGISTER_RANGE: &str = "V0203-mimd-register-out-of-range";
+/// MIMD: a branch target lies outside the program.
+pub const BRANCH_RANGE: &str = "V0204-branch-out-of-range";
+/// MIMD: an instruction can never be reached from entry.
+pub const UNREACHABLE_CODE: &str = "V0210-unreachable-code";
+/// MIMD: a reachable path runs off the end of the program.
+pub const FALLS_OFF_END: &str = "V0211-falls-off-end";
+/// MIMD: a send or receive names a node outside the partition.
+pub const CHANNEL_ENDPOINT: &str = "V0212-channel-endpoint-out-of-range";
+/// MIMD: sends and receives between a rank pair do not balance.
+pub const CHANNEL_IMBALANCE: &str = "V0213-channel-imbalance";
+/// MIMD: a program exceeds the L0 instruction-store capacity.
+pub const L0_INST_OVERFLOW: &str = "V0215-l0-inst-overflow";
+/// MIMD: a program cannot fit inside the watchdog-derived step budget.
+pub const STEP_BUDGET: &str = "V0216-step-budget-implausible";
+
+/// Every published code with a one-line description, in code order —
+/// the source of the DESIGN.md diagnostics table.
+pub const ALL: &[(&str, &str)] = &[
+    (OFF_GRID, "instruction placed on a node outside the grid"),
+    (DANGLING_OPERAND, "target names a slot holding no instruction"),
+    (DUPLICATE_SLOT, "two instructions share one reservation-station slot"),
+    (UNREAD_PORT, "target feeds a port its opcode never reads"),
+    (IMMEDIATE_CONFLICT, "right port fed by both immediate and network"),
+    (MULTIPLE_PRODUCERS, "operand port has more than one producer"),
+    (MISSING_PRODUCER, "required operand port has no producer"),
+    (DROPPED_RESULT, "result produced but routed nowhere"),
+    (TARGETS_ON_RESULTLESS, "result-less opcode carries targets"),
+    (LMW_ARITY, "lmw word count disagrees with its target list"),
+    (REGREAD_NO_TARGETS, "register read delivers to no consumer"),
+    (REGREAD_TO_REGISTER, "register read targets a register"),
+    (DEPENDENCE_CYCLE, "operand-dependence cycle: static deadlock"),
+    (REGISTER_RANGE, "register index exceeds the register file"),
+    (LMW_FANOUT, "lmw fans out wider than the streaming channel"),
+    (L0_INDEX_BOUNDS, "static lut index reads past the L0 data store"),
+    (UNROLL_INCONSISTENT, "revitalization count outside the legal range"),
+    (PERSISTENCE_WITHOUT_REVIT, "persistent operands without operand revitalization"),
+    (L0_TABLE_OVERFLOW, "table image exceeds the L0 data store"),
+    (UNDEFINED_LABEL, "branch references an undefined label"),
+    (NON_ALU_OPCODE, "non-register opcode in an ALU instruction"),
+    (MIMD_REGISTER_RANGE, "register operand exceeds the 32-register file"),
+    (BRANCH_RANGE, "branch target outside the program"),
+    (UNREACHABLE_CODE, "instruction unreachable from entry"),
+    (FALLS_OFF_END, "reachable path runs off the end of the program"),
+    (CHANNEL_ENDPOINT, "send/recv names a node outside the partition"),
+    (CHANNEL_IMBALANCE, "sends and receives between a rank pair do not balance"),
+    (L0_INST_OVERFLOW, "program exceeds the L0 instruction store"),
+    (STEP_BUDGET, "program cannot fit the watchdog-derived step budget"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = Vec::new();
+        for (code, desc) in ALL {
+            assert!(code.starts_with('V'), "{code}");
+            let digits = &code[1..5];
+            assert!(digits.chars().all(|c| c.is_ascii_digit()), "{code}");
+            assert!(code.as_bytes()[5] == b'-', "{code} has a slug after the number");
+            assert!(!desc.is_empty());
+            assert!(!seen.contains(code), "{code} listed twice");
+            seen.push(code);
+        }
+        assert!(ALL.len() >= 25, "taxonomy covers both program families");
+    }
+
+    #[test]
+    fn families_partition_by_prefix() {
+        for (code, _) in ALL {
+            assert!(
+                code.starts_with("V01") || code.starts_with("V02"),
+                "{code} outside the published families"
+            );
+        }
+    }
+}

@@ -216,9 +216,16 @@ fn dataflow_target(mech: MechanismSet) -> trips_sched::TargetConfig {
 /// choose the same unroll, is what makes the sweep engine's schedule
 /// cache sound.
 ///
+/// Every artifact is passed through the static verifier
+/// ([`trips_sched::verify`]) exactly once per prepared plan: dataflow
+/// blocks inside [`schedule_dataflow`], MIMD programs here via
+/// [`trips_sched::verify::verify_mimd`]. Because the sweep engine caches
+/// plans, the verifier's cost is paid once per distinct lowering rather
+/// than once per cell.
+///
 /// # Errors
 ///
-/// Propagates scheduling failures ([`DlpError`]).
+/// Propagates scheduling and verification failures ([`DlpError`]).
 pub fn prepare_kernel(
     kernel: &dyn DlpKernel,
     mech: MechanismSet,
@@ -228,6 +235,13 @@ pub fn prepare_kernel(
     if mech.local_pc {
         let prog = kernel.mimd_program(MimdTarget { tables_in_l0: mech.l0_data_store })?;
         let progs = replicate_mimd(&prog, params.grid.nodes());
+        let vparams = trips_sched::verify::MimdVerifyParams {
+            n_ranks: params.grid.nodes(),
+            num_regs: trips_sched::verify::MIMD_NUM_REGS,
+            l0_inst_capacity: params.timing.core.l0_inst_capacity,
+            watchdog: params.watchdog.unwrap_or(trips_sim::WATCHDOG_TICKS),
+        };
+        trips_sched::verify::verify_mimd(&progs, &vparams)?;
         let table = kernel.mimd_table_image();
         Ok(PreparedProgram { mech, variant: PreparedVariant::Mimd { progs, table } })
     } else {
@@ -457,7 +471,8 @@ pub fn run_prepared_in(
                 machine.set_reg(*reg, *v);
             }
             let iterations = (padded_records / sched.unroll) as u64;
-            // The lowering validated this block as its final step, so
+            // The lowering statically verified this block as its final
+            // step (verification subsumes the engine's shape checks), so
             // the engine need not re-hash it per cell.
             scratch.arena.mark_dataflow_block_validated(
                 &sched.block,

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use dlp_common::{Coord, DlpError, GridShape, Value};
+use dlp_common::{vcode, Coord, DlpError, GridShape, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::{OpRole, Opcode};
@@ -257,15 +257,18 @@ impl DataflowBlock {
     ///
     /// # Errors
     ///
-    /// Returns [`DlpError::MalformedProgram`] or
-    /// [`DlpError::CapacityExceeded`] describing the first defect found.
+    /// Returns [`DlpError::Verify`] (with the matching
+    /// [`dlp_common::vcode`] diagnostic) or [`DlpError::CapacityExceeded`]
+    /// describing the first defect found.
     pub fn validate(&self, grid: GridShape, slots_per_node: usize) -> Result<(), DlpError> {
         let mut by_slot: HashMap<Slot, usize> = HashMap::new();
         for (i, inst) in self.insts.iter().enumerate() {
             if !grid.contains(inst.slot.node) {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("instruction {i} placed off-grid at {}", inst.slot),
-                });
+                return Err(DlpError::verify(
+                    vcode::OFF_GRID,
+                    format!("inst {i}"),
+                    format!("instruction {i} placed off-grid at {}", inst.slot),
+                ));
             }
             if inst.slot.index as usize >= slots_per_node {
                 return Err(DlpError::CapacityExceeded {
@@ -275,33 +278,41 @@ impl DataflowBlock {
                 });
             }
             if by_slot.insert(inst.slot, i).is_some() {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("two instructions share slot {}", inst.slot),
-                });
+                return Err(DlpError::verify(
+                    vcode::DUPLICATE_SLOT,
+                    inst.slot.to_string(),
+                    format!("two instructions share slot {}", inst.slot),
+                ));
             }
             if !inst.op.produces_result() && !inst.targets.is_empty() {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("{} at {} produces no result but has targets", inst.op, inst.slot),
-                });
+                return Err(DlpError::verify(
+                    vcode::TARGETS_ON_RESULTLESS,
+                    inst.slot.to_string(),
+                    format!("{} at {} produces no result but has targets", inst.op, inst.slot),
+                ));
             }
             if inst.op.produces_result()
                 && inst.targets.is_empty()
                 && !matches!(inst.op, Opcode::Nop)
             {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("{} at {} result is dropped (no targets)", inst.op, inst.slot),
-                });
+                return Err(DlpError::verify(
+                    vcode::DROPPED_RESULT,
+                    inst.slot.to_string(),
+                    format!("{} at {} result is dropped (no targets)", inst.op, inst.slot),
+                ));
             }
             if matches!(inst.op, Opcode::Lmw) {
                 let n = inst.imm.map_or(0, |v| v.as_u64());
                 if n == 0 || n as usize != inst.targets.len() {
-                    return Err(DlpError::MalformedProgram {
-                        detail: format!(
+                    return Err(DlpError::verify(
+                        vcode::LMW_ARITY,
+                        inst.slot.to_string(),
+                        format!(
                             "lmw at {} has word count {n} but {} targets",
                             inst.slot,
                             inst.targets.len()
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -309,8 +320,12 @@ impl DataflowBlock {
         // Count producers per (slot, port).
         let mut producers: HashMap<(Slot, Port), usize> = HashMap::new();
         let mut feed = |slot: Slot, port: Port| -> Result<(), DlpError> {
-            let idx = by_slot.get(&slot).copied().ok_or_else(|| DlpError::MalformedProgram {
-                detail: format!("target {slot} does not name an instruction"),
+            let idx = by_slot.get(&slot).copied().ok_or_else(|| {
+                DlpError::verify(
+                    vcode::DANGLING_OPERAND,
+                    slot.to_string(),
+                    format!("target {slot} does not name an instruction"),
+                )
             })?;
             let (l, r, p) = self.insts[idx].op.ports();
             let required = match port {
@@ -319,12 +334,14 @@ impl DataflowBlock {
                 Port::Pred => p,
             };
             if !required {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!(
+                return Err(DlpError::verify(
+                    vcode::UNREAD_PORT,
+                    slot.to_string(),
+                    format!(
                         "port {port} of {} at {slot} is not read by that opcode",
                         self.insts[idx].op
                     ),
-                });
+                ));
             }
             // For stores the immediate is an address offset, not a right-port
             // value, so a network-fed right port does not conflict with it.
@@ -332,9 +349,11 @@ impl DataflowBlock {
                 && self.insts[idx].imm.is_some()
                 && !matches!(self.insts[idx].op, Opcode::Store(_))
             {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("right port of {slot} is fed by both immediate and network"),
-                });
+                return Err(DlpError::verify(
+                    vcode::IMMEDIATE_CONFLICT,
+                    slot.to_string(),
+                    format!("right port of {slot} is fed by both immediate and network"),
+                ));
             }
             *producers.entry((slot, port)).or_insert(0) += 1;
             Ok(())
@@ -349,17 +368,21 @@ impl DataflowBlock {
         }
         for rr in &self.reg_reads {
             if rr.targets.is_empty() {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("register read r{} has no targets", rr.reg),
-                });
+                return Err(DlpError::verify(
+                    vcode::REGREAD_NO_TARGETS,
+                    format!("r{}", rr.reg),
+                    format!("register read r{} has no targets", rr.reg),
+                ));
             }
             for t in &rr.targets {
                 match *t {
                     Target::Port { slot, port } => feed(slot, port)?,
                     Target::Reg(r) => {
-                        return Err(DlpError::MalformedProgram {
-                            detail: format!("register read r{} targets register r{r}", rr.reg),
-                        })
+                        return Err(DlpError::verify(
+                            vcode::REGREAD_TO_REGISTER,
+                            format!("r{}", rr.reg),
+                            format!("register read r{} targets register r{r}", rr.reg),
+                        ))
                     }
                 }
             }
@@ -369,26 +392,34 @@ impl DataflowBlock {
             if let Some(((slot, port), n)) =
                 producers.iter().find(|((s, _), n)| *s == inst.slot && **n > 1).map(|(k, v)| (*k, *v))
             {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("port {port} of {slot} has {n} producers"),
-                });
+                return Err(DlpError::verify(
+                    vcode::MULTIPLE_PRODUCERS,
+                    slot.to_string(),
+                    format!("port {port} of {slot} has {n} producers"),
+                ));
             }
             let (l, r, p) = inst.op.ports();
             let has = |port: Port| producers.contains_key(&(inst.slot, port));
             if l && !has(Port::Left) && !matches!(inst.op, Opcode::Lut if inst.imm.is_some()) {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("left port of {} ({}) has no producer", inst.slot, inst.op),
-                });
+                return Err(DlpError::verify(
+                    vcode::MISSING_PRODUCER,
+                    inst.slot.to_string(),
+                    format!("left port of {} ({}) has no producer", inst.slot, inst.op),
+                ));
             }
             if r && !has(Port::Right) && inst.imm.is_none() {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("right port of {} ({}) has no producer", inst.slot, inst.op),
-                });
+                return Err(DlpError::verify(
+                    vcode::MISSING_PRODUCER,
+                    inst.slot.to_string(),
+                    format!("right port of {} ({}) has no producer", inst.slot, inst.op),
+                ));
             }
             if p && !has(Port::Pred) {
-                return Err(DlpError::MalformedProgram {
-                    detail: format!("predicate port of {} ({}) has no producer", inst.slot, inst.op),
-                });
+                return Err(DlpError::verify(
+                    vcode::MISSING_PRODUCER,
+                    inst.slot.to_string(),
+                    format!("predicate port of {} ({}) has no producer", inst.slot, inst.op),
+                ));
             }
         }
         Ok(())
@@ -462,7 +493,7 @@ mod tests {
         let blk = DataflowBlock::new("t", vec![a], vec![]);
         assert!(matches!(
             blk.validate(GridShape::new(8, 8), 64),
-            Err(DlpError::MalformedProgram { .. })
+            Err(DlpError::Verify { code: vcode::DANGLING_OPERAND, .. })
         ));
     }
 

@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use dlp_common::{Coord, DlpError, Value};
+use dlp_common::{vcode, Coord, DlpError, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::{MemSpace, OpRole, Opcode};
@@ -269,36 +269,47 @@ impl MimdAsm {
     ///
     /// # Errors
     ///
-    /// Returns [`DlpError::MalformedProgram`] for undefined labels, ALU
-    /// opcodes that are not register-to-register computations (memory or
-    /// engine ops inside [`MimdOp::Alu`]), or out-of-range registers.
+    /// Returns [`DlpError::Verify`] (with the matching
+    /// [`dlp_common::vcode`] diagnostic) for undefined labels, ALU opcodes
+    /// that are not register-to-register computations (memory or engine
+    /// ops inside [`MimdOp::Alu`]), or out-of-range registers.
     pub fn assemble(mut self) -> Result<MimdProgram, DlpError> {
         for (at, label) in &self.fixups {
-            let tgt = self.labels.get(label).ok_or_else(|| DlpError::MalformedProgram {
-                detail: format!("undefined label {label}"),
+            let tgt = self.labels.get(label).ok_or_else(|| {
+                DlpError::verify(
+                    vcode::UNDEFINED_LABEL,
+                    format!("inst {at}"),
+                    format!("undefined label {label}"),
+                )
             })?;
             self.insts[*at].imm = *tgt as i64;
         }
         for (i, inst) in self.insts.iter().enumerate() {
             if let MimdOp::Alu(op) | MimdOp::AluI(op) = inst.op {
                 if op.is_mem() || matches!(op, Opcode::MovI | Opcode::Iter | Opcode::Nop) {
-                    return Err(DlpError::MalformedProgram {
-                        detail: format!("instruction {i}: {op} is not a register ALU op"),
-                    });
+                    return Err(DlpError::verify(
+                        vcode::NON_ALU_OPCODE,
+                        format!("inst {i}"),
+                        format!("instruction {i}: {op} is not a register ALU op"),
+                    ));
                 }
             }
             for r in [inst.rd, inst.ra, inst.rb] {
                 if r >= 32 {
-                    return Err(DlpError::MalformedProgram {
-                        detail: format!("instruction {i}: register r{r} out of range"),
-                    });
+                    return Err(DlpError::verify(
+                        vcode::MIMD_REGISTER_RANGE,
+                        format!("inst {i}"),
+                        format!("instruction {i}: register r{r} out of range"),
+                    ));
                 }
             }
             if let MimdOp::Jmp | MimdOp::Bez | MimdOp::Bnz = inst.op {
                 if inst.imm < 0 || inst.imm as usize > self.insts.len() {
-                    return Err(DlpError::MalformedProgram {
-                        detail: format!("instruction {i}: branch target {} out of range", inst.imm),
-                    });
+                    return Err(DlpError::verify(
+                        vcode::BRANCH_RANGE,
+                        format!("inst {i}"),
+                        format!("instruction {i}: branch target {} out of range", inst.imm),
+                    ));
                 }
             }
         }
@@ -342,7 +353,10 @@ mod tests {
     fn undefined_label_rejected() {
         let mut asm = MimdAsm::new();
         asm.jmp("nowhere");
-        assert!(matches!(asm.assemble(), Err(DlpError::MalformedProgram { .. })));
+        assert!(matches!(
+            asm.assemble(),
+            Err(DlpError::Verify { code: vcode::UNDEFINED_LABEL, .. })
+        ));
     }
 
     #[test]

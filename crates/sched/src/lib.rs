@@ -36,6 +36,10 @@ pub use lower::{
 };
 pub use place::Placer;
 
+/// The static program verifier, re-exported so scheduler clients reach
+/// it without a separate dependency edge (`trips_sched::verify`).
+pub use dlp_verify as verify;
+
 use dlp_common::GridShape;
 use trips_isa::{DataflowBlock, MimdProgram, Opcode};
 

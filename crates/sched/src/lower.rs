@@ -98,11 +98,16 @@ enum Prod {
 
 /// Schedule a kernel onto the array for the given configuration.
 ///
+/// The produced block is passed through the full static verifier
+/// ([`dlp_verify::verify_dataflow`]) before it is returned, so every
+/// artifact that leaves the scheduler is deadlock-free and within the
+/// machine's capacity budgets.
+///
 /// # Errors
 ///
 /// * [`DlpError::CapacityExceeded`] — the kernel does not fit the array
 ///   even at unroll 1.
-/// * [`DlpError::MalformedProgram`] — the produced block fails validation
+/// * [`DlpError::Verify`] — the produced block fails static verification
 ///   (indicates a scheduler bug; surfaced rather than hidden).
 pub fn schedule_dataflow(
     ir: &KernelIr,
@@ -119,8 +124,21 @@ pub fn schedule_dataflow(
         lowering.lower_instance(u)?;
     }
     let kernel = lowering.finish()?;
-    // Surface scheduler bugs immediately.
-    kernel.block.validate(grid, params.core.rs_slots_per_node)?;
+    // Surface scheduler bugs immediately: full static verification of the
+    // artifact (shape checks, dependence acyclicity, capacity legality).
+    let vparams = dlp_verify::DataflowVerifyParams {
+        grid,
+        slots_per_node: params.core.rs_slots_per_node,
+        num_regs: dlp_verify::DEFAULT_NUM_REGS,
+        lmw_max_words: params.mem.lmw_max_words.max(1) as usize,
+        l0_data_entries: params.mem.l0_data_bytes,
+        unroll: kernel.unroll,
+        unroll_cap: 512,
+        operand_revitalization: cfg.operand_revitalization,
+        tables_in_l0: kernel.tables_in_l0,
+        table_len: kernel.table_image.len(),
+    };
+    dlp_verify::verify_dataflow(&kernel.block, &vparams)?;
     Ok(kernel)
 }
 

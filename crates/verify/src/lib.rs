@@ -1,0 +1,798 @@
+//! # dlp-verify
+//!
+//! Static program verification for lowered artifacts: every
+//! [`DataflowBlock`] and every MIMD program is analysed *before* the
+//! simulator spends a single cycle on it. The checks here are the deep
+//! counterpart to the shallow shape checks in `trips-isa` — they reason
+//! about the whole artifact (dependence graphs, reachability, channel
+//! balance, capacity budgets) rather than one instruction at a time.
+//!
+//! Every rejection carries a stable code from the
+//! [`dlp_common::vcode`] taxonomy inside [`DlpError::Verify`], so sweep
+//! failure reports can be triaged mechanically: `V01xx` codes cover
+//! dataflow blocks, `V02xx` codes cover MIMD programs.
+//!
+//! ## What is (deliberately) *not* checked here
+//!
+//! Mechanism support — a `lut` on a machine without the L0 data store,
+//! an SMC access without the SMC — stays a *dynamic* concern of the
+//! engines ([`DlpError::Unsupported`]). A kernel is lowered once per
+//! `(kernel, machine shape)` plan and run on many mechanism sets; the
+//! verifier validates the artifact's internal structure, not its fit to
+//! a particular mechanism inventory.
+//!
+//! ## Conservatism
+//!
+//! The MIMD channel-balance check ([`vcode::CHANNEL_IMBALANCE`]) counts
+//! *static* send/recv occurrences among reachable instructions per
+//! ordered rank pair. Programs whose communication is balanced only
+//! dynamically (e.g. rank-guarded sends inside replicated programs)
+//! would be rejected; the workspace's lowering never produces such
+//! programs, and the engine's dynamic deadlock detection remains the
+//! backstop.
+//!
+//! # Example
+//!
+//! ```
+//! use dlp_verify::{verify_dataflow, DataflowVerifyParams};
+//! use trips_isa::{DataflowBlock, PlacedInst, Slot, Target, Port, Opcode};
+//! use dlp_common::{Coord, GridShape, Value};
+//!
+//! let s0 = Slot::new(Coord::new(0, 0), 0);
+//! let s1 = Slot::new(Coord::new(0, 1), 0);
+//! let mut a = PlacedInst::new(s0, Opcode::MovI);
+//! a.imm = Some(Value::from_u64(21));
+//! a.targets = vec![Target::port(s1, Port::Left)];
+//! let mut b = PlacedInst::new(s1, Opcode::Add);
+//! b.imm = Some(Value::from_u64(21));
+//! b.targets = vec![Target::Reg(3)];
+//!
+//! let block = DataflowBlock::new("answer", vec![a, b], vec![]);
+//! verify_dataflow(&block, &DataflowVerifyParams::new(GridShape::new(8, 8), 64))?;
+//! # Ok::<(), dlp_common::DlpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dlp_common::{vcode, DlpError, GridShape};
+use trips_isa::{DataflowBlock, MimdOp, MimdProgram, Opcode, Slot, Target};
+
+/// Register-file size the dataflow engine provides (`Machine::NUM_REGS`).
+///
+/// `dlp-verify` sits below the simulator in the dependency order, so it
+/// cannot name the constant directly; `dlp-core` carries a test pinning
+/// the two together.
+pub const DEFAULT_NUM_REGS: usize = 512;
+
+/// Register-file size of a MIMD node (the operand buffers repurposed as
+/// 32 read/write registers).
+pub const MIMD_NUM_REGS: usize = 32;
+
+/// A single verifier rejection: a stable taxonomy code, the location of
+/// the defect, and a human-readable explanation.
+///
+/// Converts into [`DlpError::Verify`] at the public API boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Stable `V*` code from [`dlp_common::vcode`].
+    pub code: &'static str,
+    /// Where the defect sits (instruction index, slot, or rank; empty
+    /// when program-wide).
+    pub span: String,
+    /// Description of the defect.
+    pub detail: String,
+}
+
+impl VerifyError {
+    /// Create a verification error.
+    #[must_use]
+    pub fn new(code: &'static str, span: impl Into<String>, detail: impl Into<String>) -> Self {
+        VerifyError { code, span: span.into(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.span.is_empty() {
+            write!(f, "[{}] {}", self.code, self.detail)
+        } else {
+            write!(f, "[{}] at {}: {}", self.code, self.span, self.detail)
+        }
+    }
+}
+
+impl From<VerifyError> for DlpError {
+    fn from(e: VerifyError) -> DlpError {
+        DlpError::Verify { code: e.code, span: e.span, detail: e.detail }
+    }
+}
+
+/// Machine-shape and plan facts the dataflow verifier checks against.
+#[derive(Clone, Debug)]
+pub struct DataflowVerifyParams {
+    /// The ALU array shape.
+    pub grid: GridShape,
+    /// Reservation-station slots per node.
+    pub slots_per_node: usize,
+    /// Architectural register-file size ([`DEFAULT_NUM_REGS`]).
+    pub num_regs: usize,
+    /// Widest legal `lmw` fan-out (the SMC row-channel width).
+    pub lmw_max_words: usize,
+    /// L0 data-store entries per node.
+    pub l0_data_entries: usize,
+    /// The plan's revitalization (unroll) count.
+    pub unroll: usize,
+    /// The scheduler's unroll clamp; counts outside `1..=unroll_cap`
+    /// can never have been produced by a sound plan.
+    pub unroll_cap: usize,
+    /// Whether the target machine revitalizes operands; persistent
+    /// operand marks are illegal without it.
+    pub operand_revitalization: bool,
+    /// Whether the plan loads the lookup table into the L0 data store.
+    pub tables_in_l0: bool,
+    /// Lookup-table length in entries (0 when the kernel has none).
+    pub table_len: usize,
+}
+
+impl DataflowVerifyParams {
+    /// Parameters for a machine shape, with workspace-default capacities
+    /// and a trivial (unit) plan.
+    #[must_use]
+    pub fn new(grid: GridShape, slots_per_node: usize) -> Self {
+        DataflowVerifyParams {
+            grid,
+            slots_per_node,
+            num_regs: DEFAULT_NUM_REGS,
+            lmw_max_words: 8,
+            l0_data_entries: 2 * 1024,
+            unroll: 1,
+            unroll_cap: 512,
+            operand_revitalization: false,
+            tables_in_l0: false,
+            table_len: 0,
+        }
+    }
+}
+
+/// Verify a lowered dataflow block against a machine shape and plan.
+///
+/// Runs the shallow shape checks ([`DataflowBlock::validate`]) first,
+/// then the deep analyses:
+///
+/// * operand-dependence acyclicity — a cycle of port-to-port operands
+///   can never fire, a static deadlock ([`vcode::DEPENDENCE_CYCLE`]);
+/// * register-range legality for block outputs and register reads
+///   ([`vcode::REGISTER_RANGE`]);
+/// * `lmw` fan-out within the streaming-channel width
+///   ([`vcode::LMW_FANOUT`]);
+/// * statically indexed `lut` reads within the L0 data store
+///   ([`vcode::L0_INDEX_BOUNDS`]);
+/// * revitalization-count consistency with the unroll cap
+///   ([`vcode::UNROLL_INCONSISTENT`]);
+/// * persistent operands only under operand revitalization
+///   ([`vcode::PERSISTENCE_WITHOUT_REVIT`]);
+/// * lookup-table image within the L0 data store when the plan places
+///   it there ([`vcode::L0_TABLE_OVERFLOW`]).
+///
+/// # Errors
+///
+/// [`DlpError::Verify`] with the first defect's taxonomy code, or
+/// [`DlpError::CapacityExceeded`] from the shallow slot-budget check.
+pub fn verify_dataflow(
+    block: &DataflowBlock,
+    params: &DataflowVerifyParams,
+) -> Result<(), DlpError> {
+    block.validate(params.grid, params.slots_per_node)?;
+    deep_verify_dataflow(block, params).map_err(DlpError::from)
+}
+
+fn deep_verify_dataflow(
+    block: &DataflowBlock,
+    params: &DataflowVerifyParams,
+) -> Result<(), VerifyError> {
+    for inst in block.insts() {
+        for t in &inst.targets {
+            if let Target::Reg(r) = *t {
+                if r as usize >= params.num_regs {
+                    return Err(VerifyError::new(
+                        vcode::REGISTER_RANGE,
+                        inst.slot.to_string(),
+                        format!(
+                            "target register r{r} exceeds the {}-entry register file",
+                            params.num_regs
+                        ),
+                    ));
+                }
+            }
+        }
+        if matches!(inst.op, Opcode::Lmw) && inst.targets.len() > params.lmw_max_words {
+            return Err(VerifyError::new(
+                vcode::LMW_FANOUT,
+                inst.slot.to_string(),
+                format!(
+                    "lmw fans out to {} words but the streaming channel moves at most {}",
+                    inst.targets.len(),
+                    params.lmw_max_words
+                ),
+            ));
+        }
+        if matches!(inst.op, Opcode::Lut) {
+            if let Some(imm) = inst.imm {
+                let idx = imm.as_u64();
+                if idx >= params.l0_data_entries as u64 {
+                    return Err(VerifyError::new(
+                        vcode::L0_INDEX_BOUNDS,
+                        inst.slot.to_string(),
+                        format!(
+                            "static lut index {idx} reads past the {}-entry L0 data store",
+                            params.l0_data_entries
+                        ),
+                    ));
+                }
+            }
+        }
+        if !params.operand_revitalization && !inst.persistent.is_empty() {
+            return Err(VerifyError::new(
+                vcode::PERSISTENCE_WITHOUT_REVIT,
+                inst.slot.to_string(),
+                "persistent operand ports on a machine without operand revitalization".to_string(),
+            ));
+        }
+    }
+    for rr in block.reg_reads() {
+        if rr.reg as usize >= params.num_regs {
+            return Err(VerifyError::new(
+                vcode::REGISTER_RANGE,
+                format!("r{}", rr.reg),
+                format!(
+                    "register read r{} exceeds the {}-entry register file",
+                    rr.reg, params.num_regs
+                ),
+            ));
+        }
+        if !params.operand_revitalization && rr.persistent {
+            return Err(VerifyError::new(
+                vcode::PERSISTENCE_WITHOUT_REVIT,
+                format!("r{}", rr.reg),
+                format!(
+                    "persistent register read r{} on a machine without operand revitalization",
+                    rr.reg
+                ),
+            ));
+        }
+    }
+
+    if params.unroll == 0 || params.unroll > params.unroll_cap {
+        return Err(VerifyError::new(
+            vcode::UNROLL_INCONSISTENT,
+            String::new(),
+            format!(
+                "revitalization count {} outside the legal range 1..={}",
+                params.unroll, params.unroll_cap
+            ),
+        ));
+    }
+    if params.tables_in_l0 && params.table_len > params.l0_data_entries {
+        return Err(VerifyError::new(
+            vcode::L0_TABLE_OVERFLOW,
+            String::new(),
+            format!(
+                "lookup table of {} entries exceeds the {}-entry L0 data store",
+                params.table_len, params.l0_data_entries
+            ),
+        ));
+    }
+
+    dataflow_acyclic(block)
+}
+
+/// Kahn's algorithm over the port-to-port operand-dependence graph.
+///
+/// Register reads and immediates are external sources; only
+/// `Target::Port` edges between placed instructions participate. A
+/// non-empty residue after the topological sweep is a set of
+/// instructions each waiting on another member of the set — none can
+/// ever fire, so the block deadlocks on its first map.
+fn dataflow_acyclic(block: &DataflowBlock) -> Result<(), VerifyError> {
+    let insts = block.insts();
+    let by_slot: HashMap<Slot, usize> =
+        insts.iter().enumerate().map(|(i, inst)| (inst.slot, i)).collect();
+    let mut indegree = vec![0usize; insts.len()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); insts.len()];
+    for (i, inst) in insts.iter().enumerate() {
+        for t in &inst.targets {
+            if let Target::Port { slot, .. } = *t {
+                // validate() already guaranteed the slot exists.
+                let j = by_slot[&slot];
+                succs[i].push(j);
+                indegree[j] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..insts.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut fired = 0usize;
+    while let Some(i) = ready.pop() {
+        fired += 1;
+        for &j in &succs[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    if fired < insts.len() {
+        let stuck = indegree.iter().position(|&d| d > 0).expect("residue is non-empty");
+        return Err(VerifyError::new(
+            vcode::DEPENDENCE_CYCLE,
+            insts[stuck].slot.to_string(),
+            format!(
+                "{} instructions form an operand-dependence cycle and can never fire \
+                 (first at {})",
+                insts.len() - fired,
+                insts[stuck].slot
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Machine and partition facts the MIMD verifier checks against.
+#[derive(Clone, Debug)]
+pub struct MimdVerifyParams {
+    /// Number of participating ranks (programs in the partition).
+    pub n_ranks: usize,
+    /// Per-node register-file size ([`MIMD_NUM_REGS`]).
+    pub num_regs: usize,
+    /// L0 instruction-store entries per node.
+    pub l0_inst_capacity: usize,
+    /// The watchdog tick limit the run will execute under; the derived
+    /// step budget is `n_ranks * (watchdog + 1)` (see the MIMD engine).
+    pub watchdog: u64,
+}
+
+impl MimdVerifyParams {
+    /// Parameters for a partition size, with workspace-default
+    /// capacities and the default watchdog.
+    #[must_use]
+    pub fn new(n_ranks: usize, watchdog: u64) -> Self {
+        MimdVerifyParams { n_ranks, num_regs: MIMD_NUM_REGS, l0_inst_capacity: 256, watchdog }
+    }
+}
+
+/// Verify a partition's MIMD programs (one per rank; empty programs are
+/// idle ranks and are skipped, mirroring the engine).
+///
+/// Per program: re-asserts the assembler invariants for artifacts built
+/// via [`MimdProgram::from_insts`] ([`vcode::NON_ALU_OPCODE`],
+/// [`vcode::MIMD_REGISTER_RANGE`], [`vcode::BRANCH_RANGE`]), checks the
+/// L0 instruction-store fit ([`vcode::L0_INST_OVERFLOW`]), channel
+/// endpoints ([`vcode::CHANNEL_ENDPOINT`]), label/branch-target
+/// reachability ([`vcode::UNREACHABLE_CODE`]) and that no reachable
+/// path runs off the end ([`vcode::FALLS_OFF_END`]).
+///
+/// Across the partition: static send/recv balance per ordered rank
+/// pair ([`vcode::CHANNEL_IMBALANCE`]) and step-budget plausibility
+/// against the watchdog-derived budget ([`vcode::STEP_BUDGET`]).
+///
+/// # Errors
+///
+/// [`DlpError::Verify`] with the first defect's taxonomy code.
+pub fn verify_mimd(progs: &[MimdProgram], params: &MimdVerifyParams) -> Result<(), DlpError> {
+    deep_verify_mimd(progs, params).map_err(DlpError::from)
+}
+
+fn deep_verify_mimd(progs: &[MimdProgram], params: &MimdVerifyParams) -> Result<(), VerifyError> {
+    // sends[(from, to)] / recvs[(from, to)] count static occurrences of
+    // matching endpoints among reachable instructions.
+    let mut sends: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut recvs: HashMap<(usize, usize), usize> = HashMap::new();
+    // Minimum number of instruction steps the partition must execute to
+    // halt every rank.
+    let mut min_total_steps: u64 = 0;
+
+    for (rank, prog) in progs.iter().enumerate() {
+        if prog.is_empty() {
+            continue; // idle rank: the engine excludes it from the run
+        }
+        let insts = prog.insts();
+        let len = insts.len();
+        if len > params.l0_inst_capacity {
+            return Err(VerifyError::new(
+                vcode::L0_INST_OVERFLOW,
+                format!("rank {rank}"),
+                format!(
+                    "program of {len} instructions exceeds the {}-entry L0 instruction store",
+                    params.l0_inst_capacity
+                ),
+            ));
+        }
+        for (i, inst) in insts.iter().enumerate() {
+            let span = || format!("rank {rank} inst {i}");
+            if let MimdOp::Alu(op) | MimdOp::AluI(op) = inst.op {
+                if op.is_mem() || matches!(op, Opcode::MovI | Opcode::Iter | Opcode::Nop) {
+                    return Err(VerifyError::new(
+                        vcode::NON_ALU_OPCODE,
+                        span(),
+                        format!("{op} is not a register ALU op"),
+                    ));
+                }
+            }
+            for r in [inst.rd, inst.ra, inst.rb] {
+                if r as usize >= params.num_regs {
+                    return Err(VerifyError::new(
+                        vcode::MIMD_REGISTER_RANGE,
+                        span(),
+                        format!("register r{r} exceeds the {}-register file", params.num_regs),
+                    ));
+                }
+            }
+            if let MimdOp::Jmp | MimdOp::Bez | MimdOp::Bnz = inst.op {
+                if inst.imm < 0 || inst.imm as usize > len {
+                    return Err(VerifyError::new(
+                        vcode::BRANCH_RANGE,
+                        span(),
+                        format!("branch target {} outside the {len}-instruction program", inst.imm),
+                    ));
+                }
+            }
+            if let MimdOp::Send | MimdOp::Recv = inst.op {
+                if inst.imm < 0 || inst.imm as usize >= params.n_ranks {
+                    return Err(VerifyError::new(
+                        vcode::CHANNEL_ENDPOINT,
+                        span(),
+                        format!(
+                            "channel endpoint {} outside the {}-rank partition",
+                            inst.imm, params.n_ranks
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Breadth-first reachability from entry. `dist[pc]` is the
+        // minimum number of instructions executed before `pc` issues.
+        let mut dist: Vec<Option<u64>> = vec![None; len];
+        let mut queue = std::collections::VecDeque::new();
+        dist[0] = Some(0);
+        queue.push_back(0usize);
+        let mut min_halt_steps: Option<u64> = None;
+        while let Some(pc) = queue.pop_front() {
+            let d = dist[pc].expect("queued pcs have distances");
+            let inst = &insts[pc];
+            let mut succ = |next: usize| -> Result<(), VerifyError> {
+                if next >= len {
+                    return Err(VerifyError::new(
+                        vcode::FALLS_OFF_END,
+                        format!("rank {rank} inst {pc}"),
+                        format!(
+                            "a reachable path runs off the end of the {len}-instruction program"
+                        ),
+                    ));
+                }
+                if dist[next].is_none() {
+                    dist[next] = Some(d + 1);
+                    queue.push_back(next);
+                }
+                Ok(())
+            };
+            match inst.op {
+                MimdOp::Halt => {
+                    if min_halt_steps.is_none() {
+                        min_halt_steps = Some(d + 1);
+                    }
+                }
+                MimdOp::Jmp => succ(inst.imm as usize)?,
+                MimdOp::Bez | MimdOp::Bnz => {
+                    succ(inst.imm as usize)?;
+                    succ(pc + 1)?;
+                }
+                _ => succ(pc + 1)?,
+            }
+        }
+        if let Some(pc) = dist.iter().position(Option::is_none) {
+            return Err(VerifyError::new(
+                vcode::UNREACHABLE_CODE,
+                format!("rank {rank} inst {pc}"),
+                format!("instruction {pc} ({}) is unreachable from entry", insts[pc]),
+            ));
+        }
+        let Some(halt_steps) = min_halt_steps else {
+            return Err(VerifyError::new(
+                vcode::STEP_BUDGET,
+                format!("rank {rank}"),
+                "no halting path exists, so no finite step budget fits".to_string(),
+            ));
+        };
+        min_total_steps = min_total_steps.saturating_add(halt_steps);
+
+        for (i, inst) in insts.iter().enumerate() {
+            if dist[i].is_none() {
+                continue;
+            }
+            match inst.op {
+                MimdOp::Send => *sends.entry((rank, inst.imm as usize)).or_insert(0) += 1,
+                MimdOp::Recv => *recvs.entry((inst.imm as usize, rank)).or_insert(0) += 1,
+                _ => {}
+            }
+        }
+    }
+
+    for (&(from, to), &n_sends) in &sends {
+        let n_recvs = recvs.get(&(from, to)).copied().unwrap_or(0);
+        if n_sends != n_recvs {
+            return Err(VerifyError::new(
+                vcode::CHANNEL_IMBALANCE,
+                format!("rank {from} -> rank {to}"),
+                format!("{n_sends} static sends but {n_recvs} static recvs"),
+            ));
+        }
+    }
+    for (&(from, to), &n_recvs) in &recvs {
+        if !sends.contains_key(&(from, to)) {
+            return Err(VerifyError::new(
+                vcode::CHANNEL_IMBALANCE,
+                format!("rank {from} -> rank {to}"),
+                format!("0 static sends but {n_recvs} static recvs"),
+            ));
+        }
+    }
+
+    let n_ranks = progs.iter().filter(|p| !p.is_empty()).count() as u64;
+    let step_budget = n_ranks.saturating_mul(params.watchdog.saturating_add(1));
+    if min_total_steps > step_budget {
+        return Err(VerifyError::new(
+            vcode::STEP_BUDGET,
+            String::new(),
+            format!(
+                "shortest complete execution needs {min_total_steps} steps but the \
+                 watchdog-derived budget is {step_budget}"
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_common::{Coord, Value};
+    use trips_isa::{MimdAsm, MimdInst, OpRole, PlacedInst, Port, PortSet};
+
+    fn slot(r: u8, c: u8, i: u16) -> Slot {
+        Slot::new(Coord::new(r, c), i)
+    }
+
+    fn movi(s: Slot, v: u64, targets: Vec<Target>) -> PlacedInst {
+        PlacedInst { imm: Some(Value::from_u64(v)), targets, ..PlacedInst::new(s, Opcode::MovI) }
+    }
+
+    fn df_params() -> DataflowVerifyParams {
+        DataflowVerifyParams::new(GridShape::new(8, 8), 64)
+    }
+
+    #[test]
+    fn straight_line_block_verifies() {
+        let s0 = slot(0, 0, 0);
+        let s1 = slot(0, 1, 0);
+        let a = movi(s0, 1, vec![Target::port(s1, Port::Left)]);
+        let mut b = PlacedInst::new(s1, Opcode::Add);
+        b.imm = Some(Value::from_u64(2));
+        b.targets = vec![Target::Reg(0)];
+        let blk = DataflowBlock::new("t", vec![a, b], vec![]);
+        assert!(verify_dataflow(&blk, &df_params()).is_ok());
+    }
+
+    #[test]
+    fn two_instruction_cycle_is_static_deadlock() {
+        let s0 = slot(0, 0, 0);
+        let s1 = slot(0, 1, 0);
+        let mut a = PlacedInst::new(s0, Opcode::Not);
+        a.targets = vec![Target::port(s1, Port::Left)];
+        let mut b = PlacedInst::new(s1, Opcode::Not);
+        b.targets = vec![Target::port(s0, Port::Left)];
+        let blk = DataflowBlock::new("cycle", vec![a, b], vec![]);
+        assert!(matches!(
+            verify_dataflow(&blk, &df_params()),
+            Err(DlpError::Verify { code: vcode::DEPENDENCE_CYCLE, .. })
+        ));
+    }
+
+    #[test]
+    fn register_out_of_range_rejected() {
+        let s0 = slot(0, 0, 0);
+        let a = movi(s0, 1, vec![Target::Reg(9999)]);
+        let blk = DataflowBlock::new("t", vec![a], vec![]);
+        assert!(matches!(
+            verify_dataflow(&blk, &df_params()),
+            Err(DlpError::Verify { code: vcode::REGISTER_RANGE, .. })
+        ));
+    }
+
+    #[test]
+    fn lut_index_bounds_enforced() {
+        let s0 = slot(0, 0, 0);
+        let mut lut = PlacedInst::new(s0, Opcode::Lut);
+        lut.imm = Some(Value::from_u64(1 << 20));
+        lut.targets = vec![Target::Reg(0)];
+        let blk = DataflowBlock::new("t", vec![lut], vec![]);
+        assert!(matches!(
+            verify_dataflow(&blk, &df_params()),
+            Err(DlpError::Verify { code: vcode::L0_INDEX_BOUNDS, .. })
+        ));
+    }
+
+    #[test]
+    fn persistence_requires_revitalization() {
+        let s0 = slot(0, 0, 0);
+        let mut a = movi(s0, 1, vec![Target::Reg(0)]);
+        a.persistent = PortSet::EMPTY.with(Port::Left);
+        let blk = DataflowBlock::new("t", vec![a], vec![]);
+        let mut p = df_params();
+        assert!(matches!(
+            verify_dataflow(&blk, &p),
+            Err(DlpError::Verify { code: vcode::PERSISTENCE_WITHOUT_REVIT, .. })
+        ));
+        p.operand_revitalization = true;
+        assert!(verify_dataflow(&blk, &p).is_ok());
+    }
+
+    #[test]
+    fn unroll_cap_enforced() {
+        let s0 = slot(0, 0, 0);
+        let a = movi(s0, 1, vec![Target::Reg(0)]);
+        let blk = DataflowBlock::new("t", vec![a], vec![]);
+        let mut p = df_params();
+        p.unroll = 0;
+        assert!(matches!(
+            verify_dataflow(&blk, &p),
+            Err(DlpError::Verify { code: vcode::UNROLL_INCONSISTENT, .. })
+        ));
+        p.unroll = p.unroll_cap + 1;
+        assert!(verify_dataflow(&blk, &p).is_err());
+    }
+
+    #[test]
+    fn table_overflow_rejected() {
+        let s0 = slot(0, 0, 0);
+        let a = movi(s0, 1, vec![Target::Reg(0)]);
+        let blk = DataflowBlock::new("t", vec![a], vec![]);
+        let mut p = df_params();
+        p.tables_in_l0 = true;
+        p.table_len = p.l0_data_entries + 1;
+        assert!(matches!(
+            verify_dataflow(&blk, &p),
+            Err(DlpError::Verify { code: vcode::L0_TABLE_OVERFLOW, .. })
+        ));
+    }
+
+    fn halting(n_ranks: usize) -> MimdVerifyParams {
+        MimdVerifyParams::new(n_ranks, 1_000_000)
+    }
+
+    #[test]
+    fn assembled_loop_verifies() {
+        let mut asm = MimdAsm::new();
+        asm.li(1, 0);
+        asm.li(2, 10);
+        asm.label("top");
+        asm.alui(Opcode::Add, 1, 1, 1);
+        asm.alui(Opcode::Sub, 2, 2, 1);
+        asm.bnz(2, "top");
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert!(verify_mimd(&[p], &halting(1)).is_ok());
+    }
+
+    fn raw(op: MimdOp, rd: u8, ra: u8, imm: i64) -> MimdInst {
+        MimdInst { op, rd, ra, rb: 0, imm, role: OpRole::Useful }
+    }
+
+    #[test]
+    fn unbalanced_recv_rejected() {
+        // Rank 1 receives from rank 0, which never sends.
+        let p0 = MimdProgram::from_insts(vec![raw(MimdOp::Halt, 0, 0, 0)]);
+        let p1 = MimdProgram::from_insts(vec![
+            raw(MimdOp::Recv, 1, 0, 0),
+            raw(MimdOp::Halt, 0, 0, 0),
+        ]);
+        assert!(matches!(
+            verify_mimd(&[p0, p1], &halting(2)),
+            Err(DlpError::Verify { code: vcode::CHANNEL_IMBALANCE, .. })
+        ));
+    }
+
+    #[test]
+    fn balanced_pair_accepted() {
+        let p0 = MimdProgram::from_insts(vec![
+            raw(MimdOp::Li, 1, 0, 7),
+            raw(MimdOp::Send, 0, 1, 1),
+            raw(MimdOp::Halt, 0, 0, 0),
+        ]);
+        let p1 = MimdProgram::from_insts(vec![
+            raw(MimdOp::Recv, 1, 0, 0),
+            raw(MimdOp::Halt, 0, 0, 0),
+        ]);
+        assert!(verify_mimd(&[p0, p1], &halting(2)).is_ok());
+    }
+
+    #[test]
+    fn endpoint_outside_partition_rejected() {
+        let p = MimdProgram::from_insts(vec![
+            raw(MimdOp::Send, 0, 1, 5),
+            raw(MimdOp::Halt, 0, 0, 0),
+        ]);
+        assert!(matches!(
+            verify_mimd(&[p], &halting(1)),
+            Err(DlpError::Verify { code: vcode::CHANNEL_ENDPOINT, .. })
+        ));
+    }
+
+    #[test]
+    fn falls_off_end_rejected() {
+        let p = MimdProgram::from_insts(vec![raw(MimdOp::Li, 1, 0, 0)]);
+        assert!(matches!(
+            verify_mimd(&[p], &halting(1)),
+            Err(DlpError::Verify { code: vcode::FALLS_OFF_END, .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_code_rejected() {
+        let p = MimdProgram::from_insts(vec![
+            raw(MimdOp::Jmp, 0, 0, 2),
+            raw(MimdOp::Li, 1, 0, 0), // skipped by the jmp, no other entry
+            raw(MimdOp::Halt, 0, 0, 0),
+        ]);
+        assert!(matches!(
+            verify_mimd(&[p], &halting(1)),
+            Err(DlpError::Verify { code: vcode::UNREACHABLE_CODE, .. })
+        ));
+    }
+
+    #[test]
+    fn no_halting_path_rejected() {
+        let p = MimdProgram::from_insts(vec![raw(MimdOp::Jmp, 0, 0, 0)]);
+        assert!(matches!(
+            verify_mimd(&[p], &halting(1)),
+            Err(DlpError::Verify { code: vcode::STEP_BUDGET, .. })
+        ));
+    }
+
+    #[test]
+    fn step_budget_scales_with_watchdog() {
+        // Straight-line program of 4 steps; a budget of 2 cannot fit it.
+        let p = MimdProgram::from_insts(vec![
+            raw(MimdOp::Li, 1, 0, 0),
+            raw(MimdOp::Li, 2, 0, 0),
+            raw(MimdOp::Li, 3, 0, 0),
+            raw(MimdOp::Halt, 0, 0, 0),
+        ]);
+        let tight = MimdVerifyParams::new(1, 1); // budget = 1 * (1 + 1) = 2
+        assert!(matches!(
+            verify_mimd(std::slice::from_ref(&p), &tight),
+            Err(DlpError::Verify { code: vcode::STEP_BUDGET, .. })
+        ));
+        assert!(verify_mimd(&[p], &halting(1)).is_ok());
+    }
+
+    #[test]
+    fn empty_programs_are_idle_ranks() {
+        let p = MimdProgram::from_insts(vec![raw(MimdOp::Halt, 0, 0, 0)]);
+        assert!(verify_mimd(&[MimdProgram::default(), p], &halting(2)).is_ok());
+    }
+
+    #[test]
+    fn oversized_program_rejected() {
+        let mut insts = vec![raw(MimdOp::Li, 1, 0, 0); 300];
+        insts.push(raw(MimdOp::Halt, 0, 0, 0));
+        let p = MimdProgram::from_insts(insts);
+        assert!(matches!(
+            verify_mimd(&[p], &halting(1)),
+            Err(DlpError::Verify { code: vcode::L0_INST_OVERFLOW, .. })
+        ));
+    }
+}

@@ -1,0 +1,415 @@
+//! The determinism lint: scan engine-crate sources for constructs whose
+//! behavior depends on anything other than the program inputs.
+//!
+//! The scanner is lexical, not syntactic — the workspace deliberately
+//! vendors no Rust parser — so it strips comments and string literals
+//! and then searches for forbidden tokens. That makes it conservative
+//! in the right direction: a token inside real code is always seen, and
+//! prose about a token (doc comments, log strings) never trips it.
+//!
+//! Forbidden everywhere in the engine crates:
+//!
+//! * `Instant::now` / `SystemTime` — wall-clock reads; simulated time
+//!   comes from the tick counter.
+//! * `thread_rng` / `from_entropy` / `rand::` — ambient randomness; all
+//!   randomness flows through seeded `dlp_common::SplitMix64`.
+//! * `.par_iter` / `.par_bridge` / `par_chunks` — unordered parallel
+//!   reductions; the sweep's parallelism merges results in cell order.
+//!
+//! Additionally forbidden in the *hot* crates (`sim`, `noc`, `mem`),
+//! where an iteration-order dependence silently changes statistics:
+//!
+//! * `HashMap` / `HashSet` — use `BTreeMap`/`BTreeSet`, sorted `Vec`s,
+//!   or index-keyed arrays; a justified lookup-only site goes in the
+//!   allowlist.
+//!
+//! The allowlist (`detlint.allow`) holds one entry per line:
+//! `<path> <token> # <justification>`. Entries without a justification
+//! and entries matching no finding are themselves errors, so the file
+//! can only shrink or stay honest.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose hot paths must not iterate hash containers.
+const HOT_CRATES: &[&str] = &["crates/sim", "crates/noc", "crates/mem"];
+
+/// All engine crates subject to the clock/RNG/parallelism rules. The
+/// bench crate is excluded (measuring wall-clock is its purpose), as is
+/// the xtask itself and the vendored `third_party` stand-ins.
+const ENGINE_CRATES: &[&str] = &[
+    "crates/common",
+    "crates/isa",
+    "crates/kernel-ir",
+    "crates/verify",
+    "crates/noc",
+    "crates/mem",
+    "crates/sim",
+    "crates/sched",
+    "crates/kernels",
+    "crates/classic",
+    "crates/core",
+];
+
+/// Tokens forbidden in every engine crate.
+const AMBIENT_TOKENS: &[(&str, &str)] = &[
+    ("Instant::now", "wall-clock read; simulated time is the tick counter"),
+    ("SystemTime", "wall-clock read; simulated time is the tick counter"),
+    ("thread_rng", "ambient RNG; use seeded dlp_common::SplitMix64"),
+    ("from_entropy", "ambient RNG; use seeded dlp_common::SplitMix64"),
+    ("rand::", "ambient RNG; use seeded dlp_common::SplitMix64"),
+    (".par_iter", "unordered parallel reduction"),
+    (".par_bridge", "unordered parallel reduction"),
+    ("par_chunks", "unordered parallel reduction"),
+];
+
+/// Tokens additionally forbidden in the hot crates.
+const HASH_TOKENS: &[(&str, &str)] = &[
+    ("HashMap", "hash iteration order is unspecified; use BTreeMap or indexed Vec"),
+    ("HashSet", "hash iteration order is unspecified; use BTreeSet or sorted Vec"),
+];
+
+/// One forbidden-token occurrence.
+struct Finding {
+    path: String,
+    line: usize,
+    token: &'static str,
+    why: &'static str,
+}
+
+/// One `detlint.allow` entry.
+struct AllowEntry {
+    path: String,
+    token: String,
+    line: usize,
+    used: bool,
+}
+
+/// Run the lint from the workspace root. Returns a failing exit code on
+/// any unallowed finding, unjustified allowlist entry, or stale entry.
+pub fn run(allow_path: &str) -> ExitCode {
+    let root = workspace_root();
+    let (mut allow, mut errors) = parse_allowlist(&root.join(allow_path), allow_path);
+
+    let mut findings = Vec::new();
+    for krate in ENGINE_CRATES {
+        let hot = HOT_CRATES.contains(krate);
+        for file in rust_files(&root.join(krate)) {
+            let rel = file
+                .strip_prefix(&root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = match std::fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(e) => {
+                    errors.push(format!("detlint: cannot read {rel}: {e}"));
+                    continue;
+                }
+            };
+            let code = strip_comments_and_strings(&source);
+            scan(&rel, &code, AMBIENT_TOKENS, &mut findings);
+            if hot {
+                scan(&rel, &code, HASH_TOKENS, &mut findings);
+            }
+        }
+    }
+
+    let mut violations = 0usize;
+    let mut allowed = 0usize;
+    for f in &findings {
+        if let Some(entry) =
+            allow.iter_mut().find(|e| e.path == f.path && e.token == f.token)
+        {
+            entry.used = true;
+            allowed += 1;
+        } else {
+            violations += 1;
+            eprintln!("detlint: {}:{}: forbidden `{}` ({})", f.path, f.line, f.token, f.why);
+        }
+    }
+    for e in &allow {
+        if !e.used {
+            errors.push(format!(
+                "detlint: {allow_path}:{}: stale allowlist entry `{} {}` matches nothing",
+                e.line, e.path, e.token
+            ));
+        }
+    }
+    for e in &errors {
+        eprintln!("{e}");
+    }
+    println!(
+        "detlint: {} findings ({allowed} allowlisted, {violations} violations, {} allowlist \
+         problems)",
+        findings.len(),
+        errors.len()
+    );
+    if violations == 0 && errors.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: this binary lives at `crates/xtask`, and CI runs
+/// it through the `cargo xtask` alias from the root, so prefer the
+/// manifest-relative location and fall back to the current directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+/// Parse `detlint.allow`: `<path> <token> # <justification>` per line.
+fn parse_allowlist(path: &Path, display: &str) -> (Vec<AllowEntry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        // No allowlist is a valid (maximally strict) configuration.
+        return (entries, errors);
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (spec, justification) = match line.split_once('#') {
+            Some((s, j)) => (s.trim(), j.trim()),
+            None => (line, ""),
+        };
+        let fields: Vec<&str> = spec.split_whitespace().collect();
+        if fields.len() != 2 {
+            errors.push(format!(
+                "detlint: {display}:{line_no}: expected `<path> <token> # <justification>`"
+            ));
+            continue;
+        }
+        if justification.is_empty() {
+            errors.push(format!(
+                "detlint: {display}:{line_no}: allowlist entry `{} {}` has no justification \
+                 comment",
+                fields[0], fields[1]
+            ));
+            continue;
+        }
+        entries.push(AllowEntry {
+            path: fields[0].to_string(),
+            token: fields[1].to_string(),
+            line: line_no,
+            used: false,
+        });
+    }
+    (entries, errors)
+}
+
+/// All `.rs` files under `dir`, sorted for deterministic reports.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else { continue };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Record every line of `code` containing one of `tokens`.
+fn scan(path: &str, code: &str, tokens: &[(&'static str, &'static str)], out: &mut Vec<Finding>) {
+    for (i, line) in code.lines().enumerate() {
+        for &(token, why) in tokens {
+            if line.contains(token) {
+                out.push(Finding { path: path.to_string(), line: i + 1, token, why });
+            }
+        }
+    }
+}
+
+/// Replace comments and string/char literal contents with spaces,
+/// preserving the line structure so findings keep real line numbers.
+///
+/// Handles line comments, nested block comments, plain and raw strings,
+/// and char literals (distinguished from lifetimes by lookahead).
+fn strip_comments_and_strings(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // Emit `c` verbatim when it shapes the layout, a space otherwise.
+    fn blank(out: &mut String, c: char) {
+        if c == '\n' { out.push('\n') } else { out.push(' ') }
+    }
+    while i < bytes.len() {
+        let rest = &src[i..];
+        if rest.starts_with("//") {
+            let end = rest.find('\n').map_or(src.len(), |n| i + n);
+            for c in src[i..end].chars() {
+                blank(&mut out, c);
+            }
+            i = end;
+        } else if rest.starts_with("/*") {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < bytes.len() {
+                let r = &src[j..];
+                if r.starts_with("/*") {
+                    depth += 1;
+                    blank(&mut out, ' ');
+                    blank(&mut out, ' ');
+                    j += 2;
+                } else if r.starts_with("*/") {
+                    depth -= 1;
+                    blank(&mut out, ' ');
+                    blank(&mut out, ' ');
+                    j += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    let c = r.chars().next().expect("in bounds");
+                    blank(&mut out, c);
+                    j += c.len_utf8();
+                }
+            }
+            i = j;
+        } else if rest.starts_with("r\"") || rest.starts_with("r#") {
+            // Raw string: r"..." or r#"..."# with any number of hashes.
+            let hashes = rest[1..].bytes().take_while(|&b| b == b'#').count();
+            let open = 1 + hashes + 1; // r, hashes, quote
+            let closer: String = std::iter::once('"').chain("#".repeat(hashes).chars()).collect();
+            out.push('r');
+            for _ in 0..hashes {
+                out.push('#');
+            }
+            out.push('"');
+            let body = &src[i + open..];
+            let end = body.find(&closer).map_or(src.len(), |n| i + open + n);
+            for c in src[i + open..end].chars() {
+                blank(&mut out, c);
+            }
+            if end < src.len() {
+                out.push_str(&closer);
+                i = end + closer.len();
+            } else {
+                i = src.len();
+            }
+        } else if rest.starts_with('"') {
+            out.push('"');
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let c = src[j..].chars().next().expect("in bounds");
+                if c == '\\' {
+                    blank(&mut out, ' ');
+                    blank(&mut out, ' ');
+                    j += 1 + src[j + 1..].chars().next().map_or(0, char::len_utf8);
+                } else if c == '"' {
+                    out.push('"');
+                    j += 1;
+                    break;
+                } else {
+                    blank(&mut out, c);
+                    j += c.len_utf8();
+                }
+            }
+            i = j;
+        } else if let Some(after) = rest.strip_prefix('\'') {
+            // Char literal vs lifetime: 'x' or '\...' is a literal.
+            let is_char = after.starts_with('\\')
+                || (after.chars().next().is_some_and(|c| c != '\'')
+                    && after.chars().nth(1) == Some('\''));
+            if is_char {
+                out.push('\'');
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let c = src[j..].chars().next().expect("in bounds");
+                    if c == '\\' {
+                        blank(&mut out, ' ');
+                        blank(&mut out, ' ');
+                        j += 1 + src[j + 1..].chars().next().map_or(0, char::len_utf8);
+                    } else if c == '\'' {
+                        out.push('\'');
+                        j += 1;
+                        break;
+                    } else {
+                        blank(&mut out, c);
+                        j += c.len_utf8();
+                    }
+                }
+                i = j;
+            } else {
+                out.push('\'');
+                i += 1;
+            }
+        } else {
+            let c = rest.chars().next().expect("in bounds");
+            out.push(c);
+            i += c.len_utf8();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r#"
+// HashMap in a comment
+let x = "HashMap in a string";
+/* block HashMap /* nested HashMap */ still comment */
+let m: HashMap<u32, u32> = HashMap::new();
+"#;
+        let code = strip_comments_and_strings(src);
+        let hits: Vec<usize> = code
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("HashMap"))
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(hits, vec![5], "only the real code line fires:\n{code}");
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_the_lexer() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\nlet t = Instant::now();\n";
+        let code = strip_comments_and_strings(src);
+        assert!(code.contains("Instant::now"));
+        assert!(!code.contains("'x'") || code.contains("''"), "char body blanked");
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = "let s = r#\"thread_rng\"#;\nthread_rng();\n";
+        let code = strip_comments_and_strings(src);
+        let hits = code.lines().filter(|l| l.contains("thread_rng")).count();
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_stripping() {
+        let src = "a\n/* x\ny */\nb\n";
+        let code = strip_comments_and_strings(src);
+        assert_eq!(code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn scan_reports_token_and_line() {
+        let mut findings = Vec::new();
+        scan("f.rs", "ok\nlet t = SystemTime::now();\n", AMBIENT_TOKENS, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+        assert_eq!(findings[0].token, "SystemTime");
+    }
+}

@@ -1,0 +1,62 @@
+//! Workspace automation, invoked as `cargo xtask <command>`.
+//!
+//! * `detlint` — the determinism lint: a dependency-free source scanner
+//!   that forbids non-deterministic constructs in the engine crates
+//!   (hash-order iteration in hot paths, ambient clocks and RNGs,
+//!   unordered parallel reductions). Sites with a justified reason to
+//!   exist are listed in `detlint.allow`; everything else is a hard CI
+//!   failure. Simulation results must be a pure function of the inputs —
+//!   this lint keeps the property enforceable instead of aspirational.
+//! * `verify-grid` — static-verifier smoke: lowers every suite kernel
+//!   for every published machine configuration and requires the program
+//!   verifier to accept all of them.
+
+use std::process::ExitCode;
+
+mod detlint;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("detlint") => {
+            let allow = args.get(1).map_or("detlint.allow", String::as_str);
+            detlint::run(allow)
+        }
+        Some("verify-grid") => verify_grid(),
+        _ => {
+            eprintln!("usage: cargo xtask <detlint [allowlist] | verify-grid>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Lower every suite kernel for every published machine configuration;
+/// the static verifier inside `prepare_kernel` must accept them all.
+fn verify_grid() -> ExitCode {
+    let params = dlp_core::ExperimentParams::default();
+    let kernels = dlp_kernels::suite();
+    let mut verified = 0usize;
+    let mut failures = 0usize;
+    for config in dlp_core::MachineConfig::ALL {
+        for kernel in &kernels {
+            match dlp_core::prepare_kernel(kernel.as_ref(), config.mechanisms(), 64, &params) {
+                Ok(_) => verified += 1,
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("verify-grid: {} on {config}: {e}", kernel.name());
+                }
+            }
+        }
+    }
+    println!(
+        "verify-grid: {verified} lowerings statically verified ({} kernels x {} configs)",
+        kernels.len(),
+        dlp_core::MachineConfig::ALL.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("verify-grid: {failures} lowerings rejected");
+        ExitCode::FAILURE
+    }
+}

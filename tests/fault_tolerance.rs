@@ -90,6 +90,59 @@ fn lowering_failures_report_zero_attempts() {
     assert_eq!(report.extra_attempts, 0);
 }
 
+/// `convert` with its rolled MIMD form replaced by a program whose
+/// `recv` no rank ever answers — statically ill-formed, so the program
+/// verifier must reject it before a single cycle is simulated.
+struct UnbalancedChannels(Box<dyn DlpKernel>);
+
+impl DlpKernel for UnbalancedChannels {
+    fn name(&self) -> &'static str {
+        "unbalanced-channels"
+    }
+    fn description(&self) -> &'static str {
+        "convert with a receive nobody answers"
+    }
+    fn ir(&self) -> dlp_kernel_ir::KernelIr {
+        self.0.ir()
+    }
+    fn mimd_program(
+        &self,
+        _target: dlp_kernels::MimdTarget,
+    ) -> Result<trips_isa::MimdProgram, dlp_common::DlpError> {
+        use trips_isa::{MimdInst, MimdOp, OpRole};
+        let inst = |op| MimdInst { op, rd: 1, ra: 0, rb: 0, imm: 0, role: OpRole::Useful };
+        Ok(trips_isa::MimdProgram::from_insts(vec![inst(MimdOp::Recv), inst(MimdOp::Halt)]))
+    }
+    fn workload(&self, records: usize, seed: u64) -> dlp_kernels::Workload {
+        self.0.workload(records, seed)
+    }
+    fn output_kind(&self) -> dlp_kernels::OutputKind {
+        self.0.output_kind()
+    }
+}
+
+#[test]
+fn verifier_rejections_report_zero_attempts() {
+    // Like lowering failures, verifier rejections happen in phase 1
+    // (planning): deterministic, so the retry policy — which only
+    // re-rolls fault schedules — must never spend attempts on them.
+    let params = ExperimentParams::default();
+    let mut sweep = Sweep::with_threads(2);
+    sweep.set_policy(SweepPolicy::default().with_attempts(3));
+    let id = sweep.add_kernel(Box::new(UnbalancedChannels(kernel("convert"))));
+    sweep.push_config(id, MachineConfig::M, 24, &params);
+    let report = sweep.run();
+    match &report.cells[0].outcome {
+        CellOutcome::Failed { error, kind, attempts, .. } => {
+            assert_eq!(kind, "verify", "taxonomy tag: {error}");
+            assert!(error.contains("V0213"), "rendered error carries the V* code: {error}");
+            assert_eq!(*attempts, 0, "verifier rejections are never retried");
+        }
+        CellOutcome::Ran { .. } => panic!("an unanswered recv cannot pass the verifier"),
+    }
+    assert_eq!(report.extra_attempts, 0);
+}
+
 /// A moderately hostile uniform plan: visible fault activity at smoke
 /// scale, but comfortably inside the retry budget.
 fn hostile() -> FaultPlan {
