@@ -52,6 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 CellOutcome::Failed { error, .. } => {
                     println!("  {:<40} unsupported: {error}", cell.config);
                 }
+                CellOutcome::Skipped { reason, .. } => {
+                    println!("  {:<40} skipped: {reason}", cell.config);
+                }
             }
         }
         rows.sort_by_key(|(_, c)| *c);

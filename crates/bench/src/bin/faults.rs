@@ -18,9 +18,15 @@
 //! * `--threads N` — worker-thread count (statistics are bit-identical
 //!   for any N).
 //! * `--out PATH` — JSON destination (default `BENCH_faults.json`).
+//! * `--dlq PATH` — append retry-exhausted cells to a dead-letter queue
+//!   for later `sweep --replay-dlq PATH` diagnosis.
+
+use std::sync::Arc;
 
 use dlp_common::{FaultPlan, FaultRate};
-use dlp_core::{CellOutcome, ExperimentParams, MachineConfig, Sweep, SweepPolicy};
+use dlp_core::{
+    CellOutcome, DeadLetterQueue, ExperimentParams, MachineConfig, Sweep, SweepPolicy,
+};
 use serde::{Deserialize, Serialize};
 
 /// Uniform per-event fault rates swept, in events per million (the
@@ -90,6 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // two re-salted draws before its failure is accepted. The watchdog
     // keeps a pathological fault storm from stalling the batch.
     sweep.set_policy(SweepPolicy::default().with_attempts(3));
+    let dlq = flag("--dlq").map(|p| Arc::new(DeadLetterQueue::new(p)));
+    if let Some(d) = &dlq {
+        sweep.set_dlq(Arc::clone(d));
+    }
 
     let mut specs = Vec::new();
     for (name, config) in GRID {
@@ -180,11 +190,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     attempts: *attempts,
                 }
             }
+            CellOutcome::Skipped { reason, .. } => {
+                failed += 1;
+                eprintln!("  {kernel} on {config} at {rate}ppm skipped: {reason}");
+                FaultRow {
+                    kernel: (*kernel).to_string(),
+                    config: config.to_string(),
+                    rate_ppm: *rate,
+                    status: "skipped".to_string(),
+                    cycles: None,
+                    overhead: None,
+                    faults_injected: 0,
+                    fault_retries: 0,
+                    fault_stall_ticks: 0,
+                    attempts: 0,
+                }
+            }
         };
         rows.push(row);
     }
 
     println!("fault sweep: {recovered} cells recovered bit-exactly, {failed} degraded cleanly");
+    if let Some(d) = &dlq {
+        if d.appended() > 0 {
+            println!(
+                "  {} unrecoverable cells dead-lettered to {} \
+                 (diagnose with `sweep --replay-dlq`)",
+                d.appended(),
+                d.path().display()
+            );
+        }
+    }
     for row in &rows {
         println!(
             "  {:<10} {:<8} {:>6}ppm  {:<20} injected {:>6}  retries {:>6}  overhead {}",

@@ -33,14 +33,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for case in HOTPATH_CASES {
         let m = measure(case, records, iters);
         println!(
-            "{:>9} {:<9} [{}] {:>10.1} cells/s  {:>12.0} records/s  ({} sim cycles, {} cache hits)",
+            "{:>9} {:<9} [{}] {:>10.1} cells/s  {:>12.0} records/s  ({} sim cycles, {} cache hits, lowering {})",
             m.kernel,
             m.config,
             m.engine,
             m.cells_per_sec,
             m.records_per_sec,
             m.sim_cycles,
-            m.workload_cache_hits
+            m.workload_cache_hits,
+            &m.lowering_fp[..8],
         );
         cases.push(m);
     }

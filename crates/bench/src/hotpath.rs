@@ -71,6 +71,7 @@ pub struct PreparedCase {
     params: ExperimentParams,
     cache: Arc<WorkloadCache>,
     scratch: RunScratch,
+    lowering_fp: String,
 }
 
 /// Lowers `case` for `records` records, with the same derived seed the
@@ -88,11 +89,25 @@ pub fn prepare_case(case: &HotpathCase, records: usize) -> PreparedCase {
         .unwrap_or_else(|| panic!("{} is a suite kernel", case.kernel));
     let base = ExperimentParams::default();
     let params = ExperimentParams { seed: derive_seed(base.seed, case.kernel), ..base };
-    let prepared = prepare_kernel(kernel.as_ref(), case.config.mechanisms(), records, &params)
-        .expect("hot-path case lowers");
+    let mech = case.config.mechanisms();
+    let prepared =
+        prepare_kernel(kernel.as_ref(), mech, records, &params).expect("hot-path case lowers");
+    // The same lowering identity the result store keys on (see
+    // `OPERATIONS.md`): a cross-commit tripwire separating "the numbers
+    // moved because the lowering changed" from a genuine engine
+    // regression.
+    let unroll = if mech.local_pc {
+        0
+    } else {
+        dlp_core::natural_unroll(kernel.as_ref(), mech, &params)
+            .map_or(records, |n| n.min(records))
+    };
+    let lowering_fp =
+        dlp_core::store::lowering_fingerprint(kernel.as_ref(), mech, params.grid, &params.timing, unroll)
+            .hex();
     let cache = Arc::new(WorkloadCache::new());
     let scratch = RunScratch::with_workload_cache(Arc::clone(&cache));
-    PreparedCase { kernel, prepared, records, params, cache, scratch }
+    PreparedCase { kernel, prepared, records, params, cache, scratch, lowering_fp }
 }
 
 impl PreparedCase {
@@ -124,6 +139,13 @@ impl PreparedCase {
     pub fn workload_cache_hits(&self) -> u64 {
         self.cache.hits()
     }
+
+    /// The case's lowering fingerprint (hex) — the same digest the
+    /// result store folds into its keys.
+    #[must_use]
+    pub fn lowering_fp(&self) -> &str {
+        &self.lowering_fp
+    }
 }
 
 /// One row of `BENCH_hotpath.json`.
@@ -153,6 +175,12 @@ pub struct HotpathMeasurement {
     /// to `iters`, since the warm-up generates and every timed run
     /// hits).
     pub workload_cache_hits: u64,
+    /// The case's lowering fingerprint (hex), as the result store would
+    /// key it ([`dlp_core::store::lowering_fingerprint`]). Deterministic;
+    /// when `cells_per_sec` moves between commits, an unchanged
+    /// fingerprint pins the cause to the engines rather than the
+    /// scheduler.
+    pub lowering_fp: String,
 }
 
 /// Prepares `case`, warms it once, then times `iters` runs.
@@ -181,6 +209,7 @@ pub fn measure(case: &HotpathCase, records: usize, iters: usize) -> HotpathMeasu
         cells_per_sec: iters as f64 / wall.max(1e-9),
         records_per_sec: (iters * records) as f64 / wall.max(1e-9),
         workload_cache_hits: prepared.workload_cache_hits(),
+        lowering_fp: prepared.lowering_fp().to_string(),
     }
 }
 
@@ -289,7 +318,8 @@ pub fn measure_queue(live: usize, ops: u64) -> QueueMeasurement {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HotpathReport {
     /// Artifact schema version. 2 added `queue` and the per-case
-    /// `workload_cache_hits` (see `EXPERIMENTS.md`).
+    /// `workload_cache_hits`; 3 added the per-case `lowering_fp`
+    /// (see `EXPERIMENTS.md`).
     pub schema: u32,
     /// Whether the fast (CI smoke) scale was used.
     pub fast: bool,
@@ -300,7 +330,7 @@ pub struct HotpathReport {
 }
 
 /// Current [`HotpathReport::schema`] version.
-pub const HOTPATH_SCHEMA: u32 = 2;
+pub const HOTPATH_SCHEMA: u32 = 3;
 
 #[cfg(test)]
 mod tests {

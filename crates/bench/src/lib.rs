@@ -74,7 +74,9 @@ pub fn run_suite_on(config: MachineConfig, quick: bool) -> Vec<RunOutcome> {
                 stats: *stats,
                 mismatch: *mismatch,
             },
-            dlp_core::CellOutcome::Failed { .. } => unreachable!("ensure_verified passed"),
+            dlp_core::CellOutcome::Failed { .. } | dlp_core::CellOutcome::Skipped { .. } => {
+                unreachable!("ensure_verified passed")
+            }
         })
         .collect()
 }

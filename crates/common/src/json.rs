@@ -16,8 +16,16 @@
 //!   their field names, e.g. a sweep cell's `"outcome"` is either
 //!   `{"stats": ..., "mismatch": ...}` or `{"error": "..."}`.
 //!
-//! Output is compact (no whitespace). There is deliberately no parser:
-//! nothing in the workspace reads JSON back.
+//! Output is compact (no whitespace).
+//!
+//! Since the result store, sweep manifests, and dead-letter queue read
+//! their own artifacts back, the module also carries a small recursive-
+//! descent [`parse`] returning a [`JsonValue`] tree. Numbers keep their
+//! raw text ([`JsonValue::Num`]) so that full-precision `u64` values
+//! (seeds, fingerprints) round-trip exactly — they would be mangled by
+//! an `f64` intermediate. The parser accepts anything [`to_string`]
+//! emits plus standard JSON written by hand (whitespace, all escape
+//! forms including `\uXXXX`).
 
 use serde::ser::{self, Serialize};
 use std::fmt::Write as _;
@@ -331,9 +339,314 @@ impl<'a, 'b> ser::SerializeStructVariant for &'b mut JsonSer<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON document.
+///
+/// Objects preserve insertion order as a `Vec` of pairs (no hashing, so
+/// iteration is deterministic); numbers keep their source text so
+/// integer values round-trip at full 64-bit precision.
+///
+/// # Examples
+///
+/// ```
+/// use dlp_common::json::{parse, JsonValue};
+///
+/// let v = parse(r#"{"cells":2,"seed":18446744073709551615}"#).unwrap();
+/// assert_eq!(v.get("cells").and_then(JsonValue::as_u64), Some(2));
+/// assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(u64::MAX));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw source text (e.g. `"-3.5"`, `"42"`).
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, as ordered `(key, value)` pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object (first match); `None` on other shapes.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when it is a number that parses as one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when it is a number that parses as one.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`, when it is a number that parses as one.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonValue::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (`null` reads as `None`, matching the
+    /// serializer's non-finite-float convention).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Parse a JSON document.
+///
+/// # Errors
+///
+/// [`JsonError`] with a byte offset on malformed input or trailing
+/// garbage — the store layer treats any parse failure as a cache miss.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: &str) -> JsonError {
+        JsonError(format!("{what} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.lit("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by our
+                            // serializer; map them to the replacement
+                            // character rather than failing the parse.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" || text.parse::<f64>().is_err() {
+            return Err(self.err("invalid number"));
+        }
+        Ok(JsonValue::Num(text.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::to_string;
+    use super::{parse, to_string, JsonValue};
     use serde::Serialize;
     use std::collections::BTreeMap;
 
@@ -376,5 +689,69 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert(2u32, "two");
         assert_eq!(to_string(&m), r#"{"2":"two"}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        #[derive(Serialize)]
+        struct S {
+            a: u64,
+            b: f64,
+            c: Option<String>,
+            d: Vec<bool>,
+        }
+        let json = to_string(&S {
+            a: u64::MAX,
+            b: -2.5,
+            c: Some("quote\" slash\\ newline\n".into()),
+            d: vec![true, false],
+        });
+        let v = parse(&json).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("b").and_then(JsonValue::as_f64), Some(-2.5));
+        assert_eq!(
+            v.get("c").and_then(JsonValue::as_str),
+            Some("quote\" slash\\ newline\n")
+        );
+        assert_eq!(
+            v.get("d").and_then(JsonValue::as_array).map(<[JsonValue]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn parse_handles_whitespace_nesting_and_escapes() {
+        let v = parse(
+            " { \"outer\" : [ 1 , { \"k\" : null } , \"\\u0041\\t\" ] , \"neg\" : -17 } ",
+        )
+        .unwrap();
+        let arr = v.get("outer").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert!(arr[1].get("k").unwrap().is_null());
+        assert_eq!(arr[2].as_str(), Some("A\t"));
+        assert_eq!(v.get("neg").and_then(JsonValue::as_i64), Some(-17));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01a", "\"unterminated",
+            "{\"a\":1} trailing", "nul", "-", "\"bad \\x escape\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn parse_preserves_object_order_and_duplicate_lookup_takes_first() {
+        let v = parse(r#"{"z":1,"a":2,"z":3}"#).unwrap();
+        match &v {
+            JsonValue::Obj(pairs) => {
+                let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["z", "a", "z"]);
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(v.get("z").and_then(JsonValue::as_u64), Some(1));
     }
 }

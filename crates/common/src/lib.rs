@@ -50,7 +50,7 @@ pub mod vcode;
 pub use error::DlpError;
 pub use fault::{FatalFault, FaultInjector, FaultPlan, FaultRate, FaultSite, FaultStats};
 pub use geom::{Coord, GridShape};
-pub use params::{MemParams, NetParams, OpClassLatency, TimingParams};
+pub use params::{CoreParams, FetchParams, MemParams, NetParams, OpClassLatency, TimingParams};
 pub use rng::SplitMix64;
 pub use stats::{harmonic_mean, OpsPerCycle, SimStats};
 pub use value::Value;

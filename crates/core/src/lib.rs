@@ -23,6 +23,11 @@
 //!   configuration grid run by work-stealing workers with schedule
 //!   caching and deterministic seeding, emitting the [`sweep::SweepReport`]
 //!   artifact every figure/table binary aggregates from.
+//! * [`store`] — the persistence layer that turns the sweep into a
+//!   service: a content-addressed result store (warm re-runs execute
+//!   nothing), sweep checkpoint/resume manifests, and a dead-letter
+//!   queue of replayable failed cells. See `OPERATIONS.md` for the
+//!   operator guide.
 //!
 //! # Quick start
 //!
@@ -56,6 +61,7 @@ mod flexible;
 mod recommend;
 mod runner;
 pub mod specialized;
+pub mod store;
 pub mod sweep;
 
 pub use config::MachineConfig;
@@ -65,6 +71,9 @@ pub use recommend::{recommend, Recommendation};
 pub use runner::{
     default_records, natural_unroll, prepare_kernel, run_kernel, run_kernel_mech, run_prepared,
     run_prepared_in, ExperimentParams, PreparedProgram, RunOutcome, RunScratch, WorkloadCache,
+};
+pub use store::{
+    DeadLetterQueue, Digest, DlqRecord, ManifestWriter, ResultStore, StoreKey, SweepManifest,
 };
 pub use sweep::{
     default_worker_count, CellOutcome, CellSpec, Sweep, SweepCell, SweepPolicy, SweepReport,

@@ -1,0 +1,1320 @@
+//! The content-addressed result store, sweep checkpoint manifests, and
+//! the dead-letter queue — the persistence layer that turns the sweep
+//! engine into a service.
+//!
+//! Three durable artifacts live here, all built on `dlp_common::json`
+//! (emit *and* parse — nothing else in the workspace reads JSON back):
+//!
+//! * **[`ResultStore`]** — an on-disk cache of cell outcomes keyed by a
+//!   128-bit content digest over *every input that can change the
+//!   result*: kernel, configuration, record count, derived workload
+//!   seed, fault plan, watchdog, retry budget, and the **lowering
+//!   fingerprint** (see [`lowering_fingerprint`]). A warm store makes a
+//!   repeat sweep O(lookup): the engine executes only cells whose
+//!   inputs changed, and the report is bit-identical to a cold run
+//!   (enforced by the `store_sweep` tier-1 test and the CI store-smoke
+//!   job). Corrupt, truncated, or version-mismatched entries are
+//!   treated as misses, never errors.
+//! * **[`SweepManifest`]** — an append-only JSONL checkpoint of one
+//!   sweep run. The engine writes one line per completed cell, so a
+//!   killed process loses only its in-flight cells;
+//!   `sweep --resume <manifest>` re-runs the grid executing only the
+//!   missing ones.
+//! * **The dead-letter queue** ([`DlqRecord`]) — cells that exhausted
+//!   their [`crate::SweepPolicy`] retries with a *non-cacheable* failure
+//!   (watchdog, unrecoverable fault, internal error) are appended as
+//!   fully self-describing records: kernel, mechanism set, grid, timing,
+//!   fault plan, seed. `sweep --replay-dlq` reconstructs and re-runs
+//!   them with `faults`-style diagnosis.
+//!
+//! # What is cacheable
+//!
+//! Only outcomes that are pure functions of the key may enter the
+//! store: completed runs ([`crate::CellOutcome::Ran`], including
+//! mismatches — wrong answers are deterministic too) and *deterministic
+//! rejections* (verifier, capacity, unsupported-feature, malformed-
+//! program, invalid-config failures). Watchdog trips, fault-budget
+//! exhaustion, internal panics, and soft-timeout failures are **not**
+//! cached — they are exactly the outcomes an operator retries, so they
+//! go to the dead-letter queue instead. [`cacheable`] is the single
+//! arbiter.
+//!
+//! # Key schema and invalidation
+//!
+//! The entry digest folds in [`STORE_VERSION`]; the lowering
+//! fingerprint folds in [`LOWERING_SCHEMA`] plus the serialized kernel
+//! IR and (for MIMD) the assembled program, so editing a kernel or
+//! bumping the schema constant invalidates exactly the affected
+//! entries. See `OPERATIONS.md` for the operator-facing invalidation
+//! rules and runbooks.
+
+use std::io::{self, BufRead as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use dlp_common::json::{self, JsonValue};
+use dlp_common::{
+    CoreParams, DlpError, FaultPlan, FaultRate, FetchParams, GridShape, MemParams, NetParams,
+    OpClassLatency, SimStats, Tick, TimingParams,
+};
+use dlp_kernels::{DlpKernel, MimdTarget};
+use serde::{Deserialize, Serialize};
+use trips_sim::MechanismSet;
+
+use crate::sweep::CellOutcome;
+use crate::ExperimentParams;
+
+/// On-disk entry format version. Bump when the entry layout, the key
+/// schema, or the meaning of any digested field changes; every older
+/// entry then reads as a miss and is recomputed.
+pub const STORE_VERSION: u32 = 1;
+
+/// Lowering-fingerprint schema version. Bump when the scheduler's
+/// *semantics* change (placement, routing, unroll policy) in a way the
+/// fingerprint's inputs cannot see — the fingerprint hashes the
+/// scheduler's inputs (kernel IR, mechanisms, grid, timing, effective
+/// unroll), not the placement output, so a pure scheduler-code change
+/// needs this manual bump to invalidate warm stores.
+pub const LOWERING_SCHEMA: u32 = 1;
+
+/// Manifest line-format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Dead-letter record format version.
+pub const DLQ_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Digests
+// ---------------------------------------------------------------------------
+
+/// A 128-bit content digest: two independent 64-bit FNV-1a streams over
+/// the same bytes (distinct offset bases), rendered as 32 hex digits.
+///
+/// Not cryptographic — collision resistance here guards against
+/// *accidental* key collisions across a few thousand sweep cells, where
+/// 128 well-mixed bits are ample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub u64, pub u64);
+
+impl Digest {
+    /// The 32-hex-digit rendering used in file names and JSON.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+
+    /// Parse the [`Digest::hex`] rendering.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Digest(hi, lo))
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.hex())
+    }
+}
+
+/// Incremental FNV-1a/128 hasher (two independent 64-bit lanes).
+#[derive(Clone, Copy)]
+pub struct Hasher {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    /// A fresh hasher (standard FNV offset basis on lane A, a distinct
+    /// fixed basis on lane B).
+    #[must_use]
+    pub fn new() -> Self {
+        Hasher { a: 0xcbf2_9ce4_8422_2325, b: 0x6c62_272e_07bb_0142 }
+    }
+
+    /// Fold bytes into both lanes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte ^ 0x5a)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a labeled field: `label`, `=`, the value, then a `;`
+    /// terminator, so adjacent fields can never alias.
+    pub fn field(&mut self, label: &str, value: &str) {
+        self.update(label.as_bytes());
+        self.update(b"=");
+        self.update(value.as_bytes());
+        self.update(b";");
+    }
+
+    /// Finish, producing the digest.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        Digest(self.a, self.b)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints and keys
+// ---------------------------------------------------------------------------
+
+/// Content fingerprint of one *lowering*: everything the scheduler
+/// reads to produce a [`crate::PreparedProgram`], plus
+/// [`LOWERING_SCHEMA`].
+///
+/// Inputs digested: the kernel's serialized IR (so editing a kernel
+/// invalidates its entries), the mechanism set, grid, timing model, the
+/// *effective* unroll (`natural_unroll(..).min(records)`, which is the
+/// unroll the scheduler actually picks — two record counts mapping to
+/// the same effective unroll share a fingerprint exactly as they share
+/// a plan), and for MIMD configurations the assembled per-node program
+/// (MIMD lowering bypasses the IR). A failed MIMD assembly digests the
+/// error text instead — still deterministic, and such cells fail at
+/// prepare time anyway.
+#[must_use]
+pub fn lowering_fingerprint(
+    kernel: &dyn DlpKernel,
+    mech: MechanismSet,
+    grid: GridShape,
+    timing: &TimingParams,
+    effective_unroll: usize,
+) -> Digest {
+    let mut h = Hasher::new();
+    h.field("lowering_schema", &LOWERING_SCHEMA.to_string());
+    h.field("kernel", kernel.name());
+    h.field("mech", &json::to_string(&mech));
+    h.field("grid", &json::to_string(&grid));
+    h.field("timing", &json::to_string(timing));
+    h.field("unroll", &effective_unroll.to_string());
+    if mech.local_pc {
+        let prog = kernel.mimd_program(MimdTarget { tables_in_l0: mech.l0_data_store });
+        match prog {
+            Ok(p) => h.field("mimd", &json::to_string(&p)),
+            Err(e) => h.field("mimd_err", &e.to_string()),
+        }
+        h.field("mimd_table", &json::to_string(&kernel.mimd_table_image()));
+    } else {
+        h.field("ir", &json::to_string(&kernel.ir()));
+    }
+    h.digest()
+}
+
+/// The content address of one sweep cell: the human-readable key fields
+/// plus the combined [`StoreKey::digest`] the store files under.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreKey {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configuration display name (audit only — the mechanism set is
+    /// already inside [`StoreKey::lowering`]).
+    pub config: String,
+    /// Records processed.
+    pub records: usize,
+    /// The *derived* workload seed (see [`crate::sweep::derive_seed`]).
+    pub seed: u64,
+    /// The lowering fingerprint.
+    pub lowering: Digest,
+    /// The combined content address (what the entry is filed under).
+    pub digest: Digest,
+}
+
+impl StoreKey {
+    /// Build a key. Besides the named fields, the digest folds in the
+    /// fault plan, watchdog override, the policy's retry budget (a cell
+    /// that may retry with re-salted faults is a different computation
+    /// than a single-attempt one), and [`STORE_VERSION`].
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // a key *is* its inputs; a builder would obscure them
+    pub fn new(
+        kernel: &str,
+        config: &str,
+        records: usize,
+        seed: u64,
+        fault: &FaultPlan,
+        watchdog: Option<Tick>,
+        max_attempts: u32,
+        lowering: Digest,
+    ) -> StoreKey {
+        let mut h = Hasher::new();
+        h.field("store_version", &STORE_VERSION.to_string());
+        h.field("kernel", kernel);
+        h.field("config", config);
+        h.field("records", &records.to_string());
+        h.field("seed", &seed.to_string());
+        h.field("fault", &json::to_string(fault));
+        h.field("watchdog", &watchdog.map_or_else(|| "none".to_string(), |t| t.to_string()));
+        h.field("max_attempts", &max_attempts.to_string());
+        h.field("lowering", &lowering.hex());
+        StoreKey {
+            kernel: kernel.to_string(),
+            config: config.to_string(),
+            records,
+            seed,
+            lowering,
+            digest: h.digest(),
+        }
+    }
+}
+
+/// Whether an outcome is a pure function of its [`StoreKey`] and may
+/// enter the result store. See the module docs for the taxonomy split;
+/// the complement of this predicate is exactly the dead-letter set
+/// (plus breaker skips, which never ran at all).
+#[must_use]
+pub fn cacheable(outcome: &CellOutcome) -> bool {
+    match outcome {
+        CellOutcome::Ran { .. } => true,
+        CellOutcome::Failed { kind, timed_out, .. } => {
+            !timed_out
+                && matches!(
+                    kind.as_str(),
+                    "verify"
+                        | "capacity-exceeded"
+                        | "unsupported"
+                        | "malformed-program"
+                        | "invalid-config"
+                )
+        }
+        CellOutcome::Skipped { .. } => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outcome encode/decode
+// ---------------------------------------------------------------------------
+
+/// Decode a [`CellOutcome`] from its `dlp_common::json` rendering
+/// (struct variants emit bare field objects, so the shape is
+/// distinguished by field presence: `stats` → ran, `error` → failed,
+/// `reason` → skipped).
+#[must_use]
+pub fn outcome_from_json(v: &JsonValue) -> Option<CellOutcome> {
+    if let Some(stats) = v.get("stats") {
+        let mismatch = match v.get("mismatch")? {
+            JsonValue::Null => None,
+            m => Some(m.as_usize()?),
+        };
+        return Some(CellOutcome::Ran { stats: stats_from_json(stats)?, mismatch });
+    }
+    if v.get("error").is_some() {
+        return Some(CellOutcome::Failed {
+            error: v.get("error")?.as_str()?.to_string(),
+            kind: v.get("kind")?.as_str()?.to_string(),
+            attempts: u32::try_from(v.get("attempts")?.as_u64()?).ok()?,
+            timed_out: v.get("timed_out")?.as_bool()?,
+        });
+    }
+    if v.get("reason").is_some() {
+        return Some(CellOutcome::Skipped {
+            reason: v.get("reason")?.as_str()?.to_string(),
+            failures: u32::try_from(v.get("failures")?.as_u64()?).ok()?,
+        });
+    }
+    None
+}
+
+/// Strict field-by-field [`SimStats`] decoder: every counter must be
+/// present (an entry written before a counter existed reads as corrupt,
+/// i.e. a miss — recomputing beats resurrecting a half-zeroed record).
+fn stats_from_json(v: &JsonValue) -> Option<SimStats> {
+    let f = |k: &str| v.get(k).and_then(JsonValue::as_u64);
+    Some(SimStats {
+        ticks: f("ticks")?,
+        useful_ops: f("useful_ops")?,
+        overhead_ops: f("overhead_ops")?,
+        loads: f("loads")?,
+        stores: f("stores")?,
+        lmw_words: f("lmw_words")?,
+        l1_accesses: f("l1_accesses")?,
+        l1_misses: f("l1_misses")?,
+        smc_accesses: f("smc_accesses")?,
+        l0_accesses: f("l0_accesses")?,
+        reg_reads: f("reg_reads")?,
+        reg_writes: f("reg_writes")?,
+        net_msgs: f("net_msgs")?,
+        net_hops: f("net_hops")?,
+        blocks_fetched: f("blocks_fetched")?,
+        revitalizations: f("revitalizations")?,
+        iterations: f("iterations")?,
+        mimd_fetches: f("mimd_fetches")?,
+        mem_stall_node_cycles: f("mem_stall_node_cycles")?,
+        faults_injected: f("faults_injected")?,
+        fault_retries: f("fault_retries")?,
+        fault_stall_ticks: f("fault_stall_ticks")?,
+    })
+}
+
+fn mech_from_json(v: &JsonValue) -> Option<MechanismSet> {
+    let b = |k: &str| v.get(k).and_then(JsonValue::as_bool);
+    Some(MechanismSet {
+        smc: b("smc")?,
+        inst_revitalization: b("inst_revitalization")?,
+        operand_revitalization: b("operand_revitalization")?,
+        l0_data_store: b("l0_data_store")?,
+        local_pc: b("local_pc")?,
+    })
+}
+
+fn grid_from_json(v: &JsonValue) -> Option<GridShape> {
+    let rows = u8::try_from(v.get("rows")?.as_u64()?).ok()?;
+    let cols = u8::try_from(v.get("cols")?.as_u64()?).ok()?;
+    if rows == 0 || cols == 0 {
+        return None;
+    }
+    Some(GridShape::new(rows, cols))
+}
+
+fn timing_from_json(v: &JsonValue) -> Option<TimingParams> {
+    let ops = v.get("ops")?;
+    let o = |k: &str| ops.get(k).and_then(JsonValue::as_u64);
+    let mem = v.get("mem")?;
+    let m = |k: &str| mem.get(k).and_then(JsonValue::as_u64);
+    let mu = |k: &str| mem.get(k).and_then(JsonValue::as_usize);
+    let m32 = |k: &str| mem.get(k).and_then(JsonValue::as_u64).and_then(|x| u32::try_from(x).ok());
+    let net = v.get("net")?;
+    let fetch = v.get("fetch")?;
+    let fe32 =
+        |k: &str| fetch.get(k).and_then(JsonValue::as_u64).and_then(|x| u32::try_from(x).ok());
+    let core = v.get("core")?;
+    let cu = |k: &str| core.get(k).and_then(JsonValue::as_usize);
+    let c32 = |k: &str| core.get(k).and_then(JsonValue::as_u64).and_then(|x| u32::try_from(x).ok());
+    Some(TimingParams {
+        ops: OpClassLatency {
+            int_alu: o("int_alu")?,
+            int_mul: o("int_mul")?,
+            int_div: o("int_div")?,
+            fp_add: o("fp_add")?,
+            fp_mul: o("fp_mul")?,
+            fp_div: o("fp_div")?,
+            fp_sqrt: o("fp_sqrt")?,
+            mov: o("mov")?,
+        },
+        mem: MemParams {
+            l0_latency: m("l0_latency")?,
+            l0_data_bytes: mu("l0_data_bytes")?,
+            l1_hit_latency: m("l1_hit_latency")?,
+            l1_miss_penalty: m("l1_miss_penalty")?,
+            l1_bytes: mu("l1_bytes")?,
+            l1_line_bytes: mu("l1_line_bytes")?,
+            l1_accesses_per_cycle: m32("l1_accesses_per_cycle")?,
+            smc_latency: m("smc_latency")?,
+            smc_bank_bytes: mu("smc_bank_bytes")?,
+            smc_channel_words_per_cycle: m32("smc_channel_words_per_cycle")?,
+            lmw_max_words: m32("lmw_max_words")?,
+            store_buffer_entries: mu("store_buffer_entries")?,
+            store_drains_per_cycle: m32("store_drains_per_cycle")?,
+            dram_latency: m("dram_latency")?,
+        },
+        net: NetParams {
+            hop_ticks: net.get("hop_ticks")?.as_u64()?,
+            link_msgs_per_tick: u32::try_from(net.get("link_msgs_per_tick")?.as_u64()?).ok()?,
+        },
+        fetch: FetchParams {
+            insts_per_cycle: fe32("insts_per_cycle")?,
+            map_overhead: fetch.get("map_overhead")?.as_u64()?,
+            revitalize_delay: fetch.get("revitalize_delay")?.as_u64()?,
+            baseline_frames: fe32("baseline_frames")?,
+        },
+        core: CoreParams {
+            rs_slots_per_node: cu("rs_slots_per_node")?,
+            baseline_slots_per_node: cu("baseline_slots_per_node")?,
+            reg_banks: c32("reg_banks")?,
+            reg_reads_per_bank_per_cycle: c32("reg_reads_per_bank_per_cycle")?,
+            l0_inst_capacity: cu("l0_inst_capacity")?,
+            mimd_regs: cu("mimd_regs")?,
+        },
+    })
+}
+
+fn fault_from_json(v: &JsonValue) -> Option<FaultPlan> {
+    let rate = |k: &str| {
+        v.get(k).and_then(JsonValue::as_u64).and_then(|x| u32::try_from(x).ok()).map(FaultRate)
+    };
+    let t = |k: &str| v.get(k).and_then(JsonValue::as_u64);
+    Some(FaultPlan {
+        noc_drop: rate("noc_drop")?,
+        noc_corrupt: rate("noc_corrupt")?,
+        dma_stall: rate("dma_stall")?,
+        smc_stall: rate("smc_stall")?,
+        l1_fill_delay: rate("l1_fill_delay")?,
+        operand_flip: rate("operand_flip")?,
+        max_retries: u32::try_from(t("max_retries")?).ok()?,
+        backoff_ticks: t("backoff_ticks")?,
+        backoff_cap: t("backoff_cap")?,
+        stall_ticks: t("stall_ticks")?,
+        fill_delay_ticks: t("fill_delay_ticks")?,
+        salt: t("salt")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The result store
+// ---------------------------------------------------------------------------
+
+/// One store entry as written to disk (the `key` block is for audit —
+/// lookups trust only the digest, and a digest/filename disagreement
+/// reads as corrupt).
+#[derive(Serialize, Deserialize)]
+struct StoredEntry {
+    store_version: u32,
+    kernel: String,
+    config: String,
+    records: usize,
+    seed: u64,
+    lowering: String,
+    digest: String,
+    outcome: CellOutcome,
+}
+
+/// A content-addressed on-disk cache of sweep-cell outcomes.
+///
+/// Layout under the root: `entries/<first 2 hex>/<32 hex>.json`, one
+/// file per key (the two-digit shard keeps directories small at
+/// millions of entries), plus a `STORE_INFO.json` stamp. Writes are
+/// atomic (temp file + rename), so a killed process never leaves a
+/// half-written entry a later run could read. All read failures — I/O,
+/// parse, version or digest mismatch, missing counters — degrade to a
+/// miss; the store can always be deleted wholesale with no correctness
+/// impact (see `OPERATIONS.md`).
+///
+/// # Examples
+///
+/// ```no_run
+/// use dlp_core::store::{lowering_fingerprint, ResultStore, StoreKey};
+/// # fn main() -> std::io::Result<()> {
+/// let store = ResultStore::open("dlp-store")?;
+/// # let key: StoreKey = unimplemented!();
+/// if let Some(outcome) = store.get(&key) {
+///     println!("cache hit: {:?}", outcome.stats());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct ResultStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    ///
+    /// A `STORE_INFO.json` stamp records the [`STORE_VERSION`]; a stamp
+    /// from a different version is rewritten (old entries simply stop
+    /// matching — their digests embed the old version).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory tree or writing the stamp.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("entries"))?;
+        let info = root.join("STORE_INFO.json");
+        let stamp = format!(
+            "{{\"store_version\":{STORE_VERSION},\"lowering_schema\":{LOWERING_SCHEMA}}}"
+        );
+        let current = std::fs::read_to_string(&info).ok();
+        if current.as_deref() != Some(stamp.as_str()) {
+            std::fs::write(&info, stamp)?;
+        }
+        Ok(ResultStore { root, hits: AtomicU64::new(0), misses: AtomicU64::new(0) })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The entry file a key is stored under.
+    #[must_use]
+    pub fn path_of(&self, key: &StoreKey) -> PathBuf {
+        let hex = key.digest.hex();
+        self.root.join("entries").join(&hex[..2]).join(format!("{hex}.json"))
+    }
+
+    /// Lookups served from the store so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found no (valid) entry.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Look up a key. Every failure mode — absent file, I/O error,
+    /// parse error, version skew, digest mismatch — is a miss.
+    #[must_use]
+    pub fn get(&self, key: &StoreKey) -> Option<CellOutcome> {
+        let outcome = self.read_entry(key);
+        match outcome {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        outcome
+    }
+
+    fn read_entry(&self, key: &StoreKey) -> Option<CellOutcome> {
+        let text = std::fs::read_to_string(self.path_of(key)).ok()?;
+        let v = json::parse(&text).ok()?;
+        if v.get("store_version")?.as_u64()? != u64::from(STORE_VERSION) {
+            return None;
+        }
+        if v.get("digest")?.as_str()? != key.digest.hex() {
+            return None;
+        }
+        outcome_from_json(v.get("outcome")?)
+    }
+
+    /// Insert an outcome, if [`cacheable`]. Returns whether an entry
+    /// was written. The write is atomic: a temp file in the entry's
+    /// shard directory is renamed into place, so concurrent writers of
+    /// the same key race benignly (identical content) and readers never
+    /// observe a partial entry.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the shard directory or writing the entry.
+    pub fn put(&self, key: &StoreKey, outcome: &CellOutcome) -> io::Result<bool> {
+        if !cacheable(outcome) {
+            return Ok(false);
+        }
+        let path = self.path_of(key);
+        let shard = path.parent().unwrap_or(&self.root).to_path_buf();
+        std::fs::create_dir_all(&shard)?;
+        let entry = StoredEntry {
+            store_version: STORE_VERSION,
+            kernel: key.kernel.clone(),
+            config: key.config.clone(),
+            records: key.records,
+            seed: key.seed,
+            lowering: key.lowering.hex(),
+            digest: key.digest.hex(),
+            outcome: outcome.clone(),
+        };
+        let tmp = shard.join(format!(".tmp-{}-{}", std::process::id(), key.digest.hex()));
+        std::fs::write(&tmp, json::to_string(&entry))?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep manifests (checkpoint / resume)
+// ---------------------------------------------------------------------------
+
+/// One completed cell recorded in a manifest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ManifestEntry {
+    /// What happened.
+    pub outcome: CellOutcome,
+    /// Host wall-clock the cell took when first executed, ms.
+    pub wall_ms: f64,
+    /// Attempts spent.
+    pub attempts: u32,
+}
+
+/// A parsed sweep checkpoint: the grid identity plus every cell
+/// recorded so far, indexed by push position.
+#[derive(Clone, Debug)]
+pub struct SweepManifest {
+    /// Digest over the per-cell store digests in push order — a resumed
+    /// sweep must present the identical grid.
+    pub grid_digest: Digest,
+    /// Total cells in the grid.
+    pub cells: usize,
+    /// Recorded outcomes (`None` where the cell had not completed).
+    pub entries: Vec<Option<ManifestEntry>>,
+}
+
+impl SweepManifest {
+    /// Number of cells with a recorded outcome.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Load a manifest written by [`ManifestWriter`].
+    ///
+    /// The final line of a killed run may be torn; a parse failure on
+    /// the *last* line is tolerated (that cell reads as missing), while
+    /// malformed interior lines fail the load — they indicate real
+    /// corruption, not an interrupted write.
+    ///
+    /// # Errors
+    ///
+    /// [`DlpError::InvalidConfig`] on I/O failure, a bad header, or
+    /// interior corruption.
+    pub fn load(path: &Path) -> Result<SweepManifest, DlpError> {
+        let bad = |detail: String| DlpError::InvalidConfig { detail };
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| bad(format!("manifest {}: {e}", path.display())))?;
+        let mut lines = text.lines().enumerate().peekable();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| bad(format!("manifest {}: empty file", path.display())))?;
+        let h = json::parse(header)
+            .map_err(|e| bad(format!("manifest header: {e}")))?;
+        let version = h.get("manifest_version").and_then(JsonValue::as_u64);
+        if version != Some(u64::from(MANIFEST_VERSION)) {
+            return Err(bad(format!(
+                "manifest version {version:?} (this build reads {MANIFEST_VERSION})"
+            )));
+        }
+        let grid_digest = h
+            .get("grid_digest")
+            .and_then(JsonValue::as_str)
+            .and_then(Digest::from_hex)
+            .ok_or_else(|| bad("manifest header: bad grid_digest".into()))?;
+        let cells = h
+            .get("cells")
+            .and_then(JsonValue::as_usize)
+            .ok_or_else(|| bad("manifest header: bad cell count".into()))?;
+        let mut entries: Vec<Option<ManifestEntry>> = vec![None; cells];
+        while let Some((lineno, line)) = lines.next() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = json::parse(line).ok().and_then(|v| {
+                let cell = v.get("cell")?.as_usize()?;
+                let outcome = outcome_from_json(v.get("outcome")?)?;
+                let wall_ms = match v.get("wall_ms")? {
+                    JsonValue::Null => 0.0,
+                    n => n.as_f64()?,
+                };
+                let attempts = u32::try_from(v.get("attempts")?.as_u64()?).ok()?;
+                Some((cell, ManifestEntry { outcome, wall_ms, attempts }))
+            });
+            match parsed {
+                Some((cell, entry)) if cell < cells => entries[cell] = Some(entry),
+                Some((cell, _)) => {
+                    return Err(bad(format!(
+                        "manifest line {}: cell {cell} out of range (grid has {cells})",
+                        lineno + 1
+                    )))
+                }
+                // A torn final line is the normal kill signature.
+                None if lines.peek().is_none() => break,
+                None => {
+                    return Err(bad(format!("manifest line {}: unparsable entry", lineno + 1)))
+                }
+            }
+        }
+        Ok(SweepManifest { grid_digest, cells, entries })
+    }
+}
+
+/// Incremental manifest writer: a header line at creation, then one
+/// line per completed cell, each flushed immediately so a kill loses at
+/// most the in-flight cells.
+pub struct ManifestWriter {
+    file: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl ManifestWriter {
+    /// Create (truncating) a manifest for a grid whose per-cell digests
+    /// are `cell_digests`, in push order.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the file.
+    pub fn create(path: &Path, cell_digests: &[Digest]) -> io::Result<ManifestWriter> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            file,
+            "{{\"manifest_version\":{MANIFEST_VERSION},\"grid_digest\":\"{}\",\"cells\":{}}}",
+            grid_digest(cell_digests).hex(),
+            cell_digests.len(),
+        )?;
+        file.flush()?;
+        Ok(ManifestWriter { file: Mutex::new(file) })
+    }
+
+    /// Reopen an existing manifest for appending — the resume path
+    /// (the header is already on disk). A torn final line from the
+    /// interrupted run is truncated away first, so it can't glue onto
+    /// the next append and corrupt an interior line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or repairing the file.
+    pub fn append_to(path: &Path) -> io::Result<ManifestWriter> {
+        let bytes = std::fs::read(path)?;
+        if bytes.last().is_some_and(|&b| b != b'\n') {
+            let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+            let file = std::fs::OpenOptions::new().write(true).open(path)?;
+            file.set_len(keep as u64)?;
+        }
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(ManifestWriter { file: Mutex::new(std::io::BufWriter::new(file)) })
+    }
+
+    /// Append a completed cell (thread-safe; flushed before returning).
+    pub fn append(&self, cell: usize, entry: &ManifestEntry) {
+        #[derive(Serialize)]
+        struct Line {
+            cell: usize,
+            attempts: u32,
+            wall_ms: f64,
+            outcome: CellOutcome,
+        }
+        let line = json::to_string(&Line {
+            cell,
+            attempts: entry.attempts,
+            wall_ms: entry.wall_ms,
+            outcome: entry.outcome.clone(),
+        });
+        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Checkpointing is best-effort by design: an unwritable
+        // manifest must not fail the sweep it is backing up.
+        let _ = writeln!(file, "{line}");
+        let _ = file.flush();
+    }
+}
+
+/// The grid-identity digest a manifest pins: the per-cell store digests
+/// in push order.
+#[must_use]
+pub fn grid_digest(cell_digests: &[Digest]) -> Digest {
+    let mut h = Hasher::new();
+    h.field("manifest_version", &MANIFEST_VERSION.to_string());
+    for d in cell_digests {
+        h.field("cell", &d.hex());
+    }
+    h.digest()
+}
+
+// ---------------------------------------------------------------------------
+// Dead-letter queue
+// ---------------------------------------------------------------------------
+
+/// A dead-lettered cell: a self-describing, replayable record of a
+/// sweep cell that exhausted its retries with a non-[`cacheable`]
+/// failure. Everything needed to reconstruct the cell is inline —
+/// mechanism set, grid, timing, fault plan, base seed — so a later
+/// `sweep --replay-dlq` needs only the suite kernel by name.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DlqRecord {
+    /// Record format version.
+    pub dlq_version: u32,
+    /// Kernel name (must be a suite kernel to replay).
+    pub kernel: String,
+    /// Configuration display name (audit; the mechanism set governs).
+    pub config: String,
+    /// The cell's experiment tag.
+    pub label: String,
+    /// The mechanism set the cell ran on.
+    pub mech: MechanismSet,
+    /// Grid shape.
+    pub grid: GridShape,
+    /// Timing model.
+    pub timing: TimingParams,
+    /// Fault plan (with the cell's own base salt — replay re-salts per
+    /// attempt exactly as the original sweep did).
+    pub fault: FaultPlan,
+    /// The *base* experiment seed (pre-derivation).
+    pub base_seed: u64,
+    /// Watchdog override, if any.
+    pub watchdog: Option<Tick>,
+    /// Records processed.
+    pub records: usize,
+    /// The rendered error that dead-lettered the cell.
+    pub error: String,
+    /// Its [`DlpError::kind`] tag.
+    pub kind: String,
+    /// Attempts spent before dead-lettering.
+    pub attempts: u32,
+    /// Whether the policy's soft timeout stopped further retries.
+    pub timed_out: bool,
+}
+
+impl DlqRecord {
+    /// Decode one JSONL line.
+    #[must_use]
+    pub fn from_json(v: &JsonValue) -> Option<DlqRecord> {
+        if v.get("dlq_version")?.as_u64()? != u64::from(DLQ_VERSION) {
+            return None;
+        }
+        Some(DlqRecord {
+            dlq_version: DLQ_VERSION,
+            kernel: v.get("kernel")?.as_str()?.to_string(),
+            config: v.get("config")?.as_str()?.to_string(),
+            label: v.get("label")?.as_str()?.to_string(),
+            mech: mech_from_json(v.get("mech")?)?,
+            grid: grid_from_json(v.get("grid")?)?,
+            timing: timing_from_json(v.get("timing")?)?,
+            fault: fault_from_json(v.get("fault")?)?,
+            base_seed: v.get("base_seed")?.as_u64()?,
+            watchdog: match v.get("watchdog")? {
+                JsonValue::Null => None,
+                t => Some(t.as_u64()?),
+            },
+            records: v.get("records")?.as_usize()?,
+            error: v.get("error")?.as_str()?.to_string(),
+            kind: v.get("kind")?.as_str()?.to_string(),
+            attempts: u32::try_from(v.get("attempts")?.as_u64()?).ok()?,
+            timed_out: v.get("timed_out")?.as_bool()?,
+        })
+    }
+
+    /// The [`ExperimentParams`] to replay this record under.
+    #[must_use]
+    pub fn params(&self) -> ExperimentParams {
+        ExperimentParams {
+            grid: self.grid,
+            timing: self.timing,
+            seed: self.base_seed,
+            fault: self.fault,
+            watchdog: self.watchdog,
+        }
+    }
+}
+
+/// Append-only dead-letter queue writer (JSONL; one flushed line per
+/// record, so records survive a kill).
+pub struct DeadLetterQueue {
+    path: PathBuf,
+    file: Mutex<Option<std::io::BufWriter<std::fs::File>>>,
+    appended: AtomicU64,
+}
+
+impl DeadLetterQueue {
+    /// A queue that will append to `path` (the file is created lazily
+    /// on the first record, so a clean sweep leaves no empty file).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> DeadLetterQueue {
+        DeadLetterQueue { path: path.into(), file: Mutex::new(None), appended: AtomicU64::new(0) }
+    }
+
+    /// The queue's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended by this writer so far.
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Append one record (thread-safe, flushed; best-effort like the
+    /// manifest — an unwritable queue must not fail the sweep).
+    pub fn append(&self, record: &DlqRecord) {
+        let line = json::to_string(record);
+        let mut guard = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if guard.is_none() {
+            if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            *guard = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)
+                .ok()
+                .map(std::io::BufWriter::new);
+        }
+        if let Some(file) = guard.as_mut() {
+            if writeln!(file, "{line}").is_ok() {
+                let _ = file.flush();
+                self.appended.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Load every valid record from a dead-letter queue file. Unparsable
+/// lines are skipped (a torn final line is the normal kill signature);
+/// a missing file is an empty queue.
+#[must_use]
+pub fn load_dlq(path: &Path) -> Vec<DlqRecord> {
+    let Ok(file) = std::fs::File::open(path) else {
+        return Vec::new();
+    };
+    std::io::BufReader::new(file)
+        .lines()
+        .map_while(Result::ok)
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| json::parse(&l).ok().and_then(|v| DlqRecord::from_json(&v)))
+        .collect()
+}
+
+/// Rewrite a dead-letter queue with the given records (used by replay
+/// to drop records that now succeed). An empty set removes the file.
+///
+/// # Errors
+///
+/// I/O errors writing or removing the file.
+pub fn rewrite_dlq(path: &Path, records: &[DlqRecord]) -> io::Result<()> {
+    if records.is_empty() {
+        match std::fs::remove_file(path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    } else {
+        let mut out = String::new();
+        for r in records {
+            out.push_str(&json::to_string(r));
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("dlp-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tmpdir");
+        dir
+    }
+
+    fn sample_key(tag: u64) -> StoreKey {
+        StoreKey::new(
+            "convert",
+            "S-O",
+            24,
+            tag,
+            &FaultPlan::none(),
+            None,
+            1,
+            Digest(7, 9),
+        )
+    }
+
+    fn ran_outcome() -> CellOutcome {
+        CellOutcome::Ran {
+            stats: SimStats { ticks: 42, useful_ops: 7, ..SimStats::default() },
+            mismatch: None,
+        }
+    }
+
+    #[test]
+    fn digest_hex_round_trips() {
+        let d = Digest(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
+        assert_eq!(Digest::from_hex(&d.hex()), Some(d));
+        assert_eq!(Digest::from_hex("short"), None);
+        assert_eq!(Digest::from_hex(&"z".repeat(32)), None);
+    }
+
+    #[test]
+    fn keys_separate_every_input() {
+        let base = sample_key(1);
+        let other_seed = sample_key(2);
+        assert_ne!(base.digest, other_seed.digest);
+        let other_lowering = StoreKey::new(
+            "convert", "S-O", 24, 1, &FaultPlan::none(), None, 1, Digest(7, 10),
+        );
+        assert_ne!(base.digest, other_lowering.digest);
+        let other_watchdog = StoreKey::new(
+            "convert", "S-O", 24, 1, &FaultPlan::none(), Some(100), 1, Digest(7, 9),
+        );
+        assert_ne!(base.digest, other_watchdog.digest);
+        let other_attempts = StoreKey::new(
+            "convert", "S-O", 24, 1, &FaultPlan::none(), None, 3, Digest(7, 9),
+        );
+        assert_ne!(base.digest, other_attempts.digest);
+        // Pure function of its inputs.
+        assert_eq!(base.digest, sample_key(1).digest);
+    }
+
+    #[test]
+    fn store_round_trips_ran_and_deterministic_failures() {
+        let dir = tmpdir("roundtrip");
+        let store = ResultStore::open(&dir).expect("open");
+        let key = sample_key(1);
+        assert_eq!(store.get(&key), None);
+        assert!(store.put(&key, &ran_outcome()).expect("put"));
+        assert_eq!(store.get(&key), Some(ran_outcome()));
+
+        let vkey = sample_key(2);
+        let verify_failure = CellOutcome::Failed {
+            error: "verification failed [V0101] ...".into(),
+            kind: "verify".into(),
+            attempts: 0,
+            timed_out: false,
+        };
+        assert!(store.put(&vkey, &verify_failure).expect("put"));
+        assert_eq!(store.get(&vkey), Some(verify_failure));
+        assert_eq!(store.hits(), 2);
+        assert_eq!(store.misses(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nondeterministic_failures_are_not_cacheable() {
+        for kind in ["watchdog", "fault-unrecoverable", "internal"] {
+            let outcome = CellOutcome::Failed {
+                error: "e".into(),
+                kind: kind.into(),
+                attempts: 1,
+                timed_out: false,
+            };
+            assert!(!cacheable(&outcome), "{kind} must go to the DLQ, not the store");
+        }
+        let timed_out = CellOutcome::Failed {
+            error: "e".into(),
+            kind: "verify".into(),
+            attempts: 1,
+            timed_out: true,
+        };
+        assert!(!cacheable(&timed_out), "soft timeouts are host-dependent");
+        assert!(!cacheable(&CellOutcome::Skipped { reason: "r".into(), failures: 3 }));
+        let dir = tmpdir("nocache");
+        let store = ResultStore::open(&dir).expect("open");
+        let key = sample_key(3);
+        let watchdog = CellOutcome::Failed {
+            error: "w".into(),
+            kind: "watchdog".into(),
+            attempts: 1,
+            timed_out: false,
+        };
+        assert!(!store.put(&key, &watchdog).expect("put"), "refused");
+        assert_eq!(store.get(&key), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_entries_are_misses() {
+        let dir = tmpdir("corrupt");
+        let store = ResultStore::open(&dir).expect("open");
+        let key = sample_key(4);
+        assert!(store.put(&key, &ran_outcome()).expect("put"));
+
+        // Garbage content.
+        std::fs::write(store.path_of(&key), "{not json").expect("write");
+        assert_eq!(store.get(&key), None, "corrupt entry is a miss");
+
+        // Valid JSON, wrong store version.
+        assert!(store.put(&key, &ran_outcome()).expect("re-put"));
+        let text = std::fs::read_to_string(store.path_of(&key)).expect("read");
+        std::fs::write(
+            store.path_of(&key),
+            text.replace(
+                &format!("\"store_version\":{STORE_VERSION}"),
+                &format!("\"store_version\":{}", STORE_VERSION + 1),
+            ),
+        )
+        .expect("write");
+        assert_eq!(store.get(&key), None, "version skew is a miss");
+
+        // An entry filed under the wrong digest (e.g. a hand-copied
+        // file) must not be served.
+        assert!(store.put(&key, &ran_outcome()).expect("re-put"));
+        let other = sample_key(5);
+        let shard = store.path_of(&other);
+        std::fs::create_dir_all(shard.parent().expect("shard")).expect("mkdir");
+        std::fs::copy(store.path_of(&key), &shard).expect("copy");
+        assert_eq!(store.get(&other), None, "digest mismatch is a miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_json_round_trips_all_variants() {
+        let outcomes = [
+            ran_outcome(),
+            CellOutcome::Ran {
+                stats: SimStats::default(),
+                mismatch: Some(17),
+            },
+            CellOutcome::Failed {
+                error: "boom \"quoted\"".into(),
+                kind: "watchdog".into(),
+                attempts: 3,
+                timed_out: true,
+            },
+            CellOutcome::Skipped { reason: "breaker open on S-O".into(), failures: 4 },
+        ];
+        for outcome in outcomes {
+            let v = json::parse(&json::to_string(&outcome)).expect("parses");
+            assert_eq!(outcome_from_json(&v), Some(outcome));
+        }
+    }
+
+    #[test]
+    fn dlq_record_round_trips_and_replays_params() {
+        let record = DlqRecord {
+            dlq_version: DLQ_VERSION,
+            kernel: "fft".into(),
+            config: "S-O".into(),
+            label: "rate=100ppm".into(),
+            mech: MachineConfig::SO.mechanisms(),
+            grid: GridShape::trips_baseline(),
+            timing: TimingParams::default(),
+            fault: FaultPlan::none().with_salt(5),
+            base_seed: 0xD1_2003,
+            watchdog: Some(50_000_000),
+            records: 24,
+            error: "unrecoverable fault at noc-link (tick 42): 8 retries".into(),
+            kind: "fault-unrecoverable".into(),
+            attempts: 3,
+            timed_out: false,
+        };
+        let v = json::parse(&json::to_string(&record)).expect("parses");
+        let back = DlqRecord::from_json(&v).expect("decodes");
+        assert_eq!(back, record);
+        let params = back.params();
+        assert_eq!(params.seed, 0xD1_2003);
+        assert_eq!(params.watchdog, Some(50_000_000));
+        assert_eq!(params.fault.salt, 5);
+        assert_eq!(params.timing, TimingParams::default());
+    }
+
+    #[test]
+    fn dlq_file_append_load_rewrite() {
+        let dir = tmpdir("dlq");
+        let path = dir.join("dlq.jsonl");
+        let queue = DeadLetterQueue::new(&path);
+        assert!(!path.exists(), "created lazily");
+        assert!(load_dlq(&path).is_empty(), "missing file is an empty queue");
+
+        let mut record = DlqRecord {
+            dlq_version: DLQ_VERSION,
+            kernel: "convert".into(),
+            config: "M".into(),
+            label: "l".into(),
+            mech: MachineConfig::M.mechanisms(),
+            grid: GridShape::trips_baseline(),
+            timing: TimingParams::default(),
+            fault: FaultPlan::none(),
+            base_seed: 1,
+            watchdog: None,
+            records: 8,
+            error: "e".into(),
+            kind: "watchdog".into(),
+            attempts: 1,
+            timed_out: false,
+        };
+        queue.append(&record);
+        record.base_seed = 2;
+        queue.append(&record);
+        assert_eq!(queue.appended(), 2);
+
+        // A torn final line (kill mid-write) is skipped.
+        use std::io::Write as _;
+        let mut f =
+            std::fs::OpenOptions::new().append(true).open(&path).expect("open");
+        write!(f, "{{\"dlq_version\":1,\"kernel\":\"trunc").expect("write");
+        drop(f);
+        let loaded = load_dlq(&path);
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[1].base_seed, 2);
+
+        rewrite_dlq(&path, &loaded[1..]).expect("rewrite");
+        assert_eq!(load_dlq(&path).len(), 1);
+        rewrite_dlq(&path, &[]).expect("rewrite empty");
+        assert!(!path.exists(), "empty queue removes the file");
+        rewrite_dlq(&path, &[]).expect("idempotent on missing file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_round_trip_tolerates_torn_tail_only() {
+        let dir = tmpdir("manifest");
+        let path = dir.join("sweep.manifest.jsonl");
+        let digests = [Digest(1, 1), Digest(2, 2), Digest(3, 3)];
+        let writer = ManifestWriter::create(&path, &digests).expect("create");
+        writer.append(0, &ManifestEntry { outcome: ran_outcome(), wall_ms: 1.5, attempts: 1 });
+        writer.append(2, &ManifestEntry { outcome: ran_outcome(), wall_ms: 2.5, attempts: 2 });
+        drop(writer);
+
+        let m = SweepManifest::load(&path).expect("loads");
+        assert_eq!(m.cells, 3);
+        assert_eq!(m.grid_digest, grid_digest(&digests));
+        assert_eq!(m.completed(), 2);
+        assert!(m.entries[1].is_none());
+        assert_eq!(m.entries[2].as_ref().map(|e| e.attempts), Some(2));
+
+        // Torn final line: tolerated, reads as missing.
+        use std::io::Write as _;
+        let mut f =
+            std::fs::OpenOptions::new().append(true).open(&path).expect("open");
+        write!(f, "{{\"cell\":1,\"atte").expect("write");
+        drop(f);
+        let m = SweepManifest::load(&path).expect("still loads");
+        assert_eq!(m.completed(), 2);
+
+        // Interior corruption: rejected.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines[1] = "{broken";
+        std::fs::write(&path, lines.join("\n")).expect("write");
+        assert!(SweepManifest::load(&path).is_err(), "interior corruption must fail");
+
+        // Out-of-range cell index: rejected.
+        let writer = ManifestWriter::create(&path, &digests).expect("recreate");
+        writer.append(7, &ManifestEntry { outcome: ran_outcome(), wall_ms: 0.0, attempts: 1 });
+        drop(writer);
+        assert!(SweepManifest::load(&path).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lowering_fingerprint_separates_inputs() {
+        let suite = dlp_kernels::suite();
+        let convert =
+            suite.iter().find(|k| k.name() == "convert").expect("suite kernel").as_ref();
+        let fft = suite.iter().find(|k| k.name() == "fft").expect("suite kernel").as_ref();
+        let grid = GridShape::trips_baseline();
+        let timing = TimingParams::default();
+        let base = lowering_fingerprint(convert, MachineConfig::SO.mechanisms(), grid, &timing, 16);
+        assert_eq!(
+            base,
+            lowering_fingerprint(convert, MachineConfig::SO.mechanisms(), grid, &timing, 16),
+            "pure function"
+        );
+        assert_ne!(
+            base,
+            lowering_fingerprint(fft, MachineConfig::SO.mechanisms(), grid, &timing, 16),
+            "kernel separates"
+        );
+        assert_ne!(
+            base,
+            lowering_fingerprint(convert, MachineConfig::S.mechanisms(), grid, &timing, 16),
+            "mechanisms separate"
+        );
+        assert_ne!(
+            base,
+            lowering_fingerprint(convert, MachineConfig::SO.mechanisms(), grid, &timing, 8),
+            "effective unroll separates"
+        );
+        let mut slow = timing;
+        slow.mem.l1_hit_latency += 2;
+        assert_ne!(
+            base,
+            lowering_fingerprint(convert, MachineConfig::SO.mechanisms(), grid, &slow, 16),
+            "timing separates"
+        );
+        // MIMD fingerprints hash the assembled program, not the IR.
+        let m = lowering_fingerprint(convert, MachineConfig::M.mechanisms(), grid, &timing, 0);
+        let md = lowering_fingerprint(convert, MachineConfig::MD.mechanisms(), grid, &timing, 0);
+        assert_ne!(m, md, "MIMD table placement separates");
+    }
+}

@@ -36,6 +36,22 @@
 //!   stay comparable) and the results are bit-identical no matter how
 //!   many workers run the sweep or how the queue interleaves
 //!   (`parallel == serial`, enforced by the `sweep_determinism` test).
+//! * **Persistence (opt-in)** — a [`crate::store::ResultStore`] serves
+//!   previously-computed cells by content address so a warm re-run
+//!   executes nothing, a [`crate::store::ManifestWriter`] checkpoints
+//!   each completed cell so an interrupted sweep can resume executing
+//!   only the missing ones, and a [`crate::store::DeadLetterQueue`]
+//!   captures retry-exhausted cells as replayable records. All of it is
+//!   observationally pure: the canonical report
+//!   ([`SweepReport::canonical`]) of a warm-store run is bit-identical
+//!   to a cold one, at any worker count (the `store_sweep` test).
+//! * **Circuit breakers (opt-in)** — with
+//!   [`SweepPolicy::with_breaker`], a configuration that fails `n`
+//!   consecutive cells has its remaining *unknown* cells skipped as
+//!   [`CellOutcome::Skipped`] instead of executed. Determinism is
+//!   preserved by dispatching each configuration's cells as one
+//!   sequential chain in push order, so "consecutive" never depends on
+//!   worker interleaving.
 //!
 //! The output is a serializable [`SweepReport`] — the artifact behind
 //! `BENCH_sweep.json` — with per-cell statistics, verification results,
@@ -77,6 +93,10 @@ use trips_sim::MechanismSet;
 use crate::runner::{
     natural_unroll, prepare_kernel, run_prepared_in, PreparedProgram, RunScratch, WorkloadCache,
 };
+use crate::store::{
+    self, cacheable, lowering_fingerprint, DeadLetterQueue, Digest, DlqRecord, ManifestEntry,
+    ManifestWriter, ResultStore, StoreKey, SweepManifest, DLQ_VERSION,
+};
 use crate::{ExperimentParams, MachineConfig};
 
 /// Handle to a kernel registered with a [`Sweep`].
@@ -108,6 +128,16 @@ pub struct CellSpec {
     pub label: String,
 }
 
+impl CellSpec {
+    /// The configuration display name this cell reports (and keys)
+    /// under: the [`MachineConfig`] name, or the mechanism-set
+    /// rendering for raw cells.
+    #[must_use]
+    pub fn config_name(&self) -> String {
+        self.config.map_or_else(|| self.mech.to_string(), |c| c.to_string())
+    }
+}
+
 /// A batch of experiment cells, run in parallel with schedule caching.
 ///
 /// Build one with [`Sweep::new`], register kernels, push cells, then
@@ -118,6 +148,10 @@ pub struct Sweep {
     threads: usize,
     policy: SweepPolicy,
     workload_cache: bool,
+    result_store: Option<Arc<ResultStore>>,
+    manifest: Option<Arc<ManifestWriter>>,
+    resume: Option<SweepManifest>,
+    dlq: Option<Arc<DeadLetterQueue>>,
 }
 
 /// Degradation policy for failing cells: how hard a sweep tries before
@@ -142,11 +176,19 @@ pub struct SweepPolicy {
     /// counted in [`SweepReport::soft_timeouts`]. `None` disables the
     /// check.
     pub soft_timeout_ms: Option<f64>,
+    /// Per-configuration circuit breaker: after this many *consecutive*
+    /// failed cells of one configuration, its remaining unknown cells
+    /// are skipped ([`CellOutcome::Skipped`]) instead of executed.
+    /// Cells whose outcome is already known (store or resume hits) are
+    /// served regardless and feed the failure counter; a success resets
+    /// it. `None` (the default) disables the breaker and keeps each
+    /// cell an independent work-stealing unit.
+    pub breaker_threshold: Option<u32>,
 }
 
 impl Default for SweepPolicy {
     fn default() -> Self {
-        SweepPolicy { max_attempts: 1, soft_timeout_ms: None }
+        SweepPolicy { max_attempts: 1, soft_timeout_ms: None, breaker_threshold: None }
     }
 }
 
@@ -162,6 +204,14 @@ impl SweepPolicy {
     #[must_use]
     pub fn with_soft_timeout_ms(mut self, ms: f64) -> Self {
         self.soft_timeout_ms = Some(ms);
+        self
+    }
+
+    /// Opens each configuration's circuit breaker after `n` consecutive
+    /// failures (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_breaker(mut self, n: u32) -> Self {
+        self.breaker_threshold = Some(n.max(1));
         self
     }
 }
@@ -209,6 +259,10 @@ impl Sweep {
             threads: threads.max(1),
             policy: SweepPolicy::default(),
             workload_cache: true,
+            result_store: None,
+            manifest: None,
+            resume: None,
+            dlq: None,
         }
     }
 
@@ -242,6 +296,158 @@ impl Sweep {
     #[must_use]
     pub fn workload_cache_enabled(&self) -> bool {
         self.workload_cache
+    }
+
+    /// Attaches a content-addressed result store: [`Sweep::run`] serves
+    /// cells whose [`StoreKey`] is already present without executing
+    /// them, and persists newly-computed cacheable outcomes.
+    /// Observationally pure — [`SweepReport::canonical`] is
+    /// bit-identical with a cold store, a warm store, or none.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use std::sync::Arc;
+    /// use dlp_core::store::ResultStore;
+    /// use dlp_core::sweep::Sweep;
+    ///
+    /// let mut sweep = Sweep::new();
+    /// sweep.set_store(Arc::new(ResultStore::open("dlp-store")?));
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    pub fn set_store(&mut self, store: Arc<ResultStore>) {
+        self.result_store = Some(store);
+    }
+
+    /// The attached result store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<ResultStore>> {
+        self.result_store.as_ref()
+    }
+
+    /// Attaches a checkpoint writer: every completed cell (executed or
+    /// store-served, but not breaker-skipped — a resumed run should
+    /// re-evaluate those) is appended as one flushed JSONL line, so a
+    /// killed sweep loses only its in-flight cells.
+    pub fn set_manifest(&mut self, writer: ManifestWriter) {
+        self.manifest = Some(Arc::new(writer));
+    }
+
+    /// Resumes from a loaded checkpoint: cells the manifest records are
+    /// served from it without executing. The caller is responsible for
+    /// validating [`SweepManifest::grid_digest`] against
+    /// [`Sweep::grid_digest`] first (the `sweep` bin refuses a
+    /// mismatch); as a last defense a manifest whose cell count differs
+    /// from this grid is ignored wholesale.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use std::path::Path;
+    /// use dlp_core::store::{ManifestWriter, SweepManifest};
+    /// use dlp_core::sweep::Sweep;
+    ///
+    /// # fn grid() -> Sweep { Sweep::new() }
+    /// let mut sweep = grid(); // same grid the interrupted run pushed
+    /// let path = Path::new("BENCH_sweep.manifest.jsonl");
+    /// let manifest = SweepManifest::load(path)?;
+    /// assert_eq!(manifest.grid_digest, sweep.grid_digest(), "same grid");
+    /// sweep.set_resume(manifest);
+    /// sweep.set_manifest(ManifestWriter::append_to(path)?);
+    /// let report = sweep.run(); // executes only the missing cells
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn set_resume(&mut self, manifest: SweepManifest) {
+        self.resume = Some(manifest);
+    }
+
+    /// Attaches a dead-letter queue: cells that exhaust their retries
+    /// with a non-[`cacheable`] failure (watchdog, unrecoverable fault,
+    /// internal error, soft timeout) are appended as replayable
+    /// [`DlqRecord`]s.
+    pub fn set_dlq(&mut self, dlq: Arc<DeadLetterQueue>) {
+        self.dlq = Some(dlq);
+    }
+
+    /// Every cell's content address, in push order. This is the store's
+    /// key schema made visible: bins use it to create manifests
+    /// ([`ManifestWriter::create`]) and validate resumes
+    /// ([`Sweep::grid_digest`]).
+    #[must_use]
+    pub fn cell_keys(&self) -> Vec<StoreKey> {
+        // The fingerprint needs each cell's *effective* unroll — the
+        // one prepare_kernel will actually choose — so probe
+        // natural_unroll once per coarse plan group (cheap: IR
+        // validation + instruction count, no placement).
+        let mut effective: Vec<usize> = self.cells.iter().map(|c| c.records).collect();
+        let mut groups: Vec<(PlanKey, Vec<usize>)> = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let key = PlanKey::of(cell, 0);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        for (key, members) in &groups {
+            if key.mech.local_pc {
+                // MIMD lowering never reads the record count.
+                for &i in members {
+                    effective[i] = 0;
+                }
+                continue;
+            }
+            let params = ExperimentParams {
+                grid: key.grid,
+                timing: key.timing,
+                ..ExperimentParams::default()
+            };
+            let natural = catch_cell(|| {
+                natural_unroll(self.kernels[key.kernel].as_ref(), key.mech, &params)
+            })
+            // A failing probe will fail again at prepare time; an
+            // unbounded cap keys such cells by raw record count.
+            .unwrap_or(usize::MAX);
+            for &i in members {
+                effective[i] = natural.min(self.cells[i].records);
+            }
+        }
+        self.cells
+            .iter()
+            .zip(&effective)
+            .map(|(cell, &unroll)| {
+                let kernel = self.kernels[cell.kernel].as_ref();
+                let lowering = lowering_fingerprint(
+                    kernel,
+                    cell.mech,
+                    cell.params.grid,
+                    &cell.params.timing,
+                    unroll,
+                );
+                StoreKey::new(
+                    kernel.name(),
+                    &cell.config_name(),
+                    cell.records,
+                    derive_seed(cell.params.seed, kernel.name()),
+                    &cell.params.fault,
+                    cell.params.watchdog,
+                    self.policy.max_attempts.max(1),
+                    lowering,
+                )
+            })
+            .collect()
+    }
+
+    /// The digests of [`Sweep::cell_keys`], in push order — what
+    /// [`ManifestWriter::create`] pins a checkpoint to.
+    #[must_use]
+    pub fn cell_digests(&self) -> Vec<Digest> {
+        self.cell_keys().into_iter().map(|k| k.digest).collect()
+    }
+
+    /// The grid-identity digest a manifest of this sweep carries.
+    #[must_use]
+    pub fn grid_digest(&self) -> Digest {
+        store::grid_digest(&self.cell_digests())
     }
 
     /// Registers a kernel and returns its handle.
@@ -310,9 +516,17 @@ impl Sweep {
 
     /// Runs every cell and collects a [`SweepReport`].
     ///
-    /// Two work-stealing phases: first each *distinct* lowering (kernel
-    /// × mechanisms × grid × timing × unroll cap) is prepared once;
-    /// then all cells execute against the shared prepared programs.
+    /// Three phases. **Phase 0** computes each cell's [`StoreKey`]
+    /// (only when a store is attached) and resolves cells whose outcome
+    /// is already known — from the resume manifest first, then the
+    /// result store. **Phase 1** deduplicates the remaining cells'
+    /// lowerings (kernel × mechanisms × grid × timing × unroll cap) and
+    /// prepares each distinct one once; a fully-resolved sweep prepares
+    /// nothing, which is what makes a warm re-run O(lookup). **Phase
+    /// 2** executes the pending cells against the shared plans,
+    /// streaming each completion into the store / manifest /
+    /// dead-letter queue as it lands.
+    ///
     /// Cell failures (e.g. incoherent mechanism sets in the
     /// configuration-space sweep) are captured per cell as
     /// [`CellOutcome::Failed`], never aborting the batch; use
@@ -323,8 +537,12 @@ impl Sweep {
     #[must_use]
     pub fn run(&self) -> SweepReport {
         let started = Instant::now();
+        // Counter baseline, so the report's hit/miss columns cover this
+        // run even when one store handle serves several sweeps.
+        let (store_hits_before, store_misses_before) =
+            self.result_store.as_ref().map_or((0, 0), |s| (s.hits(), s.misses()));
 
-        // ---- Phase 1: deduplicate and prepare lowering plans. -------
+        // ---- Phase 0: plan identity and previously-known outcomes. --
         // Linear-scan dedup: TimingParams is Eq but not Hash, and sweep
         // grids are tens-to-hundreds of cells, far below the n² that
         // would justify hashing around it.
@@ -343,9 +561,60 @@ impl Sweep {
             cell_plan.push(idx);
         }
 
-        let plans: Vec<Result<PreparedProgram, DlpError>> =
-            self.parallel_map(plan_keys.len(), |i| {
-                let key = &plan_keys[i];
+        let keys: Option<Vec<StoreKey>> = self.result_store.as_ref().map(|_| self.cell_keys());
+
+        let mut resolved: Vec<Option<Resolved>> = vec![None; self.cells.len()];
+        let mut resumed_cells = 0usize;
+        if let Some(manifest) = &self.resume {
+            if manifest.cells == self.cells.len() {
+                for (slot, entry) in resolved.iter_mut().zip(&manifest.entries) {
+                    if let Some(e) = entry {
+                        *slot = Some(Resolved {
+                            outcome: e.outcome.clone(),
+                            wall_ms: e.wall_ms,
+                            attempts: e.attempts,
+                            origin: Origin::Resumed,
+                        });
+                        resumed_cells += 1;
+                    }
+                }
+            }
+        }
+        if let (Some(store), Some(keys)) = (&self.result_store, &keys) {
+            for (i, slot) in resolved.iter_mut().enumerate() {
+                if slot.is_some() {
+                    continue;
+                }
+                if let Some(outcome) = store.get(&keys[i]) {
+                    let attempts = match &outcome {
+                        CellOutcome::Failed { attempts, .. } => *attempts,
+                        _ => 1,
+                    };
+                    // Checkpoint store hits too, so a resume never
+                    // depends on the store still being warm.
+                    if let Some(writer) = &self.manifest {
+                        writer.append(
+                            i,
+                            &ManifestEntry { outcome: outcome.clone(), wall_ms: 0.0, attempts },
+                        );
+                    }
+                    *slot = Some(Resolved { outcome, wall_ms: 0.0, attempts, origin: Origin::Store });
+                }
+            }
+        }
+
+        // ---- Phase 1: prepare only the lowerings pending cells need. -
+        let needed: Vec<usize> = (0..plan_keys.len())
+            .filter(|&p| {
+                cell_plan
+                    .iter()
+                    .zip(&resolved)
+                    .any(|(&cp, r)| cp == p && r.is_none())
+            })
+            .collect();
+        let prepared: Vec<Result<PreparedProgram, DlpError>> =
+            self.parallel_map(needed.len(), |j| {
+                let key = &plan_keys[needed[j]];
                 let params = ExperimentParams {
                     grid: key.grid,
                     timing: key.timing,
@@ -360,123 +629,292 @@ impl Sweep {
                     )
                 })
             });
+        let mut plans: Vec<Option<Result<PreparedProgram, DlpError>>> =
+            (0..plan_keys.len()).map(|_| None).collect();
+        for (&p, plan) in needed.iter().zip(prepared) {
+            plans[p] = Some(plan);
+        }
 
-        // ---- Phase 2: execute all cells against the shared plans. ---
+        // ---- Phase 2: execute pending cells against the shared plans.
         // Each worker carries one RunScratch for its whole drain: the
         // engine arena makes repeat cells allocation-free, and the
         // (optional) workload cache is shared across all workers.
-        let max_attempts = self.policy.max_attempts.max(1);
+        //
+        // The work-stealing unit is a *group* of cells processed
+        // sequentially in push order: singletons normally, one group
+        // per configuration when the circuit breaker is armed (so
+        // "consecutive failures" is well-defined regardless of worker
+        // interleaving — determinism over parallel width).
+        let breaker = self.policy.breaker_threshold.filter(|&t| t > 0);
+        let groups: Vec<Vec<usize>> = match breaker {
+            None => (0..self.cells.len()).map(|i| vec![i]).collect(),
+            Some(_) => {
+                let mut order: Vec<(String, Vec<usize>)> = Vec::new();
+                for (i, cell) in self.cells.iter().enumerate() {
+                    let config = cell.config_name();
+                    match order.iter_mut().find(|(c, _)| *c == config) {
+                        Some((_, members)) => members.push(i),
+                        None => order.push((config, vec![i])),
+                    }
+                }
+                order.into_iter().map(|(_, members)| members).collect()
+            }
+        };
         let workload_cache =
             if self.workload_cache { Some(Arc::new(WorkloadCache::new())) } else { None };
-        let cell_results: Vec<(CellOutcome, f64, u32)> = self.parallel_map_with(
-            self.cells.len(),
+        let group_results: Vec<Vec<(usize, Resolved)>> = self.parallel_map_with(
+            groups.len(),
             || match &workload_cache {
                 Some(cache) => RunScratch::with_workload_cache(Arc::clone(cache)),
                 None => RunScratch::new(),
             },
-            |scratch, i| {
-                let cell = &self.cells[i];
-                let cell_started = Instant::now();
-                let prepared = match &plans[cell_plan[i]] {
-                    Err(e) => {
-                        // Lowering failed: the cell never executed, so it
-                        // gets no attempts and no retry — re-lowering the
-                        // same inputs would fail identically.
-                        let outcome = CellOutcome::Failed {
-                            error: e.to_string(),
-                            kind: e.kind().to_string(),
-                            attempts: 0,
-                            timed_out: false,
+            |scratch, g| {
+                let mut out = Vec::with_capacity(groups[g].len());
+                let mut consecutive = 0u32;
+                let mut open = false;
+                for &i in &groups[g] {
+                    let result = if let Some(known) = resolved[i].clone() {
+                        // A known outcome is always served — the
+                        // breaker only guards *unknown* work.
+                        known
+                    } else if open {
+                        let outcome = CellOutcome::Skipped {
+                            reason: format!(
+                                "circuit breaker open for {}: {consecutive} consecutive failures",
+                                self.cells[i].config_name()
+                            ),
+                            failures: consecutive,
                         };
-                        return (outcome, cell_started.elapsed().as_secs_f64() * 1e3, 0);
-                    }
-                    Ok(prepared) => prepared,
-                };
-                let mut attempt = 0u32;
-                loop {
-                    attempt += 1;
-                    // Each retry re-salts the fault schedule: same
-                    // workload, independent deterministic fault draw.
-                    // Attempt 1 keeps the cell's own salt, so single-
-                    // attempt sweeps are bit-identical to the policy-free
-                    // engine.
-                    let fault = cell.params.fault.with_salt(
-                        cell.params.fault.salt.wrapping_add(u64::from(attempt - 1)),
-                    );
-                    let params = ExperimentParams {
-                        seed: derive_seed(cell.params.seed, self.kernels[cell.kernel].name()),
-                        fault,
-                        ..cell.params
-                    };
-                    let ran = catch_cell(|| {
-                        run_prepared_in(
-                            self.kernels[cell.kernel].as_ref(),
-                            prepared,
-                            cell.records,
-                            &params,
-                            scratch,
-                        )
-                    });
-                    let elapsed_ms = cell_started.elapsed().as_secs_f64() * 1e3;
-                    let timed_out =
-                        self.policy.soft_timeout_ms.is_some_and(|budget| elapsed_ms > budget);
-                    match ran {
-                        Ok((stats, mismatch)) => {
-                            break (CellOutcome::Ran { stats, mismatch }, elapsed_ms, attempt);
+                        Resolved { outcome, wall_ms: 0.0, attempts: 0, origin: Origin::Skipped }
+                    } else {
+                        let (outcome, wall_ms, attempts) =
+                            self.execute_cell(scratch, i, &plans, &cell_plan);
+                        if let (Some(store), Some(keys)) = (&self.result_store, &keys) {
+                            // Benign when racing a duplicate cell:
+                            // identical content; failure is a cache
+                            // problem, never a sweep problem.
+                            let _ = store.put(&keys[i], &outcome);
                         }
-                        Err(e) => {
-                            if attempt < max_attempts && !timed_out {
-                                continue;
+                        if let Some(writer) = &self.manifest {
+                            writer.append(
+                                i,
+                                &ManifestEntry { outcome: outcome.clone(), wall_ms, attempts },
+                            );
+                        }
+                        if let Some(dlq) = &self.dlq {
+                            if matches!(outcome, CellOutcome::Failed { .. })
+                                && !cacheable(&outcome)
+                            {
+                                dlq.append(&self.dlq_record(i, &outcome));
                             }
-                            let outcome = CellOutcome::Failed {
-                                error: e.to_string(),
-                                kind: e.kind().to_string(),
-                                attempts: attempt,
-                                timed_out,
-                            };
-                            break (outcome, elapsed_ms, attempt);
                         }
+                        Resolved { outcome, wall_ms, attempts, origin: Origin::Executed }
+                    };
+                    if matches!(result.outcome, CellOutcome::Failed { .. }) {
+                        consecutive += 1;
+                    } else if matches!(result.outcome, CellOutcome::Ran { .. }) {
+                        consecutive = 0;
                     }
+                    if breaker.is_some_and(|t| consecutive >= t) {
+                        open = true;
+                    }
+                    out.push((i, result));
                 }
+                out
             },
         );
+        let mut cell_results: Vec<Option<Resolved>> = vec![None; self.cells.len()];
+        for group in group_results {
+            for (i, result) in group {
+                cell_results[i] = Some(result);
+            }
+        }
+        let cell_results: Vec<Resolved> = cell_results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| Resolved {
+                    // Unreachable by construction (every cell is in
+                    // exactly one group); degrade, don't panic.
+                    outcome: CellOutcome::Failed {
+                        error: "internal: cell missing from dispatch groups".into(),
+                        kind: "internal".into(),
+                        attempts: 0,
+                        timed_out: false,
+                    },
+                    wall_ms: 0.0,
+                    attempts: 0,
+                    origin: Origin::Executed,
+                })
+            })
+            .collect();
 
         let (workload_cache_hits, workload_cache_misses) =
             workload_cache.as_ref().map_or((0, 0), |c| (c.hits(), c.misses()));
+        let (store_hits, store_misses) = self.result_store.as_ref().map_or((0, 0), |s| {
+            (s.hits() - store_hits_before, s.misses() - store_misses_before)
+        });
 
         let soft_timeouts = match self.policy.soft_timeout_ms {
-            Some(budget) => cell_results.iter().filter(|(_, wall_ms, _)| *wall_ms > budget).count(),
+            Some(budget) => cell_results
+                .iter()
+                .filter(|r| r.origin == Origin::Executed && r.wall_ms > budget)
+                .count(),
             None => 0,
         };
-        let extra_attempts =
-            cell_results.iter().map(|&(_, _, attempts)| u64::from(attempts.saturating_sub(1))).sum();
+        let extra_attempts = cell_results
+            .iter()
+            .filter(|r| r.origin == Origin::Executed)
+            .map(|r| u64::from(r.attempts.saturating_sub(1)))
+            .sum();
+        let cells_executed =
+            cell_results.iter().filter(|r| r.origin == Origin::Executed).count();
+        let cells_skipped =
+            cell_results.iter().filter(|r| r.origin == Origin::Skipped).count();
+        let dlq_appended = self.dlq.as_ref().map_or(0, |d| d.appended());
 
         let cells = self
             .cells
             .iter()
             .zip(cell_results)
-            .map(|(spec, (outcome, wall_ms, _))| SweepCell {
+            .map(|(spec, result)| SweepCell {
                 kernel: self.kernels[spec.kernel].name().to_string(),
-                config: spec
-                    .config
-                    .map_or_else(|| spec.mech.to_string(), |c| c.to_string()),
+                config: spec.config_name(),
                 label: spec.label.clone(),
                 records: spec.records,
-                outcome,
-                wall_ms,
+                outcome: result.outcome,
+                wall_ms: result.wall_ms,
             })
             .collect();
 
         SweepReport {
             threads: self.threads,
-            plans_prepared: plan_keys.len(),
+            plans_prepared: needed.len(),
             plan_reuses: self.cells.len().saturating_sub(plan_keys.len()),
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
             soft_timeouts,
             extra_attempts,
             workload_cache_hits,
             workload_cache_misses,
+            store_hits,
+            store_misses,
+            cells_executed,
+            cells_skipped,
+            resumed_cells,
+            dlq_appended,
             cells,
+        }
+    }
+
+    /// Runs one pending cell's attempt loop against its shared plan.
+    fn execute_cell(
+        &self,
+        scratch: &mut RunScratch,
+        i: usize,
+        plans: &[Option<Result<PreparedProgram, DlpError>>],
+        cell_plan: &[usize],
+    ) -> (CellOutcome, f64, u32) {
+        let cell = &self.cells[i];
+        let cell_started = Instant::now();
+        let max_attempts = self.policy.max_attempts.max(1);
+        let prepared = match &plans[cell_plan[i]] {
+            Some(Ok(prepared)) => prepared,
+            Some(Err(e)) => {
+                // Lowering failed: the cell never executed, so it gets
+                // no attempts and no retry — re-lowering the same
+                // inputs would fail identically.
+                let outcome = CellOutcome::Failed {
+                    error: e.to_string(),
+                    kind: e.kind().to_string(),
+                    attempts: 0,
+                    timed_out: false,
+                };
+                return (outcome, cell_started.elapsed().as_secs_f64() * 1e3, 0);
+            }
+            None => {
+                // Unreachable: phase 1 prepares every plan a pending
+                // cell maps to. Degrade, don't panic.
+                let outcome = CellOutcome::Failed {
+                    error: "internal: plan not prepared for pending cell".into(),
+                    kind: "internal".into(),
+                    attempts: 0,
+                    timed_out: false,
+                };
+                return (outcome, cell_started.elapsed().as_secs_f64() * 1e3, 0);
+            }
+        };
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // Each retry re-salts the fault schedule: same workload,
+            // independent deterministic fault draw. Attempt 1 keeps the
+            // cell's own salt, so single-attempt sweeps are
+            // bit-identical to the policy-free engine.
+            let fault = cell
+                .params
+                .fault
+                .with_salt(cell.params.fault.salt.wrapping_add(u64::from(attempt - 1)));
+            let params = ExperimentParams {
+                seed: derive_seed(cell.params.seed, self.kernels[cell.kernel].name()),
+                fault,
+                ..cell.params
+            };
+            let ran = catch_cell(|| {
+                run_prepared_in(
+                    self.kernels[cell.kernel].as_ref(),
+                    prepared,
+                    cell.records,
+                    &params,
+                    scratch,
+                )
+            });
+            let elapsed_ms = cell_started.elapsed().as_secs_f64() * 1e3;
+            let timed_out =
+                self.policy.soft_timeout_ms.is_some_and(|budget| elapsed_ms > budget);
+            match ran {
+                Ok((stats, mismatch)) => {
+                    break (CellOutcome::Ran { stats, mismatch }, elapsed_ms, attempt);
+                }
+                Err(e) => {
+                    if attempt < max_attempts && !timed_out {
+                        continue;
+                    }
+                    let outcome = CellOutcome::Failed {
+                        error: e.to_string(),
+                        kind: e.kind().to_string(),
+                        attempts: attempt,
+                        timed_out,
+                    };
+                    break (outcome, elapsed_ms, attempt);
+                }
+            }
+        }
+    }
+
+    /// Builds the replayable dead-letter record for a failed cell.
+    fn dlq_record(&self, i: usize, outcome: &CellOutcome) -> DlqRecord {
+        let cell = &self.cells[i];
+        let (error, kind, attempts, timed_out) = match outcome {
+            CellOutcome::Failed { error, kind, attempts, timed_out } => {
+                (error.clone(), kind.clone(), *attempts, *timed_out)
+            }
+            _ => (String::new(), String::new(), 0, false),
+        };
+        DlqRecord {
+            dlq_version: DLQ_VERSION,
+            kernel: self.kernels[cell.kernel].name().to_string(),
+            config: cell.config_name(),
+            label: cell.label.clone(),
+            mech: cell.mech,
+            grid: cell.params.grid,
+            timing: cell.params.timing,
+            fault: cell.params.fault,
+            base_seed: cell.params.seed,
+            watchdog: cell.params.watchdog,
+            records: cell.records,
+            error,
+            kind,
+            attempts,
+            timed_out,
         }
     }
 
@@ -603,6 +1041,28 @@ impl Sweep {
     }
 }
 
+/// How one cell's outcome was obtained by [`Sweep::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Origin {
+    /// Simulated in this run.
+    Executed,
+    /// Served from the attached [`ResultStore`].
+    Store,
+    /// Served from the resume manifest.
+    Resumed,
+    /// Circuit breaker skipped it.
+    Skipped,
+}
+
+/// One cell's outcome plus run provenance, as phase 2 produces it.
+#[derive(Clone)]
+struct Resolved {
+    outcome: CellOutcome,
+    wall_ms: f64,
+    attempts: u32,
+    origin: Origin,
+}
+
 /// Runs one cell's work, converting a panic into a [`DlpError`] so a
 /// single bad cell (e.g. an internally inconsistent mechanism set that
 /// trips a simulator assertion) fails that cell instead of tearing down
@@ -691,6 +1151,17 @@ pub enum CellOutcome {
         /// which is what stopped further retries.
         timed_out: bool,
     },
+    /// The cell never executed: its configuration's circuit breaker
+    /// opened ([`SweepPolicy::with_breaker`]) after consecutive
+    /// failures. Skips are never cached or dead-lettered — a later run
+    /// re-evaluates them.
+    Skipped {
+        /// Human-readable reason (which configuration, how many
+        /// failures).
+        reason: String,
+        /// Consecutive failures observed when the breaker opened.
+        failures: u32,
+    },
 }
 
 impl CellOutcome {
@@ -699,7 +1170,7 @@ impl CellOutcome {
     pub fn stats(&self) -> Option<&SimStats> {
         match self {
             CellOutcome::Ran { stats, .. } => Some(stats),
-            CellOutcome::Failed { .. } => None,
+            CellOutcome::Failed { .. } | CellOutcome::Skipped { .. } => None,
         }
     }
 
@@ -707,7 +1178,7 @@ impl CellOutcome {
     #[must_use]
     pub fn failure_kind(&self) -> Option<&str> {
         match self {
-            CellOutcome::Ran { .. } => None,
+            CellOutcome::Ran { .. } | CellOutcome::Skipped { .. } => None,
             CellOutcome::Failed { kind, .. } => Some(kind),
         }
     }
@@ -784,6 +1255,23 @@ pub struct SweepReport {
     /// Workload-cache lookups that generated a workload (the number of
     /// distinct keys); 0 when the cache is disabled.
     pub workload_cache_misses: u64,
+    /// Result-store lookups served without executing during this run (0
+    /// when no store is attached). Provenance, not science: a warm and
+    /// a cold run differ here while their [`SweepReport::canonical`]
+    /// forms are identical.
+    pub store_hits: u64,
+    /// Result-store lookups that found no valid entry (includes
+    /// corrupt or version-mismatched entries, by design).
+    pub store_misses: u64,
+    /// Cells actually simulated in this run (the warm-run headline: 0
+    /// against a fully-warm store).
+    pub cells_executed: usize,
+    /// Cells the circuit breaker skipped.
+    pub cells_skipped: usize,
+    /// Cells served from the resume manifest.
+    pub resumed_cells: usize,
+    /// Records appended to the dead-letter queue by this run.
+    pub dlq_appended: u64,
     /// Per-cell results, in push order.
     pub cells: Vec<SweepCell>,
 }
@@ -807,6 +1295,55 @@ impl SweepReport {
     #[must_use]
     pub fn failures(&self) -> Vec<&SweepCell> {
         self.cells.iter().filter(|c| matches!(c.outcome, CellOutcome::Failed { .. })).collect()
+    }
+
+    /// Every breaker-skipped cell, in push order.
+    #[must_use]
+    pub fn skipped(&self) -> Vec<&SweepCell> {
+        self.cells.iter().filter(|c| matches!(c.outcome, CellOutcome::Skipped { .. })).collect()
+    }
+
+    /// The report reduced to its *science payload*: per-cell kernel,
+    /// configuration, label, record count, and outcome — with every
+    /// provenance field zeroed (worker count, wall-clocks, cache and
+    /// store counters, attempt accounting).
+    ///
+    /// This is the form the determinism guarantees quantify over: the
+    /// canonical report is bit-identical across worker counts, across
+    /// workload-cache settings, and across cold / warm / absent result
+    /// stores. Provenance legitimately differs (a warm run has store
+    /// hits and zero executions; a cold run the reverse), which is why
+    /// raw reports are *not* comparable byte-for-byte.
+    #[must_use]
+    pub fn canonical(&self) -> SweepReport {
+        SweepReport {
+            threads: 0,
+            plans_prepared: 0,
+            plan_reuses: 0,
+            wall_ms: 0.0,
+            soft_timeouts: 0,
+            extra_attempts: 0,
+            workload_cache_hits: 0,
+            workload_cache_misses: 0,
+            store_hits: 0,
+            store_misses: 0,
+            cells_executed: 0,
+            cells_skipped: 0,
+            resumed_cells: 0,
+            dlq_appended: 0,
+            cells: self
+                .cells
+                .iter()
+                .map(|c| SweepCell { wall_ms: 0.0, ..c.clone() })
+                .collect(),
+        }
+    }
+
+    /// [`SweepReport::canonical`], serialized — the byte string the
+    /// warm-vs-cold CI comparison and the `store_sweep` test diff.
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        dlp_common::json::to_string(&self.canonical())
     }
 
     /// Speedup of `config` over `baseline` on `kernel`, in execution
@@ -858,6 +1395,14 @@ impl SweepReport {
                 CellOutcome::Failed { error, .. } => {
                     return Err(DlpError::MalformedProgram {
                         detail: format!("{} on {} failed: {error}", cell.kernel, cell.config),
+                    });
+                }
+                CellOutcome::Skipped { reason, .. } => {
+                    return Err(DlpError::MalformedProgram {
+                        detail: format!(
+                            "{} on {} was skipped: {reason}",
+                            cell.kernel, cell.config
+                        ),
                     });
                 }
             }
@@ -1030,6 +1575,84 @@ mod tests {
             assert_eq!(a.outcome, b.outcome, "{} on {}: cached == uncached", a.kernel, a.config);
         }
         cached.ensure_verified().expect("verifies");
+    }
+
+    #[test]
+    fn canonical_reports_are_thread_count_invariant() {
+        let one = small_sweep(1);
+        let four = small_sweep(4);
+        assert_ne!(one.threads, four.threads, "raw provenance differs");
+        assert_eq!(one.canonical_json(), four.canonical_json(), "science payload identical");
+        let c = one.canonical();
+        assert_eq!(c.threads, 0);
+        assert_eq!(c.wall_ms, 0.0);
+        assert!(c.cells.iter().all(|cell| cell.wall_ms == 0.0));
+        assert_eq!(c.cells.len(), one.cells.len());
+    }
+
+    /// A mechanism set that fails deterministically at lowering time
+    /// (operand revitalization with nothing to revitalize into).
+    fn incoherent_mech() -> MechanismSet {
+        MechanismSet {
+            smc: false,
+            inst_revitalization: false,
+            operand_revitalization: true,
+            l0_data_store: false,
+            local_pc: false,
+        }
+    }
+
+    #[test]
+    fn breaker_skips_a_config_after_consecutive_failures() {
+        let params = ExperimentParams::default();
+        let mut sweep = Sweep::with_threads(4);
+        sweep.set_policy(SweepPolicy::default().with_breaker(2));
+        let id = sweep.add_kernel_by_name("convert").expect("suite kernel");
+        // Four cells of one (failing) raw config, then a healthy config.
+        for n in 0..4 {
+            sweep.push_cell(CellSpec {
+                kernel: id,
+                config: None,
+                mech: incoherent_mech(),
+                records: 24,
+                params,
+                label: format!("bad{n}"),
+            });
+        }
+        sweep.push_config(id, MachineConfig::S, 24, &params);
+        let report = sweep.run();
+        assert!(matches!(report.cells[0].outcome, CellOutcome::Failed { .. }));
+        assert!(matches!(report.cells[1].outcome, CellOutcome::Failed { .. }));
+        for i in [2, 3] {
+            match &report.cells[i].outcome {
+                CellOutcome::Skipped { failures, .. } => assert_eq!(*failures, 2),
+                other => panic!("cell {i} should be skipped, got {other:?}"),
+            }
+        }
+        assert!(report.cells[4].outcome.verified(), "other configs unaffected");
+        assert_eq!(report.cells_skipped, 2);
+        assert_eq!(report.skipped().len(), 2);
+        assert!(report.ensure_verified().is_err(), "skips are not verified results");
+
+        // Same grid, breaker off: every cell is evaluated.
+        let mut plain = Sweep::with_threads(4);
+        let id = plain.add_kernel_by_name("convert").expect("suite kernel");
+        for n in 0..4 {
+            plain.push_cell(CellSpec {
+                kernel: id,
+                config: None,
+                mech: incoherent_mech(),
+                records: 24,
+                params,
+                label: format!("bad{n}"),
+            });
+        }
+        plain.push_config(id, MachineConfig::S, 24, &params);
+        let plain = plain.run();
+        assert_eq!(plain.cells_skipped, 0);
+        assert!(plain.cells[..4]
+            .iter()
+            .all(|c| matches!(c.outcome, CellOutcome::Failed { .. })));
     }
 
     #[test]

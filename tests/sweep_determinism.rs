@@ -69,6 +69,9 @@ fn every_cell_verified_against_reference() {
             CellOutcome::Failed { error, .. } => {
                 panic!("{} on {} failed: {error}", cell.kernel, cell.config);
             }
+            CellOutcome::Skipped { reason, .. } => {
+                panic!("{} on {} skipped (no breaker armed): {reason}", cell.kernel, cell.config);
+            }
         }
     }
 }
