@@ -10,10 +10,16 @@
 //! scheduler against the `BinaryHeap` it replaced, with an order
 //! checksum asserting equivalence.
 //!
+//! Every case is also timed through the lane-batched entry point
+//! (identical lanes per dispatch, DESIGN.md §10); the artifact records
+//! the batched-vs-scalar speedup and a `batched_sim_cycles` column that
+//! must equal `sim_cycles` (CI asserts it across `--lanes` settings).
+//!
 //! Flags:
 //!
 //! * `--fast` — CI smoke scale (few records, few iterations); also
 //!   honors `--quick` for symmetry with the other binaries.
+//! * `--lanes N` — lanes per batched dispatch (default 8; `1..=64`).
 //! * `--out PATH` — JSON destination (default `BENCH_hotpath.json`).
 
 use dlp_bench::hotpath::{measure, measure_queue, HotpathReport, HOTPATH_CASES, HOTPATH_SCHEMA};
@@ -23,6 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast = args.iter().any(|a| a == "--fast" || a == "--quick");
     let flag = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
     let out_path = flag("--out").cloned().unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let lanes: usize = flag("--lanes").map_or(Ok(8), |s| s.parse())?;
+    assert!(
+        (1..=trips_sim::batch::MAX_CLASSES).contains(&lanes),
+        "--lanes must be in 1..={}",
+        trips_sim::batch::MAX_CLASSES
+    );
 
     // Full scale keeps each case around a hundred milliseconds of timed
     // work; fast scale is a sub-second smoke proof that the harness runs.
@@ -31,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut cases = Vec::with_capacity(HOTPATH_CASES.len());
     for case in HOTPATH_CASES {
-        let m = measure(case, records, iters);
+        let m = measure(case, records, iters, lanes);
         println!(
             "{:>9} {:<9} [{}] {:>10.1} cells/s  {:>12.0} records/s  ({} sim cycles, {} cache hits, lowering {})",
             m.kernel,
@@ -42,6 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.sim_cycles,
             m.workload_cache_hits,
             &m.lowering_fp[..8],
+        );
+        println!(
+            "{:>9} {:<9} [batch:{} ] {:>10.1} cells/s  {:>9.2}x vs scalar  ({} sim cycles per lane)",
+            "", "", m.lanes, m.batched_cells_per_sec, m.batch_speedup, m.batched_sim_cycles,
         );
         cases.push(m);
     }

@@ -8,7 +8,12 @@
 //! throughput with the scheduling cost excluded — each case is prepared
 //! once ([`dlp_core::prepare_kernel`]) and only
 //! [`dlp_core::run_prepared_in`] is timed, so the numbers move when the
-//! engines' hot paths do and not when the scheduler does. A
+//! engines' hot paths do and not when the scheduler does. Since
+//! schema 4 every case is additionally timed through the lane-batched
+//! entry point ([`dlp_core::run_prepared_batch_in`], DESIGN.md §10)
+//! with `lanes` identical lanes per dispatch, and the artifact carries
+//! the batched-vs-scalar speedup alongside a `batched_sim_cycles`
+//! column CI asserts equal to the scalar `sim_cycles`. A
 //! [`measure_queue`] microbenchmark additionally times the event
 //! scheduler itself — the calendar queue against the `BinaryHeap` it
 //! replaced — with a checksum asserting both emit the identical order.
@@ -30,7 +35,8 @@ use std::time::Instant;
 use dlp_common::{SplitMix64, Tick};
 use dlp_core::sweep::derive_seed;
 use dlp_core::{
-    prepare_kernel, run_prepared_in, ExperimentParams, MachineConfig, RunScratch, WorkloadCache,
+    prepare_kernel, run_prepared_batch_in, run_prepared_in, BatchLane, ExperimentParams,
+    MachineConfig, RunScratch, WorkloadCache,
 };
 use dlp_kernels::{suite, DlpKernel};
 use serde::{Deserialize, Serialize};
@@ -133,6 +139,33 @@ impl PreparedCase {
         stats.cycles()
     }
 
+    /// Runs the prepared case once through the lane-batched entry point
+    /// with `lanes` identical lanes — the shape a sweep's repeated cells
+    /// take (one uniformity class, so one simulation serves every lane;
+    /// see DESIGN.md §10) — and returns the per-lane cycle count after
+    /// asserting every lane verified and agreed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulation failure, an output mismatch, or lanes
+    /// disagreeing on cycle count — per-lane results must stay
+    /// bit-identical to scalar.
+    #[must_use]
+    pub fn run_batched_once(&mut self, lanes: usize) -> u64 {
+        let specs = vec![BatchLane { records: self.records, params: self.params }; lanes];
+        let results =
+            run_prepared_batch_in(self.kernel.as_ref(), &self.prepared, &specs, &mut self.scratch);
+        assert_eq!(results.len(), lanes);
+        let mut cycles = None;
+        for r in results {
+            let (stats, mismatch) = r.expect("hot-path batched case simulates");
+            assert_eq!(mismatch, None, "{} must verify batched", self.kernel.name());
+            let c = stats.cycles();
+            assert_eq!(*cycles.get_or_insert(c), c, "identical lanes agree on cycles");
+        }
+        cycles.expect("at least one lane")
+    }
+
     /// Workload-cache hits accumulated across this case's runs (every
     /// run after the first warm-up is a hit).
     #[must_use]
@@ -171,10 +204,24 @@ pub struct HotpathMeasurement {
     pub cells_per_sec: f64,
     /// Simulated records per second of host time.
     pub records_per_sec: f64,
-    /// Workload-cache hits over this case's runs (deterministic: equal
-    /// to `iters`, since the warm-up generates and every timed run
-    /// hits).
+    /// Workload-cache hits over this case's *scalar* runs, captured
+    /// before the batched repetitions (deterministic: equal to `iters`,
+    /// since the warm-up generates and every timed run hits).
     pub workload_cache_hits: u64,
+    /// Lanes per batched dispatch (identical lanes — the
+    /// uniform-collapse path a sweep's repeated cells take).
+    pub lanes: usize,
+    /// Per-lane simulated cycles from the batched runs. CI asserts this
+    /// equals `sim_cycles`: batching must not change machine behavior.
+    pub batched_sim_cycles: u64,
+    /// Total wall-clock for the batched repetitions, milliseconds.
+    pub batched_wall_ms: f64,
+    /// Verified lane-results per second through the batched entry point
+    /// (`iters × lanes` lane-results over `batched_wall_ms`).
+    pub batched_cells_per_sec: f64,
+    /// `batched_cells_per_sec / cells_per_sec` — the headline
+    /// lane-batching win on this case.
+    pub batch_speedup: f64,
     /// The case's lowering fingerprint (hex), as the result store would
     /// key it ([`dlp_core::store::lowering_fingerprint`]). Deterministic;
     /// when `cells_per_sec` moves between commits, an unchanged
@@ -183,14 +230,18 @@ pub struct HotpathMeasurement {
     pub lowering_fp: String,
 }
 
-/// Prepares `case`, warms it once, then times `iters` runs.
+/// Prepares `case`, warms it once, times `iters` scalar runs, then
+/// times `iters` batched dispatches of `lanes` identical lanes each —
+/// interleaved on the same prepared lowering and scratch, so the
+/// scalar-vs-batched comparison is apples-to-apples.
 ///
 /// # Panics
 ///
-/// Panics on lowering, simulation, or verification failure (see
-/// [`PreparedCase::run_once`]).
+/// Panics on lowering, simulation, or verification failure, or when the
+/// batched runs' per-lane cycle count diverges from scalar (see
+/// [`PreparedCase::run_once`] and [`PreparedCase::run_batched_once`]).
 #[must_use]
-pub fn measure(case: &HotpathCase, records: usize, iters: usize) -> HotpathMeasurement {
+pub fn measure(case: &HotpathCase, records: usize, iters: usize, lanes: usize) -> HotpathMeasurement {
     let mut prepared = prepare_case(case, records);
     let sim_cycles = prepared.run_once(); // warm: page in workload paths
     let started = Instant::now();
@@ -198,6 +249,20 @@ pub fn measure(case: &HotpathCase, records: usize, iters: usize) -> HotpathMeasu
         assert_eq!(prepared.run_once(), sim_cycles, "simulation is deterministic");
     }
     let wall = started.elapsed().as_secs_f64();
+    // Snapshot the scalar cache counter before the batched loop so the
+    // schema-3 field keeps its deterministic meaning.
+    let workload_cache_hits = prepared.workload_cache_hits();
+
+    let batched_sim_cycles = prepared.run_batched_once(lanes); // warm
+    assert_eq!(batched_sim_cycles, sim_cycles, "batching must not change machine behavior");
+    let started = Instant::now();
+    for _ in 0..iters {
+        assert_eq!(prepared.run_batched_once(lanes), sim_cycles, "batched runs are deterministic");
+    }
+    let batched_wall = started.elapsed().as_secs_f64();
+
+    let cells_per_sec = iters as f64 / wall.max(1e-9);
+    let batched_cells_per_sec = (iters * lanes) as f64 / batched_wall.max(1e-9);
     HotpathMeasurement {
         kernel: case.kernel.to_string(),
         config: case.config.to_string(),
@@ -206,9 +271,14 @@ pub fn measure(case: &HotpathCase, records: usize, iters: usize) -> HotpathMeasu
         iters,
         sim_cycles,
         wall_ms: wall * 1e3,
-        cells_per_sec: iters as f64 / wall.max(1e-9),
+        cells_per_sec,
         records_per_sec: (iters * records) as f64 / wall.max(1e-9),
-        workload_cache_hits: prepared.workload_cache_hits(),
+        workload_cache_hits,
+        lanes,
+        batched_sim_cycles,
+        batched_wall_ms: batched_wall * 1e3,
+        batched_cells_per_sec,
+        batch_speedup: batched_cells_per_sec / cells_per_sec.max(1e-9),
         lowering_fp: prepared.lowering_fp().to_string(),
     }
 }
@@ -318,8 +388,10 @@ pub fn measure_queue(live: usize, ops: u64) -> QueueMeasurement {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct HotpathReport {
     /// Artifact schema version. 2 added `queue` and the per-case
-    /// `workload_cache_hits`; 3 added the per-case `lowering_fp`
-    /// (see `EXPERIMENTS.md`).
+    /// `workload_cache_hits`; 3 added the per-case `lowering_fp`;
+    /// 4 added the lane-batched columns (`lanes`, `batched_sim_cycles`,
+    /// `batched_wall_ms`, `batched_cells_per_sec`, `batch_speedup`).
+    /// See `EXPERIMENTS.md`.
     pub schema: u32,
     /// Whether the fast (CI smoke) scale was used.
     pub fast: bool,
@@ -330,7 +402,7 @@ pub struct HotpathReport {
 }
 
 /// Current [`HotpathReport::schema`] version.
-pub const HOTPATH_SCHEMA: u32 = 3;
+pub const HOTPATH_SCHEMA: u32 = 4;
 
 #[cfg(test)]
 mod tests {
@@ -343,6 +415,18 @@ mod tests {
             let b = heap_churn(live, 2_000);
             assert_eq!(a, b, "order parity at {live} live events");
             assert_eq!(a, queue_churn(live, 2_000), "deterministic at {live}");
+        }
+    }
+
+    #[test]
+    fn batched_lanes_match_scalar_cycles_on_both_engine_families() {
+        // fft/baseline exercises the dataflow engine, blowfish/M the
+        // MIMD engine; `run_batched_once` asserts per-lane agreement
+        // internally, this pins batched == scalar across entry points.
+        for case in [&HOTPATH_CASES[0], &HOTPATH_CASES[3]] {
+            let mut prepared = prepare_case(case, 8);
+            let scalar = prepared.run_once();
+            assert_eq!(prepared.run_batched_once(4), scalar, "{} batched cycles", case.kernel);
         }
     }
 

@@ -69,8 +69,9 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use flexible::{flexible, Figure5, Figure5Row, FlexibleSummary};
 pub use recommend::{recommend, Recommendation};
 pub use runner::{
-    default_records, natural_unroll, prepare_kernel, run_kernel, run_kernel_mech, run_prepared,
-    run_prepared_in, ExperimentParams, PreparedProgram, RunOutcome, RunScratch, WorkloadCache,
+    batchable, default_records, natural_unroll, prepare_kernel, run_kernel, run_kernel_mech,
+    run_prepared, run_prepared_batch_in, run_prepared_in, BatchLane, ExperimentParams,
+    LaneResult, PreparedProgram, RunOutcome, RunScratch, WorkloadCache,
 };
 pub use store::{
     DeadLetterQueue, Digest, DlqRecord, ManifestWriter, ResultStore, StoreKey, SweepManifest,

@@ -119,6 +119,11 @@ pub fn run_kernel(
     Ok(RunOutcome { kernel: kernel.name().to_string(), config, records, stats, mismatch })
 }
 
+/// Outcome of one run (or one lane of a batched run): simulation
+/// statistics plus the index of the first mismatching output word
+/// under verification, if any.
+pub type LaneResult = Result<(SimStats, Option<usize>), DlpError>;
+
 /// As [`run_kernel`], but for an arbitrary coherent
 /// [`trips_sim::MechanismSet`] — the entry point the full
 /// configuration-space sweep uses. Returns the statistics and the index of
@@ -137,7 +142,7 @@ pub fn run_kernel_mech(
     mech: trips_sim::MechanismSet,
     records: usize,
     params: &ExperimentParams,
-) -> Result<(SimStats, Option<usize>), DlpError> {
+) -> LaneResult {
     let prepared = prepare_kernel(kernel, mech, records, params)?;
     run_prepared(kernel, &prepared, records, params)
 }
@@ -404,7 +409,7 @@ pub fn run_prepared(
     prepared: &PreparedProgram,
     records: usize,
     params: &ExperimentParams,
-) -> Result<(SimStats, Option<usize>), DlpError> {
+) -> LaneResult {
     run_prepared_in(kernel, prepared, records, params, &mut RunScratch::new())
 }
 
@@ -423,7 +428,7 @@ pub fn run_prepared_in(
     records: usize,
     params: &ExperimentParams,
     scratch: &mut RunScratch,
-) -> Result<(SimStats, Option<usize>), DlpError> {
+) -> LaneResult {
     let ir = kernel.ir();
     let in_words = ir.record_in_words() as usize;
     let out_words = ir.record_out_words() as usize;
@@ -489,6 +494,214 @@ pub fn run_prepared_in(
     let mismatch = first_mismatch(kernel.output_kind(), &got, expected);
 
     Ok((stats, mismatch))
+}
+
+/// One lane of a batched dispatch: the record count and experiment
+/// parameters of one scalar run of a shared [`PreparedProgram`]. In the
+/// sweep engine a lane is one cell attempt (same lowering, possibly a
+/// different fault salt); in the hot-path harness it is one repetition
+/// of a case.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchLane {
+    /// Records to process (excluding unroll padding).
+    pub records: usize,
+    /// Per-lane experiment parameters. Grid, timing, and watchdog must
+    /// be uniform across a batch ([`batchable`]); seed and fault plan
+    /// may vary per lane.
+    pub params: ExperimentParams,
+}
+
+/// Whether `lanes` may be dispatched through
+/// [`run_prepared_batch_in`]'s lockstep path: non-empty, with uniform
+/// record count, grid shape, timing model, and watchdog. Seeds and
+/// fault plans may differ freely (they become lane *classes* inside the
+/// batch).
+#[must_use]
+pub fn batchable(lanes: &[BatchLane]) -> bool {
+    let Some(first) = lanes.first() else { return false };
+    lanes.len() <= trips_sim::batch::MAX_CLASSES
+        && lanes.iter().all(|l| {
+            l.records == first.records
+                && l.params.grid == first.params.grid
+                && l.params.timing == first.params.timing
+                && l.params.watchdog == first.params.watchdog
+        })
+}
+
+/// Whether two lanes are *uniform*: they would run the exact same
+/// simulation. Fault plans that are both inert ([`FaultPlan::is_none`])
+/// compare equal regardless of salt — the injector never installs, so
+/// the salt is unobservable.
+fn same_class(a: &ExperimentParams, b: &ExperimentParams) -> bool {
+    a.seed == b.seed && ((a.fault.is_none() && b.fault.is_none()) || a.fault == b.fault)
+}
+
+/// As [`run_prepared_in`], for a whole batch of lanes at once: dedupe
+/// the lanes into uniformity classes, execute all classes in lockstep
+/// through one shared event queue
+/// ([`trips_sim::batch::run_dataflow_batch_in`] /
+/// [`trips_sim::batch::run_mimd_batch_in`]), and verify each class's
+/// outputs against its own workload. Per-lane results are bit-identical
+/// to calling [`run_prepared_in`] on each lane alone — the whole point;
+/// see DESIGN.md §10 — so the returned vector (same order as `lanes`)
+/// can be consumed exactly as N scalar results.
+///
+/// Fast paths: a fully uniform batch (one class — the common case when
+/// repeating a measurement or retrying without faults) runs the scalar
+/// engine once and replicates its result; a batch that is not
+/// [`batchable`] falls back to per-class scalar runs. Any error while
+/// staging a class's machine also falls back to the all-scalar path,
+/// which is trivially identical.
+pub fn run_prepared_batch_in(
+    kernel: &dyn DlpKernel,
+    prepared: &PreparedProgram,
+    lanes: &[BatchLane],
+    scratch: &mut RunScratch,
+) -> Vec<LaneResult> {
+    // Dedupe lanes into uniformity classes (reps = lane index of each
+    // class representative).
+    let mut reps: Vec<usize> = Vec::new();
+    let mut class_of: Vec<usize> = Vec::with_capacity(lanes.len());
+    for (i, lane) in lanes.iter().enumerate() {
+        match reps.iter().position(|&r| same_class(&lanes[r].params, &lane.params)) {
+            Some(c) => class_of.push(c),
+            None => {
+                class_of.push(reps.len());
+                reps.push(i);
+            }
+        }
+    }
+
+    // One class, an unbatchable mix, or more classes than mask bits:
+    // run each class through the scalar reference path and replicate.
+    if reps.len() <= 1 || !batchable(lanes) {
+        let per_class: Vec<_> = reps
+            .iter()
+            .map(|&r| run_prepared_in(kernel, prepared, lanes[r].records, &lanes[r].params, scratch))
+            .collect();
+        return class_of.iter().map(|&c| per_class[c].clone()).collect();
+    }
+
+    match run_classes_lockstep(kernel, prepared, lanes, &reps, scratch) {
+        Some(per_class) => class_of.iter().map(|&c| per_class[c].clone()).collect(),
+        None => {
+            // A class failed setup (staging DMA, L0 capacity): take the
+            // scalar path for every class so error attribution matches
+            // the scalar contract exactly.
+            let per_class: Vec<_> = reps
+                .iter()
+                .map(|&r| {
+                    run_prepared_in(kernel, prepared, lanes[r].records, &lanes[r].params, scratch)
+                })
+                .collect();
+            class_of.iter().map(|&c| per_class[c].clone()).collect()
+        }
+    }
+}
+
+/// The lockstep core of [`run_prepared_batch_in`]: one machine per
+/// class, staged exactly as [`run_prepared_in`] stages its single
+/// machine, then one batched engine dispatch. Returns `None` if any
+/// class's setup errors (the caller falls back to scalar).
+fn run_classes_lockstep(
+    kernel: &dyn DlpKernel,
+    prepared: &PreparedProgram,
+    lanes: &[BatchLane],
+    reps: &[usize],
+    scratch: &mut RunScratch,
+) -> Option<Vec<LaneResult>> {
+    let ir = kernel.ir();
+    let in_words = ir.record_in_words() as usize;
+    let out_words = ir.record_out_words() as usize;
+    let records = lanes[reps[0]].records;
+    let padded_records = match &prepared.variant {
+        PreparedVariant::Mimd { .. } => records,
+        PreparedVariant::Dataflow(sched) => records.div_ceil(sched.unroll) * sched.unroll,
+    };
+
+    // Per-class machine + workload setup, mirroring `run_prepared_in`
+    // statement for statement.
+    let mut machines: Vec<Machine> = Vec::with_capacity(reps.len());
+    let mut workloads: Vec<Arc<Workload>> = Vec::with_capacity(reps.len());
+    for &r in reps {
+        let params = &lanes[r].params;
+        let mut machine = Machine::new(params.grid, params.timing, prepared.mech);
+        if let Some(ticks) = params.watchdog {
+            machine.set_watchdog(ticks);
+        }
+        if !params.fault.is_none() {
+            machine.install_fault_plan(params.fault, params.seed);
+        }
+        let workload = match &scratch.workloads {
+            Some(cache) => cache.get(kernel, padded_records, params.seed),
+            None => Arc::new(kernel.workload(padded_records, params.seed)),
+        };
+        stage(&mut machine, &workload, in_words).ok()?;
+        machines.push(machine);
+        workloads.push(workload);
+    }
+
+    let results = match &prepared.variant {
+        PreparedVariant::Mimd { progs, table } => {
+            if !table.is_empty() {
+                for machine in &mut machines {
+                    if prepared.mech.l0_data_store {
+                        machine.load_l0_table(table).ok()?;
+                    } else {
+                        machine.memory_mut().write_words(memmap::TABLE_BASE, table);
+                    }
+                }
+            }
+            trips_sim::batch::run_mimd_batch_in(
+                &mut machines,
+                progs,
+                records as u64,
+                &mut scratch.arena,
+            )
+        }
+        PreparedVariant::Dataflow(sched) => {
+            for machine in &mut machines {
+                if !sched.table_image.is_empty() {
+                    if sched.tables_in_l0 {
+                        machine.load_l0_table(&sched.table_image).ok()?;
+                    } else {
+                        machine.memory_mut().write_words(memmap::TABLE_BASE, &sched.table_image);
+                    }
+                }
+                for (reg, v) in &sched.const_regs {
+                    machine.set_reg(*reg, *v);
+                }
+            }
+            let iterations = (padded_records / sched.unroll) as u64;
+            let params = &lanes[reps[0]].params;
+            scratch.arena.mark_dataflow_block_validated(
+                &sched.block,
+                params.grid,
+                params.timing.core.rs_slots_per_node,
+            );
+            trips_sim::batch::run_dataflow_batch_in(
+                &mut machines,
+                &sched.block,
+                iterations,
+                &mut scratch.arena,
+            )
+        }
+    };
+
+    // Per-class verification against each class's own reference output.
+    Some(
+        results
+            .into_iter()
+            .zip(machines.iter())
+            .zip(workloads.iter())
+            .map(|((res, machine), workload)| {
+                let stats = res?;
+                let got = machine.memory().read_words(memmap::BASE_OUT, records * out_words);
+                let expected = &workload.expected[..records * out_words];
+                Ok((stats, first_mismatch(kernel.output_kind(), &got, expected)))
+            })
+            .collect(),
+    )
 }
 
 /// Write a workload into memory and stage the SMC window.

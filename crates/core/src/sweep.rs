@@ -91,7 +91,8 @@ use serde::{Deserialize, Serialize};
 use trips_sim::MechanismSet;
 
 use crate::runner::{
-    natural_unroll, prepare_kernel, run_prepared_in, PreparedProgram, RunScratch, WorkloadCache,
+    natural_unroll, prepare_kernel, run_prepared_batch_in, run_prepared_in, BatchLane,
+    PreparedProgram, RunScratch, WorkloadCache,
 };
 use crate::store::{
     self, cacheable, lowering_fingerprint, DeadLetterQueue, Digest, DlqRecord, ManifestEntry,
@@ -640,14 +641,19 @@ impl Sweep {
         // engine arena makes repeat cells allocation-free, and the
         // (optional) workload cache is shared across all workers.
         //
-        // The work-stealing unit is a *group* of cells processed
-        // sequentially in push order: singletons normally, one group
-        // per configuration when the circuit breaker is armed (so
-        // "consecutive failures" is well-defined regardless of worker
-        // interleaving — determinism over parallel width).
+        // The work-stealing unit is a *group* of cells. Three shapes:
+        // one sequential chain per configuration when the circuit
+        // breaker is armed (so "consecutive failures" is well-defined
+        // regardless of worker interleaving); lane-*batched* groups of
+        // pending cells sharing one lowering, record count, and
+        // watchdog (dispatched in lockstep through the batched engine —
+        // DESIGN.md §10 — with bit-identical per-cell results); and
+        // singleton chains for everything else. Batching is skipped
+        // under a breaker (its failure chains are sequential by
+        // definition) and under a soft timeout (a wall-clock budget is
+        // per-cell and cannot be attributed inside a shared dispatch).
         let breaker = self.policy.breaker_threshold.filter(|&t| t > 0);
-        let groups: Vec<Vec<usize>> = match breaker {
-            None => (0..self.cells.len()).map(|i| vec![i]).collect(),
+        let groups: Vec<DispatchGroup> = match breaker {
             Some(_) => {
                 let mut order: Vec<(String, Vec<usize>)> = Vec::new();
                 for (i, cell) in self.cells.iter().enumerate() {
@@ -657,9 +663,47 @@ impl Sweep {
                         None => order.push((config, vec![i])),
                     }
                 }
-                order.into_iter().map(|(_, members)| members).collect()
+                order.into_iter().map(|(_, members)| DispatchGroup::Chain(members)).collect()
             }
+            None if self.policy.soft_timeout_ms.is_none() => {
+                let mut groups: Vec<DispatchGroup> = Vec::new();
+                let mut pending: Vec<(BatchKey, Vec<usize>)> = Vec::new();
+                for i in 0..self.cells.len() {
+                    if resolved[i].is_some() {
+                        groups.push(DispatchGroup::Chain(vec![i]));
+                        continue;
+                    }
+                    let key =
+                        (cell_plan[i], self.cells[i].records, self.cells[i].params.watchdog);
+                    match pending.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, members)) => members.push(i),
+                        None => pending.push((key, vec![i])),
+                    }
+                }
+                for (_, members) in pending {
+                    for chunk in members.chunks(trips_sim::batch::MAX_CLASSES) {
+                        if chunk.len() >= 2 {
+                            groups.push(DispatchGroup::Batch(chunk.to_vec()));
+                        } else {
+                            groups.push(DispatchGroup::Chain(chunk.to_vec()));
+                        }
+                    }
+                }
+                groups
+            }
+            None => (0..self.cells.len()).map(|i| DispatchGroup::Chain(vec![i])).collect(),
         };
+        // Static dispatch accounting: a pure function of the grid, the
+        // policy, and the resolve phase — never of worker interleaving.
+        let cells_batched = groups
+            .iter()
+            .map(|g| match g {
+                DispatchGroup::Batch(members) => members.len(),
+                DispatchGroup::Chain(_) => 0,
+            })
+            .sum();
+        let batch_dispatches =
+            groups.iter().filter(|g| matches!(g, DispatchGroup::Batch(_))).count();
         let workload_cache =
             if self.workload_cache { Some(Arc::new(WorkloadCache::new())) } else { None };
         let group_results: Vec<Vec<(usize, Resolved)>> = self.parallel_map_with(
@@ -668,59 +712,54 @@ impl Sweep {
                 Some(cache) => RunScratch::with_workload_cache(Arc::clone(cache)),
                 None => RunScratch::new(),
             },
-            |scratch, g| {
-                let mut out = Vec::with_capacity(groups[g].len());
-                let mut consecutive = 0u32;
-                let mut open = false;
-                for &i in &groups[g] {
-                    let result = if let Some(known) = resolved[i].clone() {
-                        // A known outcome is always served — the
-                        // breaker only guards *unknown* work.
-                        known
-                    } else if open {
-                        let outcome = CellOutcome::Skipped {
-                            reason: format!(
-                                "circuit breaker open for {}: {consecutive} consecutive failures",
-                                self.cells[i].config_name()
-                            ),
-                            failures: consecutive,
-                        };
-                        Resolved { outcome, wall_ms: 0.0, attempts: 0, origin: Origin::Skipped }
-                    } else {
-                        let (outcome, wall_ms, attempts) =
-                            self.execute_cell(scratch, i, &plans, &cell_plan);
-                        if let (Some(store), Some(keys)) = (&self.result_store, &keys) {
-                            // Benign when racing a duplicate cell:
-                            // identical content; failure is a cache
-                            // problem, never a sweep problem.
-                            let _ = store.put(&keys[i], &outcome);
-                        }
-                        if let Some(writer) = &self.manifest {
-                            writer.append(
-                                i,
-                                &ManifestEntry { outcome: outcome.clone(), wall_ms, attempts },
-                            );
-                        }
-                        if let Some(dlq) = &self.dlq {
-                            if matches!(outcome, CellOutcome::Failed { .. })
-                                && !cacheable(&outcome)
-                            {
-                                dlq.append(&self.dlq_record(i, &outcome));
-                            }
-                        }
-                        Resolved { outcome, wall_ms, attempts, origin: Origin::Executed }
-                    };
-                    if matches!(result.outcome, CellOutcome::Failed { .. }) {
-                        consecutive += 1;
-                    } else if matches!(result.outcome, CellOutcome::Ran { .. }) {
-                        consecutive = 0;
-                    }
-                    if breaker.is_some_and(|t| consecutive >= t) {
-                        open = true;
-                    }
-                    out.push((i, result));
+            |scratch, g| match &groups[g] {
+                DispatchGroup::Batch(members) => {
+                    let results = self.execute_batch(scratch, members, &plans, &cell_plan);
+                    members
+                        .iter()
+                        .zip(results)
+                        .map(|(&i, (outcome, wall_ms, attempts))| {
+                            self.record_completion(i, &outcome, wall_ms, attempts, &keys);
+                            (i, Resolved { outcome, wall_ms, attempts, origin: Origin::Executed })
+                        })
+                        .collect()
                 }
-                out
+                DispatchGroup::Chain(members) => {
+                    let mut out = Vec::with_capacity(members.len());
+                    let mut consecutive = 0u32;
+                    let mut open = false;
+                    for &i in members {
+                        let result = if let Some(known) = resolved[i].clone() {
+                            // A known outcome is always served — the
+                            // breaker only guards *unknown* work.
+                            known
+                        } else if open {
+                            let outcome = CellOutcome::Skipped {
+                                reason: format!(
+                                    "circuit breaker open for {}: {consecutive} consecutive failures",
+                                    self.cells[i].config_name()
+                                ),
+                                failures: consecutive,
+                            };
+                            Resolved { outcome, wall_ms: 0.0, attempts: 0, origin: Origin::Skipped }
+                        } else {
+                            let (outcome, wall_ms, attempts) =
+                                self.execute_cell(scratch, i, &plans, &cell_plan);
+                            self.record_completion(i, &outcome, wall_ms, attempts, &keys);
+                            Resolved { outcome, wall_ms, attempts, origin: Origin::Executed }
+                        };
+                        if matches!(result.outcome, CellOutcome::Failed { .. }) {
+                            consecutive += 1;
+                        } else if matches!(result.outcome, CellOutcome::Ran { .. }) {
+                            consecutive = 0;
+                        }
+                        if breaker.is_some_and(|t| consecutive >= t) {
+                            open = true;
+                        }
+                        out.push((i, result));
+                    }
+                    out
+                }
             },
         );
         let mut cell_results: Vec<Option<Resolved>> = vec![None; self.cells.len()];
@@ -801,7 +840,136 @@ impl Sweep {
             cells_skipped,
             resumed_cells,
             dlq_appended,
+            cells_batched,
+            batch_dispatches,
             cells,
+        }
+    }
+
+    /// Runs one lane-batched group: attempt 1 of every cell in lockstep
+    /// through [`run_prepared_batch_in`], then scalar retries (attempts
+    /// 2..) for any lane whose first attempt failed. Per-cell outcomes
+    /// are bit-identical to [`Sweep::execute_cell`]: batched attempt 1
+    /// is bit-identical to scalar attempt 1 (the `batched_identity`
+    /// tier-1 contract), and the retry chain re-enters the scalar path
+    /// with the same salt sequence.
+    fn execute_batch(
+        &self,
+        scratch: &mut RunScratch,
+        members: &[usize],
+        plans: &[Option<Result<PreparedProgram, DlpError>>],
+        cell_plan: &[usize],
+    ) -> Vec<(CellOutcome, f64, u32)> {
+        let started = Instant::now();
+        let max_attempts = self.policy.max_attempts.max(1);
+        let prepared = match &plans[cell_plan[members[0]]] {
+            Some(Ok(prepared)) => prepared,
+            // Lowering failed (or, unreachably, was never prepared):
+            // the scalar path renders the exact per-cell diagnostics.
+            _ => {
+                return members
+                    .iter()
+                    .map(|&i| self.execute_cell(scratch, i, plans, cell_plan))
+                    .collect();
+            }
+        };
+        // All members share one plan key, hence one kernel.
+        let kernel = self.kernels[self.cells[members[0]].kernel].as_ref();
+        let lanes: Vec<BatchLane> = members
+            .iter()
+            .map(|&i| {
+                let cell = &self.cells[i];
+                BatchLane {
+                    records: cell.records,
+                    params: ExperimentParams {
+                        seed: derive_seed(cell.params.seed, kernel.name()),
+                        ..cell.params
+                    },
+                }
+            })
+            .collect();
+        let Ok(first_attempts) =
+            catch_cell(|| Ok(run_prepared_batch_in(kernel, prepared, &lanes, scratch)))
+        else {
+            // A panic in the batched engine degrades exactly like a
+            // scalar panic: each cell retries through the scalar path.
+            return members
+                .iter()
+                .map(|&i| self.execute_cell(scratch, i, plans, cell_plan))
+                .collect();
+        };
+        let batch_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        members
+            .iter()
+            .zip(first_attempts)
+            .map(|(&i, first)| {
+                let mut err = match first {
+                    Ok((stats, mismatch)) => {
+                        return (CellOutcome::Ran { stats, mismatch }, batch_ms, 1);
+                    }
+                    Err(e) => e,
+                };
+                // Scalar retries, continuing the salt sequence where
+                // the (batched) first attempt left off.
+                let cell = &self.cells[i];
+                let retries_started = Instant::now();
+                let mut attempt = 1u32;
+                while attempt < max_attempts {
+                    attempt += 1;
+                    let fault = cell
+                        .params
+                        .fault
+                        .with_salt(cell.params.fault.salt.wrapping_add(u64::from(attempt - 1)));
+                    let params = ExperimentParams {
+                        seed: derive_seed(cell.params.seed, kernel.name()),
+                        fault,
+                        ..cell.params
+                    };
+                    match catch_cell(|| {
+                        run_prepared_in(kernel, prepared, cell.records, &params, scratch)
+                    }) {
+                        Ok((stats, mismatch)) => {
+                            let wall = batch_ms + retries_started.elapsed().as_secs_f64() * 1e3;
+                            return (CellOutcome::Ran { stats, mismatch }, wall, attempt);
+                        }
+                        Err(e) => err = e,
+                    }
+                }
+                let outcome = CellOutcome::Failed {
+                    error: err.to_string(),
+                    kind: err.kind().to_string(),
+                    attempts: attempt,
+                    timed_out: false,
+                };
+                let wall = batch_ms + retries_started.elapsed().as_secs_f64() * 1e3;
+                (outcome, wall, attempt)
+            })
+            .collect()
+    }
+
+    /// Streams one completed cell into the attached store, manifest,
+    /// and dead-letter queue (shared by the scalar and batched paths).
+    fn record_completion(
+        &self,
+        i: usize,
+        outcome: &CellOutcome,
+        wall_ms: f64,
+        attempts: u32,
+        keys: &Option<Vec<StoreKey>>,
+    ) {
+        if let (Some(store), Some(keys)) = (&self.result_store, keys) {
+            // Benign when racing a duplicate cell: identical content;
+            // failure is a cache problem, never a sweep problem.
+            let _ = store.put(&keys[i], outcome);
+        }
+        if let Some(writer) = &self.manifest {
+            writer.append(i, &ManifestEntry { outcome: outcome.clone(), wall_ms, attempts });
+        }
+        if let Some(dlq) = &self.dlq {
+            if matches!(outcome, CellOutcome::Failed { .. }) && !cacheable(outcome) {
+                dlq.append(&self.dlq_record(i, outcome));
+            }
         }
     }
 
@@ -1041,6 +1209,22 @@ impl Sweep {
     }
 }
 
+/// One phase-2 work-stealing unit.
+enum DispatchGroup {
+    /// Cells processed sequentially in push order by the scalar path
+    /// (per-configuration chains under a breaker, singletons otherwise).
+    Chain(Vec<usize>),
+    /// Pending cells sharing one lowering, record count, and watchdog,
+    /// dispatched in lockstep through the lane-batched engine.
+    Batch(Vec<usize>),
+}
+
+/// Batch-eligibility key: plan index (which already pins kernel,
+/// mechanisms, grid, and timing), record count, and watchdog — exactly
+/// the uniformity [`crate::runner::batchable`] requires. Seeds and
+/// fault plans vary freely inside a batch (they become lane classes).
+type BatchKey = (usize, usize, Option<dlp_common::Tick>);
+
 /// How one cell's outcome was obtained by [`Sweep::run`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Origin {
@@ -1272,6 +1456,15 @@ pub struct SweepReport {
     pub resumed_cells: usize,
     /// Records appended to the dead-letter queue by this run.
     pub dlq_appended: u64,
+    /// Pending cells dispatched through the lane-batched engine
+    /// (DESIGN.md §10) rather than one-at-a-time. A pure function of
+    /// the grid, the policy, and the resolve phase — never of worker
+    /// count — and observationally inert: batched cells report
+    /// bit-identical outcomes. 0 under a breaker or soft timeout
+    /// (which force the scalar path) and on fully-resolved warm runs.
+    pub cells_batched: usize,
+    /// Lockstep dispatches those batched cells were grouped into.
+    pub batch_dispatches: usize,
     /// Per-cell results, in push order.
     pub cells: Vec<SweepCell>,
 }
@@ -1331,6 +1524,8 @@ impl SweepReport {
             cells_skipped: 0,
             resumed_cells: 0,
             dlq_appended: 0,
+            cells_batched: 0,
+            batch_dispatches: 0,
             cells: self
                 .cells
                 .iter()
@@ -1566,9 +1761,12 @@ mod tests {
         assert!(cached.workload_cache_hits >= 1, "repeated config shares its workload");
         assert_eq!(
             cached.workload_cache_hits + cached.workload_cache_misses,
-            cached.cells.len() as u64,
-            "every cell looked its workload up exactly once"
+            2,
+            "baseline looked up once; the two identical S cells collapse \
+             to one lane class and share a single lookup"
         );
+        assert_eq!(cached.cells_batched, 2, "the repeated S cells batch together");
+        assert_eq!(cached.batch_dispatches, 1);
         assert_eq!(plain.workload_cache_hits, 0);
         assert_eq!(plain.workload_cache_misses, 0);
         for (a, b) in cached.cells.iter().zip(&plain.cells) {

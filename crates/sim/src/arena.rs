@@ -19,6 +19,8 @@
 pub struct EngineArena {
     pub(crate) dataflow: crate::dataflow::DataflowScratch,
     pub(crate) mimd: crate::mimd::MimdScratch,
+    pub(crate) batch_dataflow: crate::batch::BatchDataflowScratch,
+    pub(crate) batch_mimd: crate::batch::BatchMimdScratch,
 }
 
 impl EngineArena {
@@ -48,7 +50,8 @@ impl EngineArena {
         grid: dlp_common::GridShape,
         slots_per_node: usize,
     ) {
-        self.dataflow.validated =
-            Some((std::ptr::from_ref(block) as usize, block.len(), grid, slots_per_node));
+        let fp = (std::ptr::from_ref(block) as usize, block.len(), grid, slots_per_node);
+        self.dataflow.validated = Some(fp);
+        self.batch_dataflow.tables.validated = Some(fp);
     }
 }

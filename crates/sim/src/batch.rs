@@ -1,0 +1,1378 @@
+//! Lane-batched execution: N variants of one prepared lowering run in
+//! lockstep through a single shared calendar queue (DESIGN.md §10).
+//!
+//! A *lane class* is one complete scalar run — same block or programs,
+//! its own [`Machine`] (memory image, registers, router, caches, fault
+//! injector) — and up to [`MAX_CLASSES`] classes execute simultaneously.
+//! Queue events carry a class **bitmask**: classes whose schedules agree
+//! share one event (one queue entry, one bucket walk, one readiness
+//! check covers all of them), and classes that diverge (faults, early
+//! errors) simply mask off rather than fork the run.
+//!
+//! Per-class state is structure-of-arrays with the class index
+//! innermost: operand values are `[frame][inst][port][class]` strides,
+//! operand presence and executed flags are one `u64` bitmask per
+//! `[frame][inst][port]` / `[frame][inst]`, and issue/register-port
+//! throttles are `[resource][class]`. The hot latch/readiness path is
+//! branch-free over the class dimension so the compiler can vectorize
+//! it.
+//!
+//! **Determinism.** Per-class results are bit-identical to scalar runs
+//! (`run_dataflow_in` / `run_mimd_in`) because, for every class `c`, the
+//! restriction of the shared queue's pop order to events containing `c`
+//! equals the scalar queue's `(tick, key, seq)` order. Pushes produced
+//! while processing one popped event are buffered and merged across
+//! classes under the *cursor rule*: class `c` may join a buffered entry
+//! only at or past its own cursor (the position after its previous
+//! push) and only if the entry does not already carry bit `c`. This
+//! keeps each class's flush positions strictly increasing in its push
+//! order — so per-class sequence numbers are monotone in scalar push
+//! order — and preserves per-class multiplicity (two same-payload pushes
+//! by one class stay two entries, exactly like the scalar MIMD
+//! send-to-self wakeup). Classes within one event are processed in
+//! ascending class index, and no per-class computation reads another
+//! class's state, so lane order cannot leak into results.
+
+// Lane classes are addressed by a dense index `c` into parallel SoA
+// arrays (machines, stats, masks, cursors); index loops are the
+// natural form here, not an iterator smell.
+#![allow(clippy::needless_range_loop)]
+
+use dlp_common::{DlpError, SimStats, Tick, Value};
+use trips_isa::{
+    DataflowBlock, MemSpace, MimdInst, MimdOp, MimdProgram, OpClass, OpRole, Opcode, Port,
+    REG_NODE_COUNT, REG_NODE_ID, REG_RECORDS,
+};
+use trips_mem::Throttle;
+use trips_noc::Endpoint;
+
+use crate::dataflow::{port_idx, reserve_cycle, DataflowScratch, ResolvedTarget};
+use crate::equeue::CalendarQueue;
+use crate::mimd::{Channels, NodeState, RankCoord, Step, MIMD_BUCKET_SHIFT};
+use crate::{EngineArena, Machine};
+
+/// Maximum lane classes per batched dispatch (the event bitmask width).
+pub const MAX_CLASSES: usize = 64;
+
+/// Sentinel instruction index marking a quiesce (bookkeeping) event.
+const NO_INST: u32 = u32::MAX;
+/// Sentinel row index for events that carry no operand values.
+const NO_ROW: u32 = u32::MAX;
+
+/// One buffered (not yet flushed) push from the current merge window.
+#[derive(Clone, Copy)]
+struct Pending {
+    tick: Tick,
+    /// Dataflow: frame index. MIMD: rank.
+    slot: u32,
+    /// Dataflow: destination instruction or [`NO_INST`]. MIMD: unused (0).
+    inst: u32,
+    /// Dataflow: destination port index 0..3. MIMD: unused (0).
+    port: u8,
+    mask: u64,
+    /// Dataflow operand events: index of the per-class value row.
+    row: u32,
+}
+
+/// A queued event: the payload identity plus the class mask.
+#[derive(Clone, Copy)]
+struct BatchEv {
+    mask: u64,
+    frame: u32,
+    inst: u32,
+    port: u8,
+    row: u32,
+}
+
+/// The shared merge buffer: pending pushes for the current window plus
+/// each class's cursor (the pend index after its latest push).
+#[derive(Default)]
+struct MergeBuf {
+    pend: Vec<Pending>,
+    cursors: Vec<usize>,
+}
+
+impl MergeBuf {
+    fn reset(&mut self, nc: usize) {
+        self.pend.clear();
+        self.cursors.clear();
+        self.cursors.resize(nc, 0);
+    }
+
+    /// Buffer one push for class `c` under the cursor rule: join the
+    /// first entry at or past `cursors[c]` with identical
+    /// `(tick, slot, inst, port)` that does not yet carry bit `c`, else
+    /// append. Returns the pend index the push landed in, and whether it
+    /// was an append (the caller allocates value rows on appends).
+    fn push(&mut self, c: usize, tick: Tick, slot: u32, inst: u32, port: u8) -> (usize, bool) {
+        let bit = 1u64 << c;
+        let start = self.cursors[c];
+        for idx in start..self.pend.len() {
+            let p = &mut self.pend[idx];
+            if p.tick == tick
+                && p.slot == slot
+                && p.inst == inst
+                && p.port == port
+                && p.mask & bit == 0
+            {
+                p.mask |= bit;
+                self.cursors[c] = idx + 1;
+                return (idx, false);
+            }
+        }
+        self.pend.push(Pending { tick, slot, inst, port, mask: bit, row: NO_ROW });
+        self.cursors[c] = self.pend.len();
+        (self.pend.len() - 1, true)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow
+// ---------------------------------------------------------------------------
+
+/// Recyclable storage for one batched dataflow run, owned by an
+/// [`EngineArena`](crate::EngineArena). Block-shape tables live in the
+/// embedded [`DataflowScratch`] and are built by the same
+/// `build_tables` the scalar engine uses, so routing and readiness are
+/// bit-identical by construction.
+#[derive(Default)]
+pub(crate) struct BatchDataflowScratch {
+    /// Shared block tables (only the table fields are used here).
+    pub(crate) tables: DataflowScratch,
+    events: CalendarQueue<(), BatchEv>,
+    buf: MergeBuf,
+    /// Operand values, `[frame][inst][port][class]` (class innermost).
+    ops_val: Vec<Value>,
+    /// Operand-present bitmasks, one per `[frame][inst][port]`.
+    ops_set: Vec<u64>,
+    /// Executed bitmasks, one per `[frame][inst]`.
+    executed: Vec<u64>,
+    /// Executed-instruction counts, `[frame][class]`.
+    exec_count: Vec<u32>,
+    /// Outstanding events per `[frame][class]`.
+    pending: Vec<u32>,
+    /// Latest event tick per `[frame][class]`.
+    frame_last_tick: Vec<Tick>,
+    /// Kernel iteration per `[frame][class]`.
+    frame_iter: Vec<u64>,
+    /// Issue throttles, `[node][class]`.
+    node_issue: Vec<Throttle>,
+    /// Register-bank read-port throttles, `[bank][class]`.
+    reg_bank_ports: Vec<Throttle>,
+    /// Per-class value rows: row `r` is `rows[r*nc..(r+1)*nc]`.
+    rows: Vec<Value>,
+    free_rows: Vec<u32>,
+    // Per-class run state.
+    fetch_done: Vec<Tick>,
+    next_iter: Vec<u64>,
+    done_iters: Vec<u64>,
+    final_tick: Vec<Tick>,
+    /// Outstanding queued events per class (frames summed).
+    live: Vec<u64>,
+    stats: Vec<SimStats>,
+    results: Vec<Option<Result<SimStats, DlpError>>>,
+    /// Classes that latched a result and no longer process events.
+    dead: u64,
+}
+
+/// Loop-invariant context for one batched dataflow run.
+#[derive(Clone, Copy)]
+struct DfCtx {
+    nc: usize,
+    len: usize,
+    banks: u16,
+    reg_cols: u8,
+    op_revit: bool,
+    inst_revit: bool,
+    per_fetch: Tick,
+    revitalize_delay: Tick,
+    iterations: u64,
+}
+
+fn df_alloc_row(s: &mut BatchDataflowScratch, nc: usize) -> u32 {
+    if let Some(r) = s.free_rows.pop() {
+        return r;
+    }
+    let r = (s.rows.len() / nc) as u32;
+    s.rows.resize(s.rows.len() + nc, Value::ZERO);
+    r
+}
+
+/// Buffer one operand/quiesce push for class `c`. `inst == NO_INST`
+/// means quiesce (no value row).
+#[allow(clippy::too_many_arguments)]
+fn df_buffer(
+    s: &mut BatchDataflowScratch,
+    ctx: DfCtx,
+    c: usize,
+    tick: Tick,
+    frame: usize,
+    inst: u32,
+    port: u8,
+    value: Value,
+) {
+    let (idx, appended) = s.buf.push(c, tick, frame as u32, inst, port);
+    if inst != NO_INST {
+        if appended {
+            let row = df_alloc_row(s, ctx.nc);
+            s.buf.pend[idx].row = row;
+        }
+        let row = s.buf.pend[idx].row as usize;
+        s.rows[row * ctx.nc + c] = value;
+    }
+    s.pending[frame * ctx.nc + c] += 1;
+    s.live[c] += 1;
+}
+
+fn df_flush(s: &mut BatchDataflowScratch) {
+    for idx in 0..s.buf.pend.len() {
+        let p = s.buf.pend[idx];
+        s.events.push(
+            p.tick,
+            (),
+            BatchEv { mask: p.mask, frame: p.slot, inst: p.inst, port: p.port, row: p.row },
+        );
+    }
+    s.buf.pend.clear();
+    for cur in &mut s.buf.cursors {
+        *cur = 0;
+    }
+}
+
+fn df_kill(s: &mut BatchDataflowScratch, c: usize, err: DlpError) {
+    s.results[c] = Some(Err(err));
+    s.dead |= 1u64 << c;
+}
+
+/// Seed one iteration's initial activity for class `c` at `start` on
+/// `frame` — the exact scalar `seed_iteration`, buffered.
+#[allow(clippy::too_many_arguments)]
+fn df_seed_iteration(
+    ctx: DfCtx,
+    block: &DataflowBlock,
+    s: &mut BatchDataflowScratch,
+    m: &mut Machine,
+    c: usize,
+    frame: usize,
+    start: Tick,
+    iter: u64,
+    first: bool,
+) {
+    let nc = ctx.nc;
+    s.frame_iter[frame * nc + c] = iter;
+    let lt = &mut s.frame_last_tick[frame * nc + c];
+    *lt = (*lt).max(start);
+    for (ri, rr) in block.reg_reads().iter().enumerate() {
+        if !first && ctx.op_revit && rr.persistent {
+            continue; // value survived revitalization
+        }
+        let bank = (rr.reg % ctx.banks) as usize;
+        let inject = reserve_cycle(&mut s.reg_bank_ports[bank * nc + c], start);
+        s.stats[c].reg_reads += 1;
+        let bank_col = (bank as u8).min(ctx.reg_cols - 1);
+        let value = m.regs[rr.reg as usize];
+        let (span_start, span_end) = s.tables.reg_read_span[ri];
+        for k in span_start..span_end {
+            let (inst, port, node) = s.tables.reg_read_dsts[k as usize];
+            let arrive = m.router.send_faulty(
+                Endpoint::RegBank(bank_col),
+                Endpoint::Node(node),
+                inject,
+                &mut m.fault,
+            );
+            let arrive = m.fault.operand_write(arrive);
+            df_buffer(s, ctx, c, arrive, frame, inst as u32, port_idx(port) as u8, value);
+        }
+    }
+    // Source instructions with no required operands fire at start.
+    let bit = 1u64 << c;
+    for i in 0..ctx.len {
+        if s.executed[frame * ctx.len + i] & bit != 0 {
+            continue;
+        }
+        let b3 = (frame * ctx.len + i) * 3;
+        let req = s.tables.required[i];
+        let ready = (!req[0] || s.ops_set[b3] & bit != 0)
+            && (!req[1] || s.ops_set[b3 + 1] & bit != 0)
+            && (!req[2] || s.ops_set[b3 + 2] & bit != 0);
+        if ready {
+            df_execute(ctx, block, s, m, c, frame, i, start);
+        }
+    }
+}
+
+/// Issue and execute instruction `i` for class `c` — the exact scalar
+/// `execute`, against class-local machine and SoA state.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn df_execute(
+    ctx: DfCtx,
+    block: &DataflowBlock,
+    s: &mut BatchDataflowScratch,
+    m: &mut Machine,
+    c: usize,
+    frame: usize,
+    i: usize,
+    t: Tick,
+) {
+    let nc = ctx.nc;
+    let bit = 1u64 << c;
+    let inst = &block.insts()[i];
+    let node = inst.slot.node;
+    let node_idx = s.tables.inst_node[i];
+    let issue = reserve_cycle(&mut s.node_issue[node_idx * nc + c], t);
+    s.executed[frame * ctx.len + i] |= bit;
+    s.exec_count[frame * nc + c] += 1;
+
+    let lat = inst.op.latency(&m.params().ops);
+    let b3 = (frame * ctx.len + i) * 3;
+    let op_val = |s: &BatchDataflowScratch, p: usize| -> Option<Value> {
+        if s.ops_set[b3 + p] & bit != 0 {
+            Some(s.ops_val[(b3 + p) * nc + c])
+        } else {
+            None
+        }
+    };
+    let l = op_val(s, 0).unwrap_or(Value::ZERO);
+    let r = op_val(s, 1).or(inst.imm).unwrap_or(Value::ZERO);
+    let p = op_val(s, 2).unwrap_or(Value::ZERO);
+    let iter = s.frame_iter[frame * nc + c];
+
+    // Metric accounting.
+    match inst.op {
+        Opcode::Load(_) | Opcode::Lmw => s.stats[c].loads += 1,
+        Opcode::Store(_) => s.stats[c].stores += 1,
+        Opcode::Lut => s.stats[c].l0_accesses += 1,
+        _ => {}
+    }
+    let countable = !inst.op.is_mem() && inst.op.class() != OpClass::Mov;
+    if countable && inst.role == OpRole::Useful {
+        s.stats[c].useful_ops += 1;
+    } else {
+        s.stats[c].overhead_ops += 1;
+    }
+
+    let row = node.row;
+    match inst.op {
+        Opcode::MovI => {
+            let v = inst.imm.unwrap_or(Value::ZERO);
+            df_fan_out(ctx, block, s, m, c, frame, i, issue + lat, v);
+        }
+        Opcode::Iter => {
+            df_fan_out(ctx, block, s, m, c, frame, i, issue + lat, Value::from_u64(iter));
+        }
+        Opcode::Nop => {}
+        Opcode::Lut => {
+            let index = l.as_u64().wrapping_add(inst.imm.map_or(0, |v| v.as_u64()));
+            let v = m.l0_data.get(index as usize).copied().unwrap_or(Value::ZERO);
+            let done = issue + m.params().mem.l0_latency;
+            df_fan_out(ctx, block, s, m, c, frame, i, done, v);
+        }
+        Opcode::Load(space) => {
+            let addr = l.as_u64().wrapping_add(inst.imm.map_or(0, |v| v.as_u64()));
+            let handoff = issue + lat;
+            let req = m.router.send_faulty(
+                Endpoint::Node(node),
+                Endpoint::MemPort(row),
+                handoff,
+                &mut m.fault,
+            );
+            let served = match space {
+                MemSpace::Smc => {
+                    s.stats[c].smc_accesses += 1;
+                    m.smc[row as usize].access_faulty(addr, req, &mut m.fault)
+                }
+                MemSpace::L1 => {
+                    s.stats[c].l1_accesses += 1;
+                    let (t2, hit) = m.l1[row as usize].access_faulty(addr, req, &mut m.fault);
+                    if !hit {
+                        s.stats[c].l1_misses += 1;
+                    }
+                    t2
+                }
+            };
+            let back = m.router.send_faulty(
+                Endpoint::MemPort(row),
+                Endpoint::Node(node),
+                served,
+                &mut m.fault,
+            );
+            let v = m.mem.read(addr);
+            df_fan_out(ctx, block, s, m, c, frame, i, back, v);
+        }
+        Opcode::Lmw => {
+            let addr = l.as_u64();
+            let n = inst.imm.map_or(0, |v| v.as_u64()) as u32;
+            let handoff = issue + lat;
+            let req = m.router.send_faulty(
+                Endpoint::Node(node),
+                Endpoint::MemPort(row),
+                handoff,
+                &mut m.fault,
+            );
+            s.stats[c].smc_accesses += 1;
+            s.stats[c].lmw_words += u64::from(n);
+            let served = m.smc[row as usize].access_wide_faulty(addr, n, req, &mut m.fault);
+            // The streaming channel delivers word k straight to target k.
+            let (span_start, span_end) = s.tables.resolved_span[i];
+            for (k, ti) in (span_start..span_end).enumerate() {
+                let tgt = s.tables.resolved[ti as usize];
+                let v = m.mem.read(addr + k as u64);
+                df_deliver(ctx, s, m, c, frame, tgt, Endpoint::MemPort(row), served, v);
+            }
+        }
+        Opcode::Store(space) => {
+            let addr = l.as_u64().wrapping_add(inst.imm.map_or(0, |v| v.as_u64()));
+            m.mem.write(addr, r);
+            let handoff = issue + lat;
+            let req = m.router.send_faulty(
+                Endpoint::Node(node),
+                Endpoint::MemPort(row),
+                handoff,
+                &mut m.fault,
+            );
+            let drained = match space {
+                MemSpace::Smc => {
+                    let t2 = m.stb[row as usize].push_faulty(addr, req, &mut m.fault);
+                    m.smc[row as usize].store_faulty(addr, t2, &mut m.fault)
+                }
+                MemSpace::L1 => {
+                    s.stats[c].l1_accesses += 1;
+                    let (t2, hit) = m.l1[row as usize].access_faulty(addr, req, &mut m.fault);
+                    if !hit {
+                        s.stats[c].l1_misses += 1;
+                    }
+                    t2
+                }
+            };
+            df_buffer(s, ctx, c, drained, frame, NO_INST, 0, Value::ZERO);
+        }
+        _ => {
+            let v = trips_isa::exec::eval(inst.op, l, r, p);
+            df_fan_out(ctx, block, s, m, c, frame, i, issue + lat, v);
+        }
+    }
+}
+
+/// Route instruction `i`'s result to all its targets at `t`.
+#[allow(clippy::too_many_arguments)]
+fn df_fan_out(
+    ctx: DfCtx,
+    block: &DataflowBlock,
+    s: &mut BatchDataflowScratch,
+    m: &mut Machine,
+    c: usize,
+    frame: usize,
+    i: usize,
+    t: Tick,
+    v: Value,
+) {
+    let node = block.insts()[i].slot.node;
+    let (span_start, span_end) = s.tables.resolved_span[i];
+    for ti in span_start..span_end {
+        let tgt = s.tables.resolved[ti as usize];
+        df_deliver(ctx, s, m, c, frame, tgt, Endpoint::Node(node), t, v);
+    }
+    if span_start == span_end {
+        df_buffer(s, ctx, c, t, frame, NO_INST, 0, Value::ZERO);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn df_deliver(
+    ctx: DfCtx,
+    s: &mut BatchDataflowScratch,
+    m: &mut Machine,
+    c: usize,
+    frame: usize,
+    tgt: ResolvedTarget,
+    from: Endpoint,
+    t: Tick,
+    v: Value,
+) {
+    match tgt {
+        ResolvedTarget::Port { inst, node, port } => {
+            let arrive = m.router.send_faulty(from, Endpoint::Node(node), t, &mut m.fault);
+            // The destination reservation station is an operand store:
+            // a flipped entry is detected by parity and re-latched.
+            let arrive = m.fault.operand_write(arrive);
+            df_buffer(s, ctx, c, arrive, frame, inst as u32, port_idx(port) as u8, v);
+        }
+        ResolvedTarget::Reg { reg, bank_col } => {
+            let arrive = m.router.send_faulty(from, Endpoint::RegBank(bank_col), t, &mut m.fault);
+            m.regs[reg as usize] = v;
+            s.stats[c].reg_writes += 1;
+            df_buffer(s, ctx, c, arrive, frame, NO_INST, 0, Value::ZERO);
+        }
+    }
+}
+
+/// Reset class `c`'s view of a frame for its next iteration.
+fn df_reset_frame(
+    ctx: DfCtx,
+    block: &DataflowBlock,
+    s: &mut BatchDataflowScratch,
+    c: usize,
+    frame: usize,
+    keep_persistent: bool,
+) {
+    let op_revit = keep_persistent && ctx.op_revit;
+    let bit = 1u64 << c;
+    for i in 0..ctx.len {
+        s.executed[frame * ctx.len + i] &= !bit;
+        let persist = block.insts()[i].persistent;
+        let b3 = (frame * ctx.len + i) * 3;
+        for (pi, port) in [Port::Left, Port::Right, Port::Pred].into_iter().enumerate() {
+            if !(op_revit && persist.contains(port)) {
+                s.ops_set[b3 + pi] &= !bit;
+            }
+        }
+    }
+    s.exec_count[frame * ctx.nc + c] = 0;
+}
+
+/// Class `c`'s frame `frame` has no outstanding events: complete the
+/// iteration (or latch the scalar stall error) and seed the next one.
+fn df_complete_iteration(
+    ctx: DfCtx,
+    block: &DataflowBlock,
+    s: &mut BatchDataflowScratch,
+    m: &mut Machine,
+    c: usize,
+    frame: usize,
+) {
+    let nc = ctx.nc;
+    if s.exec_count[frame * nc + c] as usize != ctx.len {
+        let detail = format!(
+            "block {}: iteration {} stalled with {}/{} instructions executed",
+            block.name(),
+            s.frame_iter[frame * nc + c],
+            s.exec_count[frame * nc + c],
+            ctx.len
+        );
+        df_kill(s, c, DlpError::MalformedProgram { detail });
+        return;
+    }
+    s.done_iters[c] += 1;
+    let t = s.frame_last_tick[frame * nc + c];
+    s.final_tick[c] = s.final_tick[c].max(t);
+    if s.next_iter[c] < ctx.iterations {
+        let start = if ctx.inst_revit {
+            s.stats[c].revitalizations += 1;
+            df_reset_frame(ctx, block, s, c, frame, true);
+            t + ctx.revitalize_delay
+        } else {
+            s.fetch_done[c] += ctx.per_fetch;
+            s.stats[c].blocks_fetched += 1;
+            df_reset_frame(ctx, block, s, c, frame, false);
+            t.max(s.fetch_done[c])
+        };
+        df_seed_iteration(ctx, block, s, m, c, frame, start, s.next_iter[c], false);
+        s.next_iter[c] += 1;
+    }
+}
+
+/// Class `c` has drained every event: latch its final result (or the
+/// scalar completion/fault error).
+fn df_finalize(
+    s: &mut BatchDataflowScratch,
+    m: &mut Machine,
+    c: usize,
+    iterations: u64,
+    block: &DataflowBlock,
+) {
+    // A fault escalated by the very last event has no successor pop to
+    // observe it — catch it before declaring the run complete.
+    if let Some(fatal) = m.fault.fatal() {
+        df_kill(s, c, fatal.to_error());
+        return;
+    }
+    if s.done_iters[c] != iterations {
+        let detail =
+            format!("block {}: completed {}/{} iterations", block.name(), s.done_iters[c], iterations);
+        df_kill(s, c, DlpError::MalformedProgram { detail });
+        return;
+    }
+    let mut stats = s.stats[c];
+    stats.ticks = s.final_tick[c];
+    let net = m.router.stats();
+    stats.net_msgs = net.msgs;
+    stats.net_hops = net.hops;
+    stats.record_faults(m.fault.take_stats());
+    s.results[c] = Some(Ok(stats));
+    s.dead |= 1u64 << c;
+}
+
+/// Execute `block` for `iterations` on every machine in `machines`
+/// simultaneously, one lane class per machine, and return each class's
+/// result — bit-identical to running
+/// [`Machine::run_dataflow_in`](crate::Machine::run_dataflow_in) on each
+/// machine alone.
+///
+/// All machines must share one grid, timing model, and mechanism set
+/// (they are variants of one prepared lowering: different workload
+/// seeds, fault plans, or attempt salts). The caller guarantees this;
+/// grids are asserted.
+///
+/// # Panics
+///
+/// If `machines` is empty, longer than [`MAX_CLASSES`], or the machines
+/// disagree on grid shape.
+#[allow(clippy::too_many_lines)]
+pub fn run_dataflow_batch_in(
+    machines: &mut [Machine],
+    block: &DataflowBlock,
+    iterations: u64,
+    arena: &mut EngineArena,
+) -> Vec<Result<SimStats, DlpError>> {
+    let nc = machines.len();
+    assert!(
+        (1..=MAX_CLASSES).contains(&nc),
+        "batched dispatch takes 1..={MAX_CLASSES} lane classes, got {nc}"
+    );
+    assert!(
+        machines.iter().all(|m| m.grid() == machines[0].grid()),
+        "batched lane classes must share one grid shape"
+    );
+    if machines[0].mechanisms().local_pc {
+        return (0..nc)
+            .map(|_| {
+                Err(DlpError::Unsupported {
+                    what: "dataflow blocks on a machine configured for MIMD (local PCs)".into(),
+                })
+            })
+            .collect();
+    }
+    let s = &mut arena.batch_dataflow;
+    if let Err(e) = s.tables.build_tables(block, &machines[0]) {
+        return (0..nc).map(|_| Err(e.clone())).collect();
+    }
+
+    let mech = machines[0].mechanisms();
+    let params = *machines[0].params();
+    let inst_revit = mech.inst_revitalization;
+    let n_frames = if inst_revit {
+        1
+    } else {
+        (params.fetch.baseline_frames.max(1) as usize).min(iterations.max(1) as usize)
+    };
+    let len = block.len();
+    let ctx = DfCtx {
+        nc,
+        len,
+        banks: params.core.reg_banks.max(1) as u16,
+        reg_cols: machines[0].grid().cols(),
+        op_revit: mech.operand_revitalization,
+        inst_revit,
+        per_fetch: if inst_revit {
+            machines[0].fetch_ticks(len)
+        } else {
+            machines[0].fetch_ticks_baseline(len)
+        },
+        revitalize_delay: params.fetch.revitalize_delay,
+        iterations,
+    };
+
+    // Reset all recyclable state for `nc` classes and `n_frames` frames.
+    s.events.clear();
+    s.buf.reset(nc);
+    s.rows.clear();
+    s.free_rows.clear();
+    s.ops_val.clear();
+    s.ops_val.resize(n_frames * len * 3 * nc, Value::ZERO);
+    s.ops_set.clear();
+    s.ops_set.resize(n_frames * len * 3, 0);
+    s.executed.clear();
+    s.executed.resize(n_frames * len, 0);
+    s.exec_count.clear();
+    s.exec_count.resize(n_frames * nc, 0);
+    s.pending.clear();
+    s.pending.resize(n_frames * nc, 0);
+    s.frame_last_tick.clear();
+    s.frame_last_tick.resize(n_frames * nc, 0);
+    s.frame_iter.clear();
+    s.frame_iter.resize(n_frames * nc, 0);
+    s.node_issue.clear();
+    s.node_issue.resize(machines[0].grid().nodes() * nc, Throttle::new(1));
+    let reads_per = params.core.reg_reads_per_bank_per_cycle.max(1);
+    s.reg_bank_ports.clear();
+    s.reg_bank_ports.resize(ctx.banks as usize * nc, Throttle::new(reads_per));
+    s.fetch_done.clear();
+    s.fetch_done.resize(nc, 0);
+    s.next_iter.clear();
+    s.next_iter.resize(nc, 0);
+    s.done_iters.clear();
+    s.done_iters.resize(nc, 0);
+    s.final_tick.clear();
+    s.final_tick.resize(nc, 0);
+    s.live.clear();
+    s.live.resize(nc, 0);
+    s.stats.clear();
+    s.results.clear();
+    s.results.resize(nc, None);
+    s.dead = 0;
+
+    for m in machines.iter_mut() {
+        let mut base = m.begin_run();
+        base.iterations = iterations;
+        s.stats.push(base);
+    }
+    if iterations == 0 {
+        return s.stats.iter().map(|&st| Ok(st)).collect();
+    }
+
+    // Seed the initial frames through the (pipelined) fetch engine. All
+    // classes share the frame schedule (same iterations, same params);
+    // seed ticks may differ per class (staging under faults), which the
+    // merge buffer handles like any divergence.
+    for c in 0..nc {
+        s.fetch_done[c] = s.stats[c].ticks + params.fetch.map_overhead;
+    }
+    let mut seeded: u64 = 0;
+    for frame in 0..n_frames {
+        for c in 0..nc {
+            s.fetch_done[c] += ctx.per_fetch;
+            s.stats[c].blocks_fetched += 1;
+            df_seed_iteration(ctx, block, s, &mut machines[c], c, frame, s.fetch_done[c], seeded, true);
+            s.next_iter[c] = seeded + 1;
+        }
+        seeded += 1;
+        if seeded >= iterations {
+            break;
+        }
+    }
+    for c in 0..nc {
+        s.final_tick[c] = s.fetch_done[c];
+    }
+    df_flush(s);
+    // A class whose seeding produced no events (e.g. an all-Nop block)
+    // finalizes immediately, exactly like the scalar empty event loop.
+    for c in 0..nc {
+        if s.live[c] == 0 && s.dead & (1u64 << c) == 0 {
+            df_finalize(s, &mut machines[c], c, iterations, block);
+        }
+    }
+
+    // Event loop across all in-flight frames and classes.
+    while let Some((tick, (), ev)) = s.events.pop() {
+        let alive = ev.mask & !s.dead;
+        let frame = ev.frame as usize;
+
+        // Per-class guards, ascending class index (scalar error order).
+        let mut proc: u64 = 0;
+        let mut bits = alive;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if tick > machines[c].watchdog_ticks {
+                let context = format!(
+                    "dataflow block '{}' ({}/{} iterations done)",
+                    block.name(),
+                    s.done_iters[c],
+                    iterations
+                );
+                df_kill(s, c, DlpError::Watchdog { ticks: tick, context });
+                continue;
+            }
+            if let Some(fatal) = machines[c].fault.fatal() {
+                df_kill(s, c, fatal.to_error());
+                continue;
+            }
+            proc |= 1u64 << c;
+        }
+
+        // Bookkeeping — branch-free over the class stride.
+        let fbase = frame * nc;
+        for c in 0..nc {
+            let take = (proc >> c) & 1;
+            s.pending[fbase + c] -= take as u32;
+            let lt = s.frame_last_tick[fbase + c];
+            s.frame_last_tick[fbase + c] = if take != 0 { lt.max(tick) } else { lt };
+        }
+
+        if ev.inst != NO_INST {
+            let i = ev.inst as usize;
+            let b3 = (frame * len + i) * 3;
+            let slot = b3 + ev.port as usize;
+            // Latch the operand for every processing class (masked copy
+            // over contiguous per-class strides).
+            let rbase = ev.row as usize * nc;
+            let vbase = slot * nc;
+            for c in 0..nc {
+                let take = (proc >> c) & 1;
+                let old = s.ops_val[vbase + c];
+                s.ops_val[vbase + c] = if take != 0 { s.rows[rbase + c] } else { old };
+            }
+            s.ops_set[slot] |= proc;
+            // Readiness for all classes at once: one AND tree.
+            let req = s.tables.required[i];
+            let m0 = if req[0] { s.ops_set[b3] } else { !0u64 };
+            let m1 = if req[1] { s.ops_set[b3 + 1] } else { !0u64 };
+            let m2 = if req[2] { s.ops_set[b3 + 2] } else { !0u64 };
+            let mut ready = proc & !s.executed[frame * len + i] & m0 & m1 & m2;
+            while ready != 0 {
+                let c = ready.trailing_zeros() as usize;
+                ready &= ready - 1;
+                df_execute(ctx, block, s, &mut machines[c], c, frame, i, tick);
+            }
+        }
+
+        // Iteration-completion checks, ascending class index.
+        let mut bits = proc;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if s.pending[fbase + c] == 0 {
+                df_complete_iteration(ctx, block, s, &mut machines[c], c, frame);
+            }
+        }
+
+        if ev.row != NO_ROW {
+            s.free_rows.push(ev.row);
+        }
+        df_flush(s);
+
+        // Consume the event; classes that drained finalize.
+        let mut bits = alive & !s.dead;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            s.live[c] -= 1;
+            if s.live[c] == 0 {
+                df_finalize(s, &mut machines[c], c, iterations, block);
+            }
+        }
+    }
+
+    s.results
+        .iter_mut()
+        .map(|r| {
+            r.take().unwrap_or_else(|| {
+                Err(DlpError::Internal {
+                    detail: "batched dataflow engine left a lane class unresolved".into(),
+                })
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// MIMD
+// ---------------------------------------------------------------------------
+
+/// Recyclable storage for one batched MIMD run, owned by an
+/// [`EngineArena`](crate::EngineArena).
+pub(crate) struct BatchMimdScratch {
+    /// Ready queue keyed by rank; the payload is the class mask.
+    queue: CalendarQueue<usize, u64>,
+    buf: MergeBuf,
+    /// Per-class channel tables.
+    channels: Vec<Channels>,
+    /// Node state, `[rank][class]` (class innermost).
+    nodes: Vec<NodeState>,
+    /// Participating node indices in rank order.
+    ranks: Vec<usize>,
+    coords: Vec<dlp_common::Coord>,
+    send_coords: Vec<dlp_common::Coord>,
+    // Per-class run state.
+    steps: Vec<u64>,
+    last_tick: Vec<Tick>,
+    max_drain: Vec<Tick>,
+    live: Vec<u64>,
+    stats: Vec<SimStats>,
+    results: Vec<Option<Result<SimStats, DlpError>>>,
+    dead: u64,
+}
+
+impl Default for BatchMimdScratch {
+    fn default() -> Self {
+        BatchMimdScratch {
+            queue: CalendarQueue::with_window_shift(crate::equeue::DEFAULT_WINDOW, MIMD_BUCKET_SHIFT),
+            buf: MergeBuf::default(),
+            channels: Vec::new(),
+            nodes: Vec::new(),
+            ranks: Vec::new(),
+            coords: Vec::new(),
+            send_coords: Vec::new(),
+            steps: Vec::new(),
+            last_tick: Vec::new(),
+            max_drain: Vec::new(),
+            live: Vec::new(),
+            stats: Vec::new(),
+            results: Vec::new(),
+            dead: 0,
+        }
+    }
+}
+
+fn mimd_buffer_wake(s: &mut BatchMimdScratch, c: usize, tick: Tick, rank: usize) {
+    let _ = s.buf.push(c, tick, rank as u32, 0, 0);
+    s.live[c] += 1;
+}
+
+fn mimd_flush(s: &mut BatchMimdScratch) {
+    for idx in 0..s.buf.pend.len() {
+        let p = s.buf.pend[idx];
+        s.queue.push(p.tick, p.slot as usize, p.mask);
+    }
+    s.buf.pend.clear();
+    for cur in &mut s.buf.cursors {
+        *cur = 0;
+    }
+}
+
+fn mimd_kill(s: &mut BatchMimdScratch, c: usize, err: DlpError) {
+    s.results[c] = Some(Err(err));
+    s.dead |= 1u64 << c;
+}
+
+/// Execute one instruction for class `c` at node `rank` — the exact
+/// scalar `step_inst`, against class-local machine, registers, and
+/// channels, with wakeups buffered through the merge window.
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+fn mimd_step_inst(
+    s: &mut BatchMimdScratch,
+    m: &mut Machine,
+    c: usize,
+    nc: usize,
+    rank: usize,
+    t: Tick,
+    inst: MimdInst,
+) -> Step {
+    let coord = s.coords[rank];
+    let n = rank * nc + c;
+    let alu = m.params().ops.int_alu;
+    let ra = s.nodes[n].regs[inst.ra as usize];
+    let rb = s.nodes[n].regs[inst.rb as usize];
+    let rd_old = s.nodes[n].regs[inst.rd as usize];
+    let imm = inst.imm;
+    let useful = inst.role == OpRole::Useful;
+
+    macro_rules! count {
+        ($useful:expr) => {
+            if $useful {
+                s.stats[c].useful_ops += 1;
+            } else {
+                s.stats[c].overhead_ops += 1;
+            }
+        };
+    }
+
+    match inst.op {
+        MimdOp::Alu(op) | MimdOp::AluI(op) => {
+            let rhs = if matches!(inst.op, MimdOp::AluI(_)) { Value::from_i64(imm) } else { rb };
+            // `Sel rd, ra, rb`: rd = ra(predicate) ? rb : rd_old.
+            let v = if matches!(op, Opcode::Sel) {
+                trips_isa::exec::eval(Opcode::Sel, rhs, rd_old, ra)
+            } else {
+                let (_, needs_r, _) = op.ports();
+                trips_isa::exec::eval(op, ra, if needs_r { rhs } else { Value::ZERO }, Value::ZERO)
+            };
+            s.nodes[n].regs[inst.rd as usize] = v;
+            s.nodes[n].pc += 1;
+            count!(useful && op.class() != OpClass::Mov);
+            Step::Continue(t + op.latency(&m.params().ops))
+        }
+        MimdOp::Li => {
+            s.nodes[n].regs[inst.rd as usize] = Value::from_u64(imm as u64);
+            s.nodes[n].pc += 1;
+            count!(false);
+            Step::Continue(t + m.params().ops.mov)
+        }
+        MimdOp::Ld(space) => {
+            let addr = ra.as_u64().wrapping_add(imm as u64);
+            s.stats[c].loads += 1;
+            let row = coord.row;
+            let req = m.router.send_faulty(
+                Endpoint::Node(coord),
+                Endpoint::MemPort(row),
+                t + alu,
+                &mut m.fault,
+            );
+            let served = match space {
+                MemSpace::Smc => {
+                    s.stats[c].smc_accesses += 1;
+                    m.smc[row as usize].access_faulty(addr, req, &mut m.fault)
+                }
+                MemSpace::L1 => {
+                    s.stats[c].l1_accesses += 1;
+                    let (t2, hit) = m.l1[row as usize].access_faulty(addr, req, &mut m.fault);
+                    if !hit {
+                        s.stats[c].l1_misses += 1;
+                    }
+                    t2
+                }
+            };
+            let back = m.router.send_faulty(
+                Endpoint::MemPort(row),
+                Endpoint::Node(coord),
+                served,
+                &mut m.fault,
+            );
+            // The loaded value lands in the node's operand storage; a
+            // parity flip there is re-latched from the network buffer.
+            let back = m.fault.operand_write(back);
+            s.stats[c].mem_stall_node_cycles += (back - t) / 2;
+            s.nodes[n].regs[inst.rd as usize] = m.mem.read(addr);
+            s.nodes[n].pc += 1;
+            Step::Continue(back)
+        }
+        MimdOp::St(space) => {
+            let addr = ra.as_u64().wrapping_add(imm as u64);
+            s.stats[c].stores += 1;
+            m.mem.write(addr, rb);
+            let row = coord.row;
+            let req = m.router.send_faulty(
+                Endpoint::Node(coord),
+                Endpoint::MemPort(row),
+                t + alu,
+                &mut m.fault,
+            );
+            let drained = match space {
+                MemSpace::Smc => {
+                    let t2 = m.stb[row as usize].push_faulty(addr, req, &mut m.fault);
+                    m.smc[row as usize].store_faulty(addr, t2, &mut m.fault)
+                }
+                MemSpace::L1 => {
+                    s.stats[c].l1_accesses += 1;
+                    let (t2, hit) = m.l1[row as usize].access_faulty(addr, req, &mut m.fault);
+                    if !hit {
+                        s.stats[c].l1_misses += 1;
+                    }
+                    t2
+                }
+            };
+            s.max_drain[c] = s.max_drain[c].max(drained);
+            s.nodes[n].pc += 1;
+            // Stores retire into the buffer; the node moves on.
+            Step::Continue(t + alu)
+        }
+        MimdOp::Lut => {
+            let idx = ra.as_u64().wrapping_add(imm as u64);
+            s.stats[c].l0_accesses += 1;
+            s.nodes[n].regs[inst.rd as usize] =
+                m.l0_data.get(idx as usize).copied().unwrap_or(Value::ZERO);
+            s.nodes[n].pc += 1;
+            Step::Continue(t + m.params().mem.l0_latency)
+        }
+        MimdOp::Jmp => {
+            s.nodes[n].pc = imm as usize;
+            count!(false);
+            Step::Continue(t + alu)
+        }
+        MimdOp::Bez | MimdOp::Bnz => {
+            let taken =
+                if matches!(inst.op, MimdOp::Bez) { !ra.is_true() } else { ra.is_true() };
+            s.nodes[n].pc = if taken { imm as usize } else { s.nodes[n].pc + 1 };
+            count!(false);
+            Step::Continue(t + alu)
+        }
+        MimdOp::Send => {
+            let n_ranks = s.ranks.len();
+            let dst = (imm as usize).min(n_ranks.saturating_sub(1));
+            let arrive = m.router.send_faulty(
+                Endpoint::Node(coord),
+                Endpoint::Node(s.send_coords[dst]),
+                t + alu,
+                &mut m.fault,
+            );
+            // The message parks in the receiver's operand buffer; a
+            // flipped entry is re-latched before it becomes visible.
+            let arrive = m.fault.operand_write(arrive);
+            s.channels[c].get_mut(rank, dst).push_back((arrive, ra));
+            if s.nodes[dst * nc + c].blocked_recv == Some(rank) {
+                // The receiver blocked on an empty channel; this message
+                // is the front, so it proceeds at the arrival tick.
+                s.nodes[dst * nc + c].blocked_recv = None;
+                mimd_buffer_wake(s, c, arrive, dst);
+            }
+            s.nodes[n].pc += 1;
+            count!(false);
+            Step::Continue(t + alu)
+        }
+        MimdOp::Recv => {
+            let src = imm as usize;
+            if src >= s.ranks.len() {
+                // No such peer: block forever (reported as a deadlock).
+                s.nodes[n].blocked_recv = Some(src);
+                return Step::BlockedRecv;
+            }
+            let q = s.channels[c].get_mut(src, rank);
+            match q.front().copied() {
+                Some((arrive, v)) if arrive <= t => {
+                    q.pop_front();
+                    let _ = arrive;
+                    s.nodes[n].regs[inst.rd as usize] = v;
+                    s.nodes[n].pc += 1;
+                    count!(false);
+                    Step::Continue(t + alu)
+                }
+                Some((arrive, _)) => {
+                    // In flight but not yet arrived: retry at arrival.
+                    mimd_buffer_wake(s, c, arrive, rank);
+                    Step::BlockedRecv
+                }
+                None => {
+                    s.nodes[n].blocked_recv = Some(src);
+                    Step::BlockedRecv
+                }
+            }
+        }
+        MimdOp::Halt => {
+            s.nodes[n].halted = true;
+            Step::Halted
+        }
+    }
+}
+
+/// Class `c` has drained every wakeup: latch its final result (or the
+/// scalar deadlock/fault error).
+fn mimd_finalize(s: &mut BatchMimdScratch, m: &mut Machine, c: usize, nc: usize) {
+    // A fault escalated by the last step has no successor pop to
+    // observe it — catch it before declaring the run complete.
+    if let Some(fatal) = m.fault.fatal() {
+        mimd_kill(s, c, fatal.to_error());
+        return;
+    }
+    for rank in 0..s.ranks.len() {
+        if !s.nodes[rank * nc + c].halted {
+            let detail = format!("mimd deadlock: node rank {rank} never halted");
+            mimd_kill(s, c, DlpError::MalformedProgram { detail });
+            return;
+        }
+    }
+    let mut stats = s.stats[c];
+    stats.ticks = s.last_tick[c].max(s.max_drain[c]);
+    let net = m.router.stats();
+    stats.net_msgs = net.msgs;
+    stats.net_hops = net.hops;
+    stats.record_faults(m.fault.take_stats());
+    s.results[c] = Some(Ok(stats));
+    s.dead |= 1u64 << c;
+}
+
+/// Run the array in MIMD mode on every machine in `machines`
+/// simultaneously, one lane class per machine, with the standard
+/// register conventions (`r30` = rank, `r31` = participating count,
+/// `r29` = `records`) — bit-identical per class to
+/// [`Machine::run_mimd_in`](crate::Machine::run_mimd_in).
+///
+/// All machines must share one grid, timing model, and mechanism set.
+///
+/// # Panics
+///
+/// If `machines` is empty, longer than [`MAX_CLASSES`], or the machines
+/// disagree on grid shape.
+#[allow(clippy::too_many_lines)]
+pub fn run_mimd_batch_in(
+    machines: &mut [Machine],
+    programs: &[MimdProgram],
+    records: u64,
+    arena: &mut EngineArena,
+) -> Vec<Result<SimStats, DlpError>> {
+    let nc = machines.len();
+    assert!(
+        (1..=MAX_CLASSES).contains(&nc),
+        "batched dispatch takes 1..={MAX_CLASSES} lane classes, got {nc}"
+    );
+    assert!(
+        machines.iter().all(|m| m.grid() == machines[0].grid()),
+        "batched lane classes must share one grid shape"
+    );
+    // Static program checks, mirroring the scalar order (before any
+    // machine state is touched).
+    let check = {
+        let m0 = &machines[0];
+        if !m0.mechanisms().local_pc {
+            Some(DlpError::Unsupported {
+                what: "MIMD execution without local program counters".into(),
+            })
+        } else {
+            let cap = m0.params().core.l0_inst_capacity;
+            let mut err = None;
+            'progs: for p in programs {
+                if p.len() > cap {
+                    err = Some(DlpError::CapacityExceeded {
+                        resource: "L0 instruction-store entries",
+                        needed: p.len(),
+                        available: cap,
+                    });
+                    break;
+                }
+                for inst in p.insts() {
+                    match inst.op {
+                        MimdOp::Lut if !m0.mechanisms().l0_data_store => {
+                            err = Some(DlpError::Unsupported {
+                                what: "lut instruction without the L0 data store".into(),
+                            });
+                            break 'progs;
+                        }
+                        MimdOp::Ld(MemSpace::Smc) | MimdOp::St(MemSpace::Smc)
+                            if !m0.mechanisms().smc =>
+                        {
+                            err = Some(DlpError::Unsupported {
+                                what: "SMC memory access without the SMC mechanism".into(),
+                            });
+                            break 'progs;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            err
+        }
+    };
+    if let Some(e) = check {
+        return (0..nc).map(|_| Err(e.clone())).collect();
+    }
+
+    let s = &mut arena.batch_mimd;
+    s.stats.clear();
+    for m in machines.iter_mut() {
+        s.stats.push(m.begin_run());
+    }
+    let grid = machines[0].grid();
+    let n = programs.len().min(grid.nodes());
+    s.ranks.clear();
+    s.ranks.extend((0..n).filter(|&i| !programs[i].is_empty()));
+    if s.ranks.is_empty() {
+        return s.stats.iter().map(|&st| Ok(st)).collect();
+    }
+    let n_ranks = s.ranks.len();
+    let n_active = programs.iter().filter(|p| !p.is_empty()).count() as u64;
+
+    // Setup block: broadcast programs into the L0 instruction stores.
+    let longest = programs.iter().map(MimdProgram::len).max().unwrap_or(0);
+    let mut start = Vec::with_capacity(nc);
+    for (c, m) in machines.iter().enumerate() {
+        start.push(s.stats[c].ticks + m.fetch_ticks(longest));
+        s.stats[c].blocks_fetched = 1;
+    }
+
+    s.nodes.clear();
+    s.nodes.resize_with(n_ranks * nc, NodeState::new);
+    for rank in 0..n_ranks {
+        for c in 0..nc {
+            let st = &mut s.nodes[rank * nc + c];
+            st.regs[REG_NODE_ID as usize] = Value::from_u64(rank as u64);
+            st.regs[REG_NODE_COUNT as usize] = Value::from_u64(n_active);
+            st.regs[REG_RECORDS as usize] = Value::from_u64(records);
+            s.stats[c].iterations = s.stats[c].iterations.max(records);
+        }
+    }
+    s.coords.clear();
+    for &i in &s.ranks {
+        s.coords.push(grid.coord(i));
+    }
+    s.send_coords.clear();
+    for d in 0..n_ranks {
+        s.send_coords.push(grid.coord_of_rank(d, n_ranks));
+    }
+
+    s.channels.clear();
+    s.channels.resize_with(nc, Channels::default);
+    for ch in &mut s.channels {
+        ch.reset(n_ranks);
+    }
+    s.queue.clear();
+    s.buf.reset(nc);
+    s.steps.clear();
+    s.steps.resize(nc, 0);
+    s.last_tick.clear();
+    s.max_drain.clear();
+    s.live.clear();
+    s.live.resize(nc, 0);
+    s.results.clear();
+    s.results.resize(nc, None);
+    s.dead = 0;
+    for &st in &start {
+        s.last_tick.push(st);
+        s.max_drain.push(st);
+    }
+    for rank in 0..n_ranks {
+        for c in 0..nc {
+            mimd_buffer_wake(s, c, start[c], rank);
+        }
+    }
+    mimd_flush(s);
+
+    // The step budget follows from the watchdog: with every
+    // instruction advancing its node's tick by at least one cycle, a
+    // rank can be popped at most once per distinct tick in
+    // `0..=watchdog_ticks`. Exceeding it means a zero-latency livelock
+    // the tick check alone would never catch.
+    let budget: Vec<u64> = machines
+        .iter()
+        .map(|m| (n_ranks as u64).saturating_mul(m.watchdog_ticks.saturating_add(1)))
+        .collect();
+
+    while let Some((t, rank, mask)) = s.queue.pop() {
+        let alive = mask & !s.dead;
+        let mut bits = alive;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let m = &mut machines[c];
+            if t > m.watchdog_ticks || s.steps[c] > budget[c] {
+                let context = format!(
+                    "mimd rank {rank} at pc {} ({} steps, budget {} = {n_ranks} ranks x (watchdog {} + 1))",
+                    s.nodes[rank * nc + c].pc,
+                    s.steps[c],
+                    budget[c],
+                    m.watchdog_ticks
+                );
+                mimd_kill(s, c, DlpError::Watchdog { ticks: t, context });
+                continue;
+            }
+            if let Some(fatal) = m.fault.fatal() {
+                mimd_kill(s, c, fatal.to_error());
+                continue;
+            }
+            s.steps[c] += 1;
+            if s.nodes[rank * nc + c].halted {
+                continue;
+            }
+            let pc = s.nodes[rank * nc + c].pc;
+            let prog = &programs[s.ranks[rank]];
+            if pc >= prog.len() {
+                let detail = format!("mimd node rank {rank} ran off the end of its program");
+                mimd_kill(s, c, DlpError::MalformedProgram { detail });
+                continue;
+            }
+            let inst = prog.insts()[pc];
+            s.stats[c].mimd_fetches += 1;
+            s.last_tick[c] = s.last_tick[c].max(t);
+
+            match mimd_step_inst(s, m, c, nc, rank, t, inst) {
+                Step::Continue(next_t) => {
+                    s.last_tick[c] = s.last_tick[c].max(next_t);
+                    mimd_buffer_wake(s, c, next_t, rank);
+                }
+                Step::Halted => {}
+                Step::BlockedRecv => {}
+            }
+        }
+        mimd_flush(s);
+
+        // Consume the wakeup; classes that drained finalize.
+        let mut bits = alive & !s.dead;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            s.live[c] -= 1;
+            if s.live[c] == 0 {
+                mimd_finalize(s, &mut machines[c], c, nc);
+            }
+        }
+    }
+
+    s.results
+        .iter_mut()
+        .map(|r| {
+            r.take().unwrap_or_else(|| {
+                Err(DlpError::Internal {
+                    detail: "batched mimd engine left a lane class unresolved".into(),
+                })
+            })
+        })
+        .collect()
+}

@@ -43,7 +43,7 @@ struct RsState {
     executed: bool,
 }
 
-fn port_idx(p: Port) -> usize {
+pub(crate) fn port_idx(p: Port) -> usize {
     match p {
         Port::Left => 0,
         Port::Right => 1,
@@ -56,7 +56,7 @@ fn port_idx(p: Port) -> usize {
 /// slot-hash lookup on delivery) and register targets carry their bank
 /// column.
 #[derive(Clone, Copy)]
-enum ResolvedTarget {
+pub(crate) enum ResolvedTarget {
     /// An operand port of instruction `inst`, which lives on `node`.
     Port { inst: usize, node: Coord, port: Port },
     /// Architectural register `reg`, written through the bank above
@@ -74,7 +74,7 @@ enum Ev {
 }
 
 /// Reserve an issue slot at cycle granularity on a per-tick [`Throttle`].
-fn reserve_cycle(t: &mut Throttle, now: Tick) -> Tick {
+pub(crate) fn reserve_cycle(t: &mut Throttle, now: Tick) -> Tick {
     (t.reserve(now / 2) * 2).max(now)
 }
 
@@ -118,18 +118,18 @@ pub(crate) struct DataflowScratch {
     events: CalendarQueue<(), (usize, Ev)>,
     frames: Vec<Frame>,
     /// Which ports of each instruction must be filled before issue.
-    required: Vec<[bool; 3]>,
+    pub(crate) required: Vec<[bool; 3]>,
     /// Every instruction's resolved targets, flattened: instruction `i`
     /// owns `resolved[span.0..span.1]` for `span = resolved_span[i]`, in
     /// the same order as `insts()[i].targets` (so LMW word `k` still
     /// maps to target `k`).
-    resolved: Vec<ResolvedTarget>,
-    resolved_span: Vec<(u32, u32)>,
+    pub(crate) resolved: Vec<ResolvedTarget>,
+    pub(crate) resolved_span: Vec<(u32, u32)>,
     /// Port destinations of register reads, flattened like `resolved`.
-    reg_read_dsts: Vec<(usize, Port, Coord)>,
-    reg_read_span: Vec<(u32, u32)>,
+    pub(crate) reg_read_dsts: Vec<(usize, Port, Coord)>,
+    pub(crate) reg_read_span: Vec<(u32, u32)>,
     /// Dense grid index of each instruction's node, for issue throttling.
-    inst_node: Vec<usize>,
+    pub(crate) inst_node: Vec<usize>,
     /// Per-node issue throttles, indexed by dense grid index.
     node_issue: Vec<Throttle>,
     reg_bank_ports: Vec<Throttle>,
@@ -146,20 +146,19 @@ pub(crate) struct DataflowScratch {
     pub(crate) validated: Option<(usize, usize, dlp_common::GridShape, usize)>,
 }
 
-struct Engine<'a> {
-    m: &'a mut Machine,
-    block: &'a DataflowBlock,
-    s: &'a mut DataflowScratch,
-    stats: SimStats,
-}
-
-impl<'a> Engine<'a> {
-    fn new(
-        m: &'a mut Machine,
-        block: &'a DataflowBlock,
-        n_frames: usize,
-        s: &'a mut DataflowScratch,
-    ) -> Result<Self, DlpError> {
+impl DataflowScratch {
+    /// Validate `block` for `m`'s shape (memoized on [`Self::validated`])
+    /// and rebuild every block-shape table: slot index, required-port
+    /// issue conditions, resolved targets, register-read destinations,
+    /// and per-instruction node indices. Shared by the scalar engine and
+    /// the lane-batched engine ([`crate::batch`]) so both execute from
+    /// bit-identical routing and readiness tables.
+    pub(crate) fn build_tables(
+        &mut self,
+        block: &DataflowBlock,
+        m: &Machine,
+    ) -> Result<(), DlpError> {
+        let s = self;
         let fingerprint = (
             std::ptr::from_ref(block) as usize,
             block.len(),
@@ -188,10 +187,6 @@ impl<'a> Engine<'a> {
                 _ => {}
             }
         }
-
-        // A failed previous run may have left events queued; every other
-        // table below is rebuilt unconditionally.
-        s.events.clear();
 
         s.idx_of.clear();
         for (i, inst) in block.insts().iter().enumerate() {
@@ -235,7 +230,6 @@ impl<'a> Engine<'a> {
         }
 
         let banks = m.params().core.reg_banks.max(1);
-        let reads_per = m.params().core.reg_reads_per_bank_per_cycle.max(1);
         let reg_cols = m.grid().cols();
         {
             let idx_of = &s.idx_of;
@@ -269,8 +263,34 @@ impl<'a> Engine<'a> {
         let grid = m.grid();
         s.inst_node.clear();
         s.inst_node.extend(block.insts().iter().map(|inst| grid.index(inst.slot.node)));
+        Ok(())
+    }
+}
+
+struct Engine<'a> {
+    m: &'a mut Machine,
+    block: &'a DataflowBlock,
+    s: &'a mut DataflowScratch,
+    stats: SimStats,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        m: &'a mut Machine,
+        block: &'a DataflowBlock,
+        n_frames: usize,
+        s: &'a mut DataflowScratch,
+    ) -> Result<Self, DlpError> {
+        s.build_tables(block, m)?;
+
+        // A failed previous run may have left events queued; every other
+        // table below is rebuilt unconditionally.
+        s.events.clear();
+
+        let banks = m.params().core.reg_banks.max(1);
+        let reads_per = m.params().core.reg_reads_per_bank_per_cycle.max(1);
         s.node_issue.clear();
-        s.node_issue.resize(grid.nodes(), Throttle::new(1));
+        s.node_issue.resize(m.grid().nodes(), Throttle::new(1));
         s.reg_bank_ports.clear();
         s.reg_bank_ports.resize(banks as usize, Throttle::new(reads_per));
 

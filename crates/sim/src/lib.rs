@@ -62,6 +62,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod arena;
+pub mod batch;
 mod dataflow;
 pub mod equeue;
 mod machine;

@@ -23,10 +23,27 @@
 //!   or index-keyed arrays; a justified lookup-only site goes in the
 //!   allowlist.
 //!
+//! Additionally forbidden in the lane-batched engine
+//! (`crates/sim/src/batch.rs`), whose bit-identity contract (DESIGN.md
+//! §10) rests on every observable per-class step walking lane classes in
+//! ascending index order:
+//!
+//! * `.rev()` — descending iteration would reorder per-class fault
+//!   rolls and stats updates relative to the scalar engines.
+//! * `sort_unstable` — unspecified tie order; use a stable sort keyed
+//!   on the class index if ordering is ever needed.
+//! * `swap_remove` — reorders the tail; lane-indexed tables must keep
+//!   their positions.
+//! * `.keys()` / `.values()` — map iteration hides what order classes
+//!   are visited in; iterate the class index range instead.
+//!
 //! The allowlist (`detlint.allow`) holds one entry per line:
 //! `<path> <token> # <justification>`. Entries without a justification
 //! and entries matching no finding are themselves errors, so the file
-//! can only shrink or stay honest.
+//! can only shrink or stay honest. A batch-rule escape hatch works the
+//! same way: an entry like `crates/sim/src/batch.rs .rev() # <why the
+//! reversal cannot reach per-class observable state>` admits one
+//! justified site.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -67,6 +84,21 @@ const AMBIENT_TOKENS: &[(&str, &str)] = &[
 const HASH_TOKENS: &[(&str, &str)] = &[
     ("HashMap", "hash iteration order is unspecified; use BTreeMap or indexed Vec"),
     ("HashSet", "hash iteration order is unspecified; use BTreeSet or sorted Vec"),
+];
+
+/// The lane-batched engine source, held to the strictest rule set.
+const BATCH_FILE: &str = "crates/sim/src/batch.rs";
+
+/// Tokens forbidden in [`BATCH_FILE`]: anything that iterates lane
+/// classes in other than ascending index order (or an unspecified
+/// order) can desync the batched engines from their scalar twins while
+/// every test still passes on symmetric workloads.
+const BATCH_TOKENS: &[(&str, &str)] = &[
+    (".rev()", "descending iteration reorders observable per-class steps"),
+    ("sort_unstable", "unspecified tie order across lane classes"),
+    ("swap_remove", "reorders lane-indexed storage"),
+    (".keys()", "map iteration order hides the class visit order"),
+    (".values()", "map iteration order hides the class visit order"),
 ];
 
 /// One forbidden-token occurrence.
@@ -111,6 +143,9 @@ pub fn run(allow_path: &str) -> ExitCode {
             scan(&rel, &code, AMBIENT_TOKENS, &mut findings);
             if hot {
                 scan(&rel, &code, HASH_TOKENS, &mut findings);
+            }
+            if rel == BATCH_FILE {
+                scan(&rel, &code, BATCH_TOKENS, &mut findings);
             }
         }
     }
@@ -402,6 +437,15 @@ let m: HashMap<u32, u32> = HashMap::new();
         let src = "a\n/* x\ny */\nb\n";
         let code = strip_comments_and_strings(src);
         assert_eq!(code.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn batch_tokens_catch_lane_order_dependence() {
+        let mut findings = Vec::new();
+        let code = "for c in (0..nc).rev() {\n}\nlive.swap_remove(i);\n";
+        scan(BATCH_FILE, code, BATCH_TOKENS, &mut findings);
+        let tokens: Vec<&str> = findings.iter().map(|f| f.token).collect();
+        assert_eq!(tokens, vec![".rev()", "swap_remove"]);
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! Tier-1 contract of the lane-batched engine (DESIGN.md §10): for
+//! every lane, [`run_prepared_batch_in`] returns **bit-identical**
+//! results — statistics, fault counters, mismatch index, and structured
+//! errors — to running [`run_prepared_in`] on that lane alone.
+//!
+//! 1. Every cell of the full kernel × configuration grid, batched with
+//!    genuinely divergent lanes (distinct workload seeds → distinct
+//!    uniformity classes → the lockstep path).
+//! 2. Uniform lanes (the collapse path) replicate the scalar result.
+//! 3. Property: arbitrary fault plans with distinct per-lane salts —
+//!    including plans that kill some lanes and not others — batch
+//!    identically on both engine families at lane counts 1, 2, and 8.
+
+use std::sync::OnceLock;
+
+use dlp_common::{FaultPlan, FaultRate};
+use dlp_core::{
+    batchable, prepare_kernel, run_prepared_batch_in, run_prepared_in, BatchLane,
+    ExperimentParams, MachineConfig, PreparedProgram, RunScratch,
+};
+use dlp_kernels::{suite, DlpKernel};
+use proptest::prelude::*;
+
+/// Three lanes varying only the workload seed: three uniformity
+/// classes, so the lockstep engine (not the uniform-collapse fast path)
+/// carries the batch.
+fn seed_lanes(base: &ExperimentParams, records: usize) -> Vec<BatchLane> {
+    (0..3u64)
+        .map(|i| BatchLane {
+            records,
+            params: ExperimentParams { seed: base.seed.wrapping_add(i), ..*base },
+        })
+        .collect()
+}
+
+#[test]
+fn every_grid_cell_batches_bit_identically() {
+    let base = ExperimentParams::default();
+    for k in suite() {
+        for config in MachineConfig::ALL {
+            let records = 8;
+            let prepared = prepare_kernel(k.as_ref(), config.mechanisms(), records, &base)
+                .unwrap_or_else(|e| panic!("{} on {config} fails to lower: {e}", k.name()));
+            let lanes = seed_lanes(&base, records);
+            assert!(batchable(&lanes));
+
+            let mut scratch = RunScratch::new();
+            let scalar: Vec<_> = lanes
+                .iter()
+                .map(|l| run_prepared_in(k.as_ref(), &prepared, l.records, &l.params, &mut scratch))
+                .collect();
+            let batched = run_prepared_batch_in(k.as_ref(), &prepared, &lanes, &mut scratch);
+            assert_eq!(
+                batched,
+                scalar,
+                "{} on {config}: batched lanes must be bit-identical to scalar",
+                k.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn uniform_lanes_collapse_to_the_scalar_result() {
+    let params = ExperimentParams::default();
+    let k = suite().into_iter().find(|k| k.name() == "fft").expect("suite kernel");
+    let prepared =
+        prepare_kernel(k.as_ref(), MachineConfig::SO.mechanisms(), 16, &params).expect("lowers");
+    let mut scratch = RunScratch::new();
+    let scalar = run_prepared_in(k.as_ref(), &prepared, 16, &params, &mut scratch);
+    let lanes = vec![BatchLane { records: 16, params }; 8];
+    let batched = run_prepared_batch_in(k.as_ref(), &prepared, &lanes, &mut scratch);
+    assert_eq!(batched.len(), 8);
+    for lane in &batched {
+        assert_eq!(*lane, scalar, "every uniform lane replicates the one scalar run");
+    }
+}
+
+#[test]
+fn non_uniform_shapes_are_not_batchable_but_still_correct() {
+    // Mixed record counts: `batchable` refuses, and the entry point
+    // falls back to per-class scalar runs with per-lane fidelity.
+    let params = ExperimentParams::default();
+    let k = suite().into_iter().find(|k| k.name() == "convert").expect("suite kernel");
+    let prepared =
+        prepare_kernel(k.as_ref(), MachineConfig::S.mechanisms(), 16, &params).expect("lowers");
+    let lanes = vec![BatchLane { records: 16, params }, BatchLane { records: 8, params }];
+    assert!(!batchable(&lanes));
+    let mut scratch = RunScratch::new();
+    let scalar: Vec<_> = lanes
+        .iter()
+        .map(|l| run_prepared_in(k.as_ref(), &prepared, l.records, &l.params, &mut scratch))
+        .collect();
+    let batched = run_prepared_batch_in(k.as_ref(), &prepared, &lanes, &mut scratch);
+    assert_eq!(batched, scalar);
+}
+
+/// Prepared programs for the property tests, lowered once.
+fn fuzz_programs() -> &'static (PreparedProgram, PreparedProgram, ExperimentParams) {
+    static CELL: OnceLock<(PreparedProgram, PreparedProgram, ExperimentParams)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let params = ExperimentParams::default();
+        let k = suite().into_iter().find(|k| k.name() == "convert").expect("suite kernel");
+        let dataflow =
+            prepare_kernel(k.as_ref(), MachineConfig::Baseline.mechanisms(), 8, &params)
+                .expect("convert lowers on baseline");
+        let mimd = prepare_kernel(k.as_ref(), MachineConfig::M.mechanisms(), 8, &params)
+            .expect("convert lowers on M");
+        (dataflow, mimd, params)
+    })
+}
+
+fn kernel(name: &str) -> Box<dyn DlpKernel> {
+    suite().into_iter().find(|k| k.name() == name).expect("suite kernel")
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        proptest::collection::vec(0u32..300_001, 6..7),
+        any::<u64>(),
+        0u32..4,
+        1u64..9,
+        (1u64..65, 1u64..65),
+    )
+        .prop_map(|(rates, salt, max_retries, backoff, (stall, fill))| {
+            let mut plan = FaultPlan::none().with_salt(salt);
+            plan.noc_drop = FaultRate::per_million(rates[0]);
+            plan.noc_corrupt = FaultRate::per_million(rates[1]);
+            plan.dma_stall = FaultRate::per_million(rates[2]);
+            plan.smc_stall = FaultRate::per_million(rates[3]);
+            plan.l1_fill_delay = FaultRate::per_million(rates[4]);
+            plan.operand_flip = FaultRate::per_million(rates[5]);
+            plan.max_retries = max_retries;
+            plan.backoff_ticks = backoff;
+            plan.backoff_cap = backoff * 8;
+            plan.stall_ticks = stall;
+            plan.fill_delay_ticks = fill;
+            plan
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary fault plans, distinct per-lane salts, both engine
+    /// families, lane counts 1 / 2 / 8: per-lane results — successes,
+    /// fault counters, watchdogs, unrecoverable-fault errors — are
+    /// bit-identical between the batched and scalar paths. Divergence
+    /// (one lane dying while siblings run on) is exactly what the
+    /// event-mask machinery must keep invisible.
+    #[test]
+    fn arbitrary_fault_plans_batch_identically(
+        plan in arb_plan(),
+        n_lanes in (0usize..3).prop_map(|i| [1usize, 2, 8][i]),
+    ) {
+        let (dataflow, mimd, base) = fuzz_programs();
+        let k = kernel("convert");
+        for prepared in [dataflow, mimd] {
+            let lanes: Vec<BatchLane> = (0..n_lanes as u64)
+                .map(|i| BatchLane {
+                    records: 8,
+                    params: ExperimentParams {
+                        fault: plan.with_salt(plan.salt.wrapping_add(i)),
+                        watchdog: Some(5_000_000),
+                        ..*base
+                    },
+                })
+                .collect();
+            let mut scratch = RunScratch::new();
+            let scalar: Vec<_> = lanes
+                .iter()
+                .map(|l| run_prepared_in(k.as_ref(), prepared, l.records, &l.params, &mut scratch))
+                .collect();
+            let batched = run_prepared_batch_in(k.as_ref(), prepared, &lanes, &mut scratch);
+            prop_assert_eq!(batched, scalar);
+        }
+    }
+}
