@@ -43,12 +43,19 @@
 //! * `--breaker N` — skip a configuration's remaining cells after N
 //!   consecutive failures.
 //! * `--watchdog TICKS` — per-cell simulated-tick watchdog override.
+//! * `--kernels a,b,c` — restrict the suite to the named kernels (the
+//!   chaos harness uses this to build small deterministic grids).
+//! * `--fsck DIR` — scan the store at DIR, quarantining corrupt or
+//!   orphaned entries and removing stale temp files, then exit.
+//! * `--crashpoint NAME[:N]` — abort the process at the Nth hit of the
+//!   named store crashpoint (crash-consistency testing; equivalent to
+//!   setting `DLP_CRASHPOINT`).
 
 use std::path::Path;
 use std::sync::Arc;
 
 use dlp_bench::{quick_flag, records_for};
-use dlp_core::store::{load_dlq, rewrite_dlq};
+use dlp_core::store::{fsck, load_dlq, rewrite_dlq};
 use dlp_core::sweep::KernelId;
 use dlp_core::{
     CellOutcome, CellSpec, DeadLetterQueue, DlqRecord, ExperimentParams, MachineConfig,
@@ -60,6 +67,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1));
     let threads: Option<usize> = flag("--threads").map(|s| s.parse()).transpose()?;
+
+    if let Some(spec) = flag("--crashpoint") {
+        if !dlp_common::crashpoint::arm(spec) {
+            return Err(format!("--crashpoint {spec}: bad spec (want NAME[:N])").into());
+        }
+    }
+
+    if let Some(dir) = flag("--fsck") {
+        let report = fsck(Path::new(dir))?;
+        println!("{}", dlp_common::json::to_string(&report));
+        return Ok(());
+    }
 
     if let Some(path) = flag("--replay-dlq") {
         return replay_dlq(Path::new(path), threads);
@@ -82,8 +101,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         policy = policy.with_breaker(n);
     }
     sweep.set_policy(policy);
+    let kernel_filter: Option<Vec<&str>> =
+        flag("--kernels").map(|s| s.split(',').map(str::trim).collect());
     for id in sweep.add_perf_suite() {
-        let records = records_for(sweep.kernel(id).name(), quick);
+        let name = sweep.kernel(id).name().to_string();
+        if kernel_filter.as_ref().is_some_and(|names| !names.contains(&name.as_str())) {
+            continue;
+        }
+        let records = records_for(&name, quick);
         sweep.push_config(id, MachineConfig::Baseline, records, &params);
         for config in MachineConfig::DLP {
             sweep.push_config(id, config, records, &params);

@@ -17,6 +17,10 @@
 //! * [`fault`] — deterministic transient-fault injection ([`FaultPlan`],
 //!   [`FaultInjector`]): seeded chaos at the NoC/DMA/SMC/L1/operand-store
 //!   hook points, with honest recovery accounting.
+//! * [`crashpoint`] — the host-side twin of [`fault`]: named kill sites
+//!   threaded through the persistence layer's write paths, armed via
+//!   `DLP_CRASHPOINT` to abort the process deterministically for
+//!   crash-consistency testing.
 //! * [`json`] — compact JSON emission through serde's data model (the
 //!   workspace has no `serde_json`; the experiment harness writes its
 //!   artifacts with [`json::to_string`]).
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crashpoint;
 mod error;
 pub mod fault;
 mod geom;

@@ -47,12 +47,31 @@
 //! bumping the schema constant invalidates exactly the affected
 //! entries. See `OPERATIONS.md` for the operator-facing invalidation
 //! rules and runbooks.
+//!
+//! # Crash consistency
+//!
+//! As of format version 2 every durable write funnels through
+//! [`atomic`]: whole files are replaced via tempfile → `fsync` →
+//! rename ([`atomic_write_file`]), appends are sealed lines (content
+//! digest prefix, [`seal_line`]) written in one `write_all` and
+//! `fdatasync`ed ([`AppendWriter`]). A process killed at *any* instant
+//! — the [`CRASHPOINTS`] enumerate the interesting ones, and
+//! `cargo xtask chaos` kills at each — leaves a store that resumes to
+//! a byte-identical canonical report. Host-I/O faults (short writes,
+//! `ENOSPC`/`EIO`, torn tails, bit flips; see [`iofault`]) degrade to
+//! misses and recomputes, never wrong results: corrupt bytes can't
+//! pass the seal. Concurrent sweeps on one store serialize on an
+//! advisory [`lock::StoreLock`], and [`fsck::fsck`] (exposed as
+//! `sweep --fsck` / `cargo xtask storeck`) quarantines anything a
+//! crash or bit rot left unreadable. `DESIGN.md` §11 states the full
+//! contract.
 
-use std::io::{self, BufRead as _, Write as _};
+use std::io::{self, BufRead as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use dlp_common::crashpoint::CrashSites;
 use dlp_common::json::{self, JsonValue};
 use dlp_common::{
     CoreParams, DlpError, FaultPlan, FaultRate, FetchParams, GridShape, MemParams, NetParams,
@@ -65,10 +84,23 @@ use trips_sim::MechanismSet;
 use crate::sweep::CellOutcome;
 use crate::ExperimentParams;
 
+pub mod atomic;
+pub mod fsck;
+pub mod iofault;
+pub mod lock;
+
+pub use atomic::{atomic_write_file, seal_line, unseal_line, AppendSites, AppendWriter};
+pub use fsck::{fsck, FsckReport};
+pub use iofault::IoFaultPlan;
+pub use lock::StoreLock;
+
+use iofault::Class;
+
 /// On-disk entry format version. Bump when the entry layout, the key
 /// schema, or the meaning of any digested field changes; every older
-/// entry then reads as a miss and is recomputed.
-pub const STORE_VERSION: u32 = 1;
+/// entry then reads as a miss and is recomputed. Version 2 introduced
+/// the sealed-line entry format ([`seal_line`]).
+pub const STORE_VERSION: u32 = 2;
 
 /// Lowering-fingerprint schema version. Bump when the scheduler's
 /// *semantics* change (placement, routing, unroll policy) in a way the
@@ -78,11 +110,41 @@ pub const STORE_VERSION: u32 = 1;
 /// needs this manual bump to invalidate warm stores.
 pub const LOWERING_SCHEMA: u32 = 1;
 
-/// Manifest line-format version.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Manifest line-format version. Version 2: header and cell lines are
+/// sealed ([`seal_line`]).
+pub const MANIFEST_VERSION: u32 = 2;
 
-/// Dead-letter record format version.
-pub const DLQ_VERSION: u32 = 1;
+/// Dead-letter record format version. Version 2: lines are sealed
+/// ([`seal_line`]).
+pub const DLQ_VERSION: u32 = 2;
+
+/// Every named crashpoint threaded through the store's write paths, in
+/// write-path order — the kill matrix `cargo xtask chaos` enumerates.
+/// Arm one via `DLP_CRASHPOINT=<name>[:N]` (or `sweep --crashpoint`)
+/// to abort the process at its Nth hit.
+pub const CRASHPOINTS: &[&str] = &[
+    "stamp.tmp",
+    "stamp.renamed",
+    "manifest.header",
+    "entry.tmp",
+    "entry.renamed",
+    "manifest.append",
+    "manifest.synced",
+    "dlq.append",
+    "dlq.synced",
+    "dlq-rewrite.tmp",
+    "dlq-rewrite.renamed",
+];
+
+const STAMP_SITES: CrashSites = CrashSites { tmp: "stamp.tmp", renamed: "stamp.renamed" };
+const ENTRY_SITES: CrashSites = CrashSites { tmp: "entry.tmp", renamed: "entry.renamed" };
+const DLQ_REWRITE_SITES: CrashSites =
+    CrashSites { tmp: "dlq-rewrite.tmp", renamed: "dlq-rewrite.renamed" };
+const MANIFEST_SITES: AppendSites =
+    AppendSites { appended: "manifest.append", synced: "manifest.synced" };
+const MANIFEST_HEADER_SITES: AppendSites =
+    AppendSites { appended: "manifest.header", synced: "manifest.synced" };
+const DLQ_SITES: AppendSites = AppendSites { appended: "dlq.append", synced: "dlq.synced" };
 
 // ---------------------------------------------------------------------------
 // Digests
@@ -485,12 +547,16 @@ struct StoredEntry {
 ///
 /// Layout under the root: `entries/<first 2 hex>/<32 hex>.json`, one
 /// file per key (the two-digit shard keeps directories small at
-/// millions of entries), plus a `STORE_INFO.json` stamp. Writes are
-/// atomic (temp file + rename), so a killed process never leaves a
-/// half-written entry a later run could read. All read failures — I/O,
+/// millions of entries), plus a `STORE_INFO.json` stamp and a `LOCK`
+/// file. Writes go through [`atomic_write_file`] (tempfile → `fsync` →
+/// rename), so a killed process never leaves a half-written entry a
+/// later run could read; entries are sealed lines, so bit corruption
+/// can't serve a wrong result. All read failures — I/O, bad seal,
 /// parse, version or digest mismatch, missing counters — degrade to a
 /// miss; the store can always be deleted wholesale with no correctness
-/// impact (see `OPERATIONS.md`).
+/// impact (see `OPERATIONS.md`). Opening the store acquires the
+/// advisory [`StoreLock`], held until the store is dropped, so
+/// concurrent sweep *processes* on one root serialize.
 ///
 /// # Examples
 ///
@@ -509,10 +575,29 @@ pub struct ResultStore {
     root: PathBuf,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Held for the store's lifetime; serializes sweep processes.
+    _lock: StoreLock,
+}
+
+/// Write (or refresh) the sealed `STORE_INFO.json` stamp under `root`,
+/// atomically. Returns whether the stamp was missing or stale and got
+/// rewritten. Shared by [`ResultStore::open`] and [`fsck`].
+pub(crate) fn write_stamp(root: &Path) -> io::Result<bool> {
+    let info = root.join("STORE_INFO.json");
+    let payload =
+        format!("{{\"store_version\":{STORE_VERSION},\"lowering_schema\":{LOWERING_SCHEMA}}}");
+    let stamp = format!("{}\n", seal_line(&payload));
+    if std::fs::read_to_string(&info).ok().as_deref() == Some(stamp.as_str()) {
+        return Ok(false);
+    }
+    atomic_write_file(&info, stamp.as_bytes(), STAMP_SITES, Class::Stamp)?;
+    Ok(true)
 }
 
 impl ResultStore {
-    /// Open (creating if needed) a store rooted at `root`.
+    /// Open (creating if needed) a store rooted at `root`, acquiring
+    /// the advisory store lock (blocking, with a stderr note, while
+    /// another process holds it).
     ///
     /// A `STORE_INFO.json` stamp records the [`STORE_VERSION`]; a stamp
     /// from a different version is rewritten (old entries simply stop
@@ -520,19 +605,14 @@ impl ResultStore {
     ///
     /// # Errors
     ///
-    /// I/O errors creating the directory tree or writing the stamp.
+    /// I/O errors creating the directory tree, taking the lock, or
+    /// writing the stamp.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<ResultStore> {
         let root = root.into();
         std::fs::create_dir_all(root.join("entries"))?;
-        let info = root.join("STORE_INFO.json");
-        let stamp = format!(
-            "{{\"store_version\":{STORE_VERSION},\"lowering_schema\":{LOWERING_SCHEMA}}}"
-        );
-        let current = std::fs::read_to_string(&info).ok();
-        if current.as_deref() != Some(stamp.as_str()) {
-            std::fs::write(&info, stamp)?;
-        }
-        Ok(ResultStore { root, hits: AtomicU64::new(0), misses: AtomicU64::new(0) })
+        let lock = StoreLock::acquire(&root)?;
+        write_stamp(&root)?;
+        Ok(ResultStore { root, hits: AtomicU64::new(0), misses: AtomicU64::new(0), _lock: lock })
     }
 
     /// The store's root directory.
@@ -561,7 +641,8 @@ impl ResultStore {
     }
 
     /// Look up a key. Every failure mode — absent file, I/O error,
-    /// parse error, version skew, digest mismatch — is a miss.
+    /// broken seal, parse error, version skew, digest mismatch — is a
+    /// miss.
     #[must_use]
     pub fn get(&self, key: &StoreKey) -> Option<CellOutcome> {
         let outcome = self.read_entry(key);
@@ -574,7 +655,8 @@ impl ResultStore {
 
     fn read_entry(&self, key: &StoreKey) -> Option<CellOutcome> {
         let text = std::fs::read_to_string(self.path_of(key)).ok()?;
-        let v = json::parse(&text).ok()?;
+        let payload = unseal_line(text.trim_end_matches('\n'))?;
+        let v = json::parse(payload).ok()?;
         if v.get("store_version")?.as_u64()? != u64::from(STORE_VERSION) {
             return None;
         }
@@ -585,14 +667,16 @@ impl ResultStore {
     }
 
     /// Insert an outcome, if [`cacheable`]. Returns whether an entry
-    /// was written. The write is atomic: a temp file in the entry's
-    /// shard directory is renamed into place, so concurrent writers of
-    /// the same key race benignly (identical content) and readers never
-    /// observe a partial entry.
+    /// was written. The write is a sealed line committed through
+    /// [`atomic_write_file`], so concurrent writers of the same key
+    /// race benignly (identical content), readers never observe a
+    /// partial entry, and a kill at any instant leaves either no entry
+    /// or a complete durable one.
     ///
     /// # Errors
     ///
-    /// I/O errors creating the shard directory or writing the entry.
+    /// I/O errors creating the shard directory or writing the entry
+    /// (including faults injected by the [`iofault`] shim).
     pub fn put(&self, key: &StoreKey, outcome: &CellOutcome) -> io::Result<bool> {
         if !cacheable(outcome) {
             return Ok(false);
@@ -610,9 +694,8 @@ impl ResultStore {
             digest: key.digest.hex(),
             outcome: outcome.clone(),
         };
-        let tmp = shard.join(format!(".tmp-{}-{}", std::process::id(), key.digest.hex()));
-        std::fs::write(&tmp, json::to_string(&entry))?;
-        std::fs::rename(&tmp, &path)?;
+        let line = format!("{}\n", seal_line(&json::to_string(&entry)));
+        atomic_write_file(&path, line.as_bytes(), ENTRY_SITES, Class::Entry)?;
         Ok(true)
     }
 }
@@ -654,10 +737,11 @@ impl SweepManifest {
 
     /// Load a manifest written by [`ManifestWriter`].
     ///
-    /// The final line of a killed run may be torn; a parse failure on
-    /// the *last* line is tolerated (that cell reads as missing), while
-    /// malformed interior lines fail the load — they indicate real
-    /// corruption, not an interrupted write.
+    /// Every line must [`unseal_line`]. The final line of a killed run
+    /// may be torn; a seal or parse failure on the *last* line is
+    /// tolerated (that cell reads as missing), while malformed interior
+    /// lines fail the load — they indicate real corruption, not an
+    /// interrupted write.
     ///
     /// # Errors
     ///
@@ -668,9 +752,11 @@ impl SweepManifest {
         let text = std::fs::read_to_string(path)
             .map_err(|e| bad(format!("manifest {}: {e}", path.display())))?;
         let mut lines = text.lines().enumerate().peekable();
-        let (_, header) = lines
+        let (_, header_line) = lines
             .next()
             .ok_or_else(|| bad(format!("manifest {}: empty file", path.display())))?;
+        let header = unseal_line(header_line)
+            .ok_or_else(|| bad(format!("manifest {}: broken header seal", path.display())))?;
         let h = json::parse(header)
             .map_err(|e| bad(format!("manifest header: {e}")))?;
         let version = h.get("manifest_version").and_then(JsonValue::as_u64);
@@ -693,7 +779,7 @@ impl SweepManifest {
             if line.trim().is_empty() {
                 continue;
             }
-            let parsed = json::parse(line).ok().and_then(|v| {
+            let parsed = unseal_line(line).and_then(|p| json::parse(p).ok()).and_then(|v| {
                 let cell = v.get("cell")?.as_usize()?;
                 let outcome = outcome_from_json(v.get("outcome")?)?;
                 let wall_ms = match v.get("wall_ms")? {
@@ -722,11 +808,12 @@ impl SweepManifest {
     }
 }
 
-/// Incremental manifest writer: a header line at creation, then one
-/// line per completed cell, each flushed immediately so a kill loses at
-/// most the in-flight cells.
+/// Incremental manifest writer: a sealed header line at creation, then
+/// one sealed, `fdatasync`ed line per completed cell, so a kill loses
+/// at most the in-flight cells and a machine crash can tear at most
+/// the final line.
 pub struct ManifestWriter {
-    file: Mutex<std::io::BufWriter<std::fs::File>>,
+    file: AppendWriter,
 }
 
 impl ManifestWriter {
@@ -735,20 +822,16 @@ impl ManifestWriter {
     ///
     /// # Errors
     ///
-    /// I/O errors creating the file.
+    /// I/O errors creating the file or writing the header.
     pub fn create(path: &Path, cell_digests: &[Digest]) -> io::Result<ManifestWriter> {
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            std::fs::create_dir_all(parent)?;
-        }
-        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        writeln!(
-            file,
+        let file = AppendWriter::create(path, MANIFEST_SITES, Class::Manifest)?;
+        let header = format!(
             "{{\"manifest_version\":{MANIFEST_VERSION},\"grid_digest\":\"{}\",\"cells\":{}}}",
             grid_digest(cell_digests).hex(),
             cell_digests.len(),
-        )?;
-        file.flush()?;
-        Ok(ManifestWriter { file: Mutex::new(file) })
+        );
+        file.append_line_at(&header, MANIFEST_HEADER_SITES)?;
+        Ok(ManifestWriter { file })
     }
 
     /// Reopen an existing manifest for appending — the resume path
@@ -766,11 +849,12 @@ impl ManifestWriter {
             let file = std::fs::OpenOptions::new().write(true).open(path)?;
             file.set_len(keep as u64)?;
         }
-        let file = std::fs::OpenOptions::new().append(true).open(path)?;
-        Ok(ManifestWriter { file: Mutex::new(std::io::BufWriter::new(file)) })
+        let file = AppendWriter::append_to(path, MANIFEST_SITES, Class::Manifest)?;
+        Ok(ManifestWriter { file })
     }
 
-    /// Append a completed cell (thread-safe; flushed before returning).
+    /// Append a completed cell (thread-safe; sealed and synced before
+    /// returning).
     pub fn append(&self, cell: usize, entry: &ManifestEntry) {
         #[derive(Serialize)]
         struct Line {
@@ -785,11 +869,9 @@ impl ManifestWriter {
             wall_ms: entry.wall_ms,
             outcome: entry.outcome.clone(),
         });
-        let mut file = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         // Checkpointing is best-effort by design: an unwritable
         // manifest must not fail the sweep it is backing up.
-        let _ = writeln!(file, "{line}");
-        let _ = file.flush();
+        let _ = self.file.append_line(&line);
     }
 }
 
@@ -891,11 +973,12 @@ impl DlqRecord {
     }
 }
 
-/// Append-only dead-letter queue writer (JSONL; one flushed line per
-/// record, so records survive a kill).
+/// Append-only dead-letter queue writer (sealed JSONL; one synced line
+/// per record, so records survive a kill and corruption is detected on
+/// load).
 pub struct DeadLetterQueue {
     path: PathBuf,
-    file: Mutex<Option<std::io::BufWriter<std::fs::File>>>,
+    file: Mutex<Option<AppendWriter>>,
     appended: AtomicU64,
 }
 
@@ -919,34 +1002,26 @@ impl DeadLetterQueue {
         self.appended.load(Ordering::Relaxed)
     }
 
-    /// Append one record (thread-safe, flushed; best-effort like the
-    /// manifest — an unwritable queue must not fail the sweep).
+    /// Append one record (thread-safe, sealed, synced; best-effort like
+    /// the manifest — an unwritable queue must not fail the sweep).
     pub fn append(&self, record: &DlqRecord) {
         let line = json::to_string(record);
         let mut guard = self.file.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if guard.is_none() {
-            if let Some(parent) = self.path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                let _ = std::fs::create_dir_all(parent);
-            }
-            *guard = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&self.path)
-                .ok()
-                .map(std::io::BufWriter::new);
+            *guard = AppendWriter::append_to(&self.path, DLQ_SITES, Class::Dlq).ok();
         }
-        if let Some(file) = guard.as_mut() {
-            if writeln!(file, "{line}").is_ok() {
-                let _ = file.flush();
+        if let Some(file) = guard.as_ref() {
+            if file.append_line(&line).is_ok() {
                 self.appended.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 }
 
-/// Load every valid record from a dead-letter queue file. Unparsable
-/// lines are skipped (a torn final line is the normal kill signature);
-/// a missing file is an empty queue.
+/// Load every valid record from a dead-letter queue file. Lines that
+/// fail to [`unseal_line`] or parse are skipped (a torn final line is
+/// the normal kill signature; a flipped bit breaks the seal); a missing
+/// file is an empty queue.
 #[must_use]
 pub fn load_dlq(path: &Path) -> Vec<DlqRecord> {
     let Ok(file) = std::fs::File::open(path) else {
@@ -956,12 +1031,17 @@ pub fn load_dlq(path: &Path) -> Vec<DlqRecord> {
         .lines()
         .map_while(Result::ok)
         .filter(|l| !l.trim().is_empty())
-        .filter_map(|l| json::parse(&l).ok().and_then(|v| DlqRecord::from_json(&v)))
+        .filter_map(|l| {
+            let payload = unseal_line(&l)?;
+            json::parse(payload).ok().and_then(|v| DlqRecord::from_json(&v))
+        })
         .collect()
 }
 
 /// Rewrite a dead-letter queue with the given records (used by replay
-/// to drop records that now succeed). An empty set removes the file.
+/// to drop records that now succeed), atomically — a kill mid-rewrite
+/// leaves either the old queue or the new one, never a mixture. An
+/// empty set removes the file.
 ///
 /// # Errors
 ///
@@ -976,19 +1056,19 @@ pub fn rewrite_dlq(path: &Path, records: &[DlqRecord]) -> io::Result<()> {
     } else {
         let mut out = String::new();
         for r in records {
-            out.push_str(&json::to_string(r));
+            out.push_str(&seal_line(&json::to_string(r)));
             out.push('\n');
         }
-        std::fs::write(path, out)
+        atomic_write_file(path, out.as_bytes(), DLQ_REWRITE_SITES, Class::Dlq)
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
+    //! Shared fixtures for the store submodules' unit tests.
     use super::*;
-    use crate::MachineConfig;
 
-    fn tmpdir(tag: &str) -> PathBuf {
+    pub(crate) fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir()
             .join(format!("dlp-store-test-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -996,7 +1076,7 @@ mod tests {
         dir
     }
 
-    fn sample_key(tag: u64) -> StoreKey {
+    pub(crate) fn sample_key(tag: u64) -> StoreKey {
         StoreKey::new(
             "convert",
             "S-O",
@@ -1009,12 +1089,19 @@ mod tests {
         )
     }
 
-    fn ran_outcome() -> CellOutcome {
+    pub(crate) fn ran_outcome() -> CellOutcome {
         CellOutcome::Ran {
             stats: SimStats { ticks: 42, useful_ops: 7, ..SimStats::default() },
             mismatch: None,
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::{ran_outcome, sample_key, tmpdir};
+    use super::*;
+    use crate::MachineConfig;
 
     #[test]
     fn digest_hex_round_trips() {
@@ -1112,17 +1199,23 @@ mod tests {
         std::fs::write(store.path_of(&key), "{not json").expect("write");
         assert_eq!(store.get(&key), None, "corrupt entry is a miss");
 
-        // Valid JSON, wrong store version.
+        // A flipped payload byte breaks the seal.
         assert!(store.put(&key, &ran_outcome()).expect("re-put"));
         let text = std::fs::read_to_string(store.path_of(&key)).expect("read");
-        std::fs::write(
-            store.path_of(&key),
-            text.replace(
-                &format!("\"store_version\":{STORE_VERSION}"),
-                &format!("\"store_version\":{}", STORE_VERSION + 1),
-            ),
-        )
-        .expect("write");
+        std::fs::write(store.path_of(&key), text.replace("\"ticks\":42", "\"ticks\":43"))
+            .expect("write");
+        assert_eq!(store.get(&key), None, "bit corruption is a miss, never a wrong result");
+
+        // Correctly re-sealed, but the wrong store version.
+        assert!(store.put(&key, &ran_outcome()).expect("re-put"));
+        let text = std::fs::read_to_string(store.path_of(&key)).expect("read");
+        let payload = unseal_line(text.trim_end_matches('\n')).expect("sealed");
+        let skewed = payload.replace(
+            &format!("\"store_version\":{STORE_VERSION}"),
+            &format!("\"store_version\":{}", STORE_VERSION + 1),
+        );
+        std::fs::write(store.path_of(&key), format!("{}\n", seal_line(&skewed)))
+            .expect("write");
         assert_eq!(store.get(&key), None, "version skew is a miss");
 
         // An entry filed under the wrong digest (e.g. a hand-copied

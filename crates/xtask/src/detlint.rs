@@ -37,13 +37,26 @@
 //! * `.keys()` / `.values()` — map iteration hides what order classes
 //!   are visited in; iterate the class index range instead.
 //!
+//! Additionally forbidden in the persistence layer
+//! (`crates/core/src/store/`), whose crash-consistency contract
+//! (DESIGN.md §11) requires every durable write to go through the
+//! atomic-writer primitives — bare writes have no fsync, no rename
+//! commit point, no seal, and no crashpoint instrumentation:
+//!
+//! * `fs::write` / `File::create` — use `atomic_write_file` or
+//!   `AppendWriter`. Test modules are exempt (corrupting files is how
+//!   the tests exercise the recovery paths): the store rule scans only
+//!   the code before the first `#[cfg(test)]`.
+//!
 //! The allowlist (`detlint.allow`) holds one entry per line:
 //! `<path> <token> # <justification>`. Entries without a justification
 //! and entries matching no finding are themselves errors, so the file
 //! can only shrink or stay honest. A batch-rule escape hatch works the
 //! same way: an entry like `crates/sim/src/batch.rs .rev() # <why the
 //! reversal cannot reach per-class observable state>` admits one
-//! justified site.
+//! justified site — the store rule's own escape hatch is the
+//! `crates/core/src/store/atomic.rs File::create` entry, the single
+//! place a file may be created directly (the atomic writer's tempfile).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -84,6 +97,16 @@ const AMBIENT_TOKENS: &[(&str, &str)] = &[
 const HASH_TOKENS: &[(&str, &str)] = &[
     ("HashMap", "hash iteration order is unspecified; use BTreeMap or indexed Vec"),
     ("HashSet", "hash iteration order is unspecified; use BTreeSet or sorted Vec"),
+];
+
+/// The persistence layer, where every durable write must go through
+/// the atomic-writer primitives.
+const STORE_DIR: &str = "crates/core/src/store/";
+
+/// Tokens forbidden in non-test code under [`STORE_DIR`].
+const STORE_TOKENS: &[(&str, &str)] = &[
+    ("fs::write", "bare write has no fsync/rename commit point; use atomic_write_file"),
+    ("File::create", "bare creation bypasses the atomic writer; use AppendWriter"),
 ];
 
 /// The lane-batched engine source, held to the strictest rule set.
@@ -146,6 +169,9 @@ pub fn run(allow_path: &str) -> ExitCode {
             }
             if rel == BATCH_FILE {
                 scan(&rel, &code, BATCH_TOKENS, &mut findings);
+            }
+            if rel.starts_with(STORE_DIR) {
+                scan(&rel, before_tests(&code), STORE_TOKENS, &mut findings);
             }
         }
     }
@@ -258,6 +284,13 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
     }
     files.sort();
     files
+}
+
+/// The prefix of `code` before its first `#[cfg(test)]` — the store
+/// write-path rule exempts test modules, whose whole point is writing
+/// corrupt bytes directly.
+fn before_tests(code: &str) -> &str {
+    code.find("#[cfg(test)]").map_or(code, |at| &code[..at])
 }
 
 /// Record every line of `code` containing one of `tokens`.
@@ -446,6 +479,17 @@ let m: HashMap<u32, u32> = HashMap::new();
         scan(BATCH_FILE, code, BATCH_TOKENS, &mut findings);
         let tokens: Vec<&str> = findings.iter().map(|f| f.token).collect();
         assert_eq!(tokens, vec![".rev()", "swap_remove"]);
+    }
+
+    #[test]
+    fn store_rule_exempts_test_modules() {
+        let code = "std::fs::write(&tmp, data)?;\n#[cfg(test)]\nmod tests {\n    \
+                    std::fs::write(&p, b\"junk\");\n    let f = File::create(&p);\n}\n";
+        let mut findings = Vec::new();
+        scan("crates/core/src/store/mod.rs", before_tests(code), STORE_TOKENS, &mut findings);
+        assert_eq!(findings.len(), 1, "only the pre-test write fires");
+        assert_eq!(findings[0].token, "fs::write");
+        assert_eq!(findings[0].line, 1);
     }
 
     #[test]

@@ -10,9 +10,16 @@
 //! * `verify-grid` — static-verifier smoke: lowers every suite kernel
 //!   for every published machine configuration and requires the program
 //!   verifier to accept all of them.
+//! * `chaos` — the crash-consistency harness: kills a child sweep at
+//!   every named store crashpoint, fscks the wreckage, resumes, and
+//!   requires the canonical report to be byte-identical to an
+//!   uninterrupted run's; plus a seeded randomized kill campaign.
+//! * `storeck` — run the store fsck (scan, quarantine, gc, restamp) on
+//!   a result-store directory and print its report.
 
 use std::process::ExitCode;
 
+mod chaos;
 mod detlint;
 
 fn main() -> ExitCode {
@@ -23,8 +30,13 @@ fn main() -> ExitCode {
             detlint::run(allow)
         }
         Some("verify-grid") => verify_grid(),
+        Some("chaos") => chaos::run(&args[1..]),
+        Some("storeck") => chaos::storeck(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <detlint [allowlist] | verify-grid>");
+            eprintln!(
+                "usage: cargo xtask <detlint [allowlist] | verify-grid | \
+                 chaos [--quick] [--seed N] [--trials N] | storeck <dir>>"
+            );
             ExitCode::FAILURE
         }
     }

@@ -15,7 +15,7 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use dlp_core::store::load_dlq;
+use dlp_core::store::{load_dlq, seal_line, unseal_line};
 use dlp_core::{
     CellSpec, DeadLetterQueue, ExperimentParams, MachineConfig, ManifestWriter, ResultStore,
     Sweep, SweepManifest, SweepReport,
@@ -182,17 +182,21 @@ fn damaged_store_entries_are_misses_never_panics() {
     let store = Arc::new(ResultStore::open(&dir).expect("open store"));
     let cold = run_with_store(1, &store);
 
-    // Damage every entry a different way: garbage bytes, valid JSON of
-    // the wrong shape, and a version-skewed but otherwise valid record.
+    // Damage every entry a different way: garbage bytes, a correctly
+    // sealed line of the wrong shape, and a correctly re-sealed but
+    // version-skewed record (the seal alone must not make it servable).
     let keys = build_grid(1).cell_keys();
     assert_eq!(keys.len(), cold.cells.len());
     std::fs::write(store.path_of(&keys[0]), b"\x00\xffnot json").expect("corrupt entry 0");
-    std::fs::write(store.path_of(&keys[1]), b"{}").expect("corrupt entry 1");
-    let skewed = std::fs::read_to_string(store.path_of(&keys[2]))
-        .expect("read entry 2")
-        .replace("{\"store_version\":1,", "{\"store_version\":999,");
+    std::fs::write(store.path_of(&keys[1]), format!("{}\n", seal_line("{}")))
+        .expect("corrupt entry 1");
+    let sealed = std::fs::read_to_string(store.path_of(&keys[2])).expect("read entry 2");
+    let skewed = unseal_line(sealed.trim_end_matches('\n'))
+        .expect("entry 2 is sealed")
+        .replace("{\"store_version\":2,", "{\"store_version\":999,");
     assert!(skewed.contains("999"), "version field rewritten");
-    std::fs::write(store.path_of(&keys[2]), skewed).expect("skew entry 2");
+    std::fs::write(store.path_of(&keys[2]), format!("{}\n", seal_line(&skewed)))
+        .expect("skew entry 2");
 
     let repaired = run_with_store(2, &store);
     assert_eq!(repaired.store_misses, 3, "every damaged entry is a miss");
