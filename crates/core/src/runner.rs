@@ -429,14 +429,56 @@ pub fn run_prepared_in(
     params: &ExperimentParams,
     scratch: &mut RunScratch,
 ) -> LaneResult {
+    let (stats, machine, workload, out_words) =
+        run_prepared_parts(kernel, prepared, records, params, scratch)?;
+    Ok((stats, verify_lane(kernel, &machine, &workload, records, out_words)))
+}
+
+/// The record count the *simulation* actually sees for `records`:
+/// dataflow runs pad to a whole number of unrolled iterations, MIMD
+/// programs loop over the raw count (`r29`). Two record counts with the
+/// same sim count (and the same seed, fault plan, and machine shape)
+/// run the exact same simulation — only the verified output prefix
+/// differs — which is what lets [`run_prepared_batch_in`] collapse them
+/// into one lane class.
+fn sim_records(prepared: &PreparedProgram, records: usize) -> usize {
+    match &prepared.variant {
+        PreparedVariant::Mimd { .. } => records,
+        PreparedVariant::Dataflow(sched) => records.div_ceil(sched.unroll) * sched.unroll,
+    }
+}
+
+/// Check one lane's unpadded output prefix against its reference.
+fn verify_lane(
+    kernel: &dyn DlpKernel,
+    machine: &Machine,
+    workload: &Workload,
+    records: usize,
+    out_words: usize,
+) -> Option<usize> {
+    let got = machine.memory().read_words(memmap::BASE_OUT, records * out_words);
+    let expected = &workload.expected[..records * out_words];
+    first_mismatch(kernel.output_kind(), &got, expected)
+}
+
+/// Everything [`run_prepared_in`] does except output verification:
+/// stage, simulate, and hand back the statistics together with the
+/// machine (whose memory holds the outputs) and the workload (whose
+/// `expected` holds the reference), so callers can verify any record
+/// prefix of the same simulation — the batch path verifies each lane's
+/// own prefix against one shared class run.
+fn run_prepared_parts(
+    kernel: &dyn DlpKernel,
+    prepared: &PreparedProgram,
+    records: usize,
+    params: &ExperimentParams,
+    scratch: &mut RunScratch,
+) -> Result<(SimStats, Machine, Arc<Workload>, usize), DlpError> {
     let ir = kernel.ir();
     let in_words = ir.record_in_words() as usize;
     let out_words = ir.record_out_words() as usize;
     // Pad the record count to a whole number of unrolled iterations.
-    let padded_records = match &prepared.variant {
-        PreparedVariant::Mimd { .. } => records,
-        PreparedVariant::Dataflow(sched) => records.div_ceil(sched.unroll) * sched.unroll,
-    };
+    let padded_records = sim_records(prepared, records);
     let mut machine = Machine::new(params.grid, params.timing, prepared.mech);
     if let Some(ticks) = params.watchdog {
         machine.set_watchdog(ticks);
@@ -488,12 +530,7 @@ pub fn run_prepared_in(
         }
     };
 
-    // Verify the unpadded prefix of the output stream.
-    let got = machine.memory().read_words(memmap::BASE_OUT, records * out_words);
-    let expected = &workload.expected[..records * out_words];
-    let mismatch = first_mismatch(kernel.output_kind(), &got, expected);
-
-    Ok((stats, mismatch))
+    Ok((stats, machine, workload, out_words))
 }
 
 /// One lane of a batched dispatch: the record count and experiment
@@ -513,27 +550,38 @@ pub struct BatchLane {
 
 /// Whether `lanes` may be dispatched through
 /// [`run_prepared_batch_in`]'s lockstep path: non-empty, with uniform
-/// record count, grid shape, timing model, and watchdog. Seeds and
-/// fault plans may differ freely (they become lane *classes* inside the
-/// batch).
+/// grid shape, timing model, and watchdog. Seeds, fault plans, *and
+/// record counts* may differ freely — they become lane *classes* inside
+/// the batch, and a class whose record tail is exhausted masks off
+/// while the rest keep running (mask-padded tails, DESIGN.md §12).
 #[must_use]
 pub fn batchable(lanes: &[BatchLane]) -> bool {
     let Some(first) = lanes.first() else { return false };
     lanes.len() <= trips_sim::batch::MAX_CLASSES
         && lanes.iter().all(|l| {
-            l.records == first.records
-                && l.params.grid == first.params.grid
+            l.params.grid == first.params.grid
                 && l.params.timing == first.params.timing
                 && l.params.watchdog == first.params.watchdog
         })
 }
 
 /// Whether two lanes are *uniform*: they would run the exact same
-/// simulation. Fault plans that are both inert ([`FaultPlan::is_none`])
-/// compare equal regardless of salt — the injector never installs, so
-/// the salt is unobservable.
-fn same_class(a: &ExperimentParams, b: &ExperimentParams) -> bool {
-    a.seed == b.seed && ((a.fault.is_none() && b.fault.is_none()) || a.fault == b.fault)
+/// simulation, so one run serves both (each lane still verifies its own
+/// output prefix). The comparison is the full simulation identity —
+/// seed, fault plan, machine shape, and the record count as the
+/// *simulation* sees it ([`sim_records`]: two dataflow counts padding to
+/// the same unroll multiple collapse; MIMD counts must match exactly).
+/// Fault plans that are both inert ([`FaultPlan::is_none`]) compare
+/// equal regardless of salt — the injector never installs, so the salt
+/// is unobservable.
+fn same_class(prepared: &PreparedProgram, a: &BatchLane, b: &BatchLane) -> bool {
+    sim_records(prepared, a.records) == sim_records(prepared, b.records)
+        && a.params.seed == b.params.seed
+        && ((a.params.fault.is_none() && b.params.fault.is_none())
+            || a.params.fault == b.params.fault)
+        && a.params.grid == b.params.grid
+        && a.params.timing == b.params.timing
+        && a.params.watchdog == b.params.watchdog
 }
 
 /// As [`run_prepared_in`], for a whole batch of lanes at once: dedupe
@@ -563,7 +611,7 @@ pub fn run_prepared_batch_in(
     let mut reps: Vec<usize> = Vec::new();
     let mut class_of: Vec<usize> = Vec::with_capacity(lanes.len());
     for (i, lane) in lanes.iter().enumerate() {
-        match reps.iter().position(|&r| same_class(&lanes[r].params, &lane.params)) {
+        match reps.iter().position(|&r| same_class(prepared, &lanes[r], lane)) {
             Some(c) => class_of.push(c),
             None => {
                 class_of.push(reps.len());
@@ -573,58 +621,73 @@ pub fn run_prepared_batch_in(
     }
 
     // One class, an unbatchable mix, or more classes than mask bits:
-    // run each class through the scalar reference path and replicate.
+    // run each class through the scalar reference path.
     if reps.len() <= 1 || !batchable(lanes) {
-        let per_class: Vec<_> = reps
-            .iter()
-            .map(|&r| run_prepared_in(kernel, prepared, lanes[r].records, &lanes[r].params, scratch))
-            .collect();
-        return class_of.iter().map(|&c| per_class[c].clone()).collect();
+        return run_classes_scalar(kernel, prepared, lanes, &reps, &class_of, scratch);
     }
 
-    match run_classes_lockstep(kernel, prepared, lanes, &reps, scratch) {
-        Some(per_class) => class_of.iter().map(|&c| per_class[c].clone()).collect(),
-        None => {
-            // A class failed setup (staging DMA, L0 capacity): take the
-            // scalar path for every class so error attribution matches
-            // the scalar contract exactly.
-            let per_class: Vec<_> = reps
-                .iter()
-                .map(|&r| {
-                    run_prepared_in(kernel, prepared, lanes[r].records, &lanes[r].params, scratch)
-                })
-                .collect();
-            class_of.iter().map(|&c| per_class[c].clone()).collect()
-        }
+    match run_classes_lockstep(kernel, prepared, lanes, &reps, &class_of, scratch) {
+        Some(per_lane) => per_lane,
+        // A class failed setup (staging DMA, L0 capacity): take the
+        // scalar path for every class so error attribution matches
+        // the scalar contract exactly.
+        None => run_classes_scalar(kernel, prepared, lanes, &reps, &class_of, scratch),
     }
+}
+
+/// The scalar reference path of [`run_prepared_batch_in`]: one
+/// [`run_prepared_parts`] run per class, then every lane verifies its
+/// own record prefix against its class's outputs.
+fn run_classes_scalar(
+    kernel: &dyn DlpKernel,
+    prepared: &PreparedProgram,
+    lanes: &[BatchLane],
+    reps: &[usize],
+    class_of: &[usize],
+    scratch: &mut RunScratch,
+) -> Vec<LaneResult> {
+    let per_class: Vec<_> = reps
+        .iter()
+        .map(|&r| run_prepared_parts(kernel, prepared, lanes[r].records, &lanes[r].params, scratch))
+        .collect();
+    lanes
+        .iter()
+        .zip(class_of)
+        .map(|(lane, &c)| match &per_class[c] {
+            Ok((stats, machine, workload, out_words)) => {
+                Ok((*stats, verify_lane(kernel, machine, workload, lane.records, *out_words)))
+            }
+            Err(e) => Err(e.clone()),
+        })
+        .collect()
 }
 
 /// The lockstep core of [`run_prepared_batch_in`]: one machine per
 /// class, staged exactly as [`run_prepared_in`] stages its single
-/// machine, then one batched engine dispatch. Returns `None` if any
-/// class's setup errors (the caller falls back to scalar).
+/// machine, then one batched engine dispatch with per-class record
+/// counts (classes with shorter tails mask off as they finish). Every
+/// lane then verifies its own record prefix against its class's
+/// outputs. Returns `None` if any class's setup errors (the caller
+/// falls back to scalar).
 fn run_classes_lockstep(
     kernel: &dyn DlpKernel,
     prepared: &PreparedProgram,
     lanes: &[BatchLane],
     reps: &[usize],
+    class_of: &[usize],
     scratch: &mut RunScratch,
 ) -> Option<Vec<LaneResult>> {
     let ir = kernel.ir();
     let in_words = ir.record_in_words() as usize;
     let out_words = ir.record_out_words() as usize;
-    let records = lanes[reps[0]].records;
-    let padded_records = match &prepared.variant {
-        PreparedVariant::Mimd { .. } => records,
-        PreparedVariant::Dataflow(sched) => records.div_ceil(sched.unroll) * sched.unroll,
-    };
 
     // Per-class machine + workload setup, mirroring `run_prepared_in`
-    // statement for statement.
+    // statement for statement (each class stages its own padded count).
     let mut machines: Vec<Machine> = Vec::with_capacity(reps.len());
     let mut workloads: Vec<Arc<Workload>> = Vec::with_capacity(reps.len());
     for &r in reps {
         let params = &lanes[r].params;
+        let padded_records = sim_records(prepared, lanes[r].records);
         let mut machine = Machine::new(params.grid, params.timing, prepared.mech);
         if let Some(ticks) = params.watchdog {
             machine.set_watchdog(ticks);
@@ -652,12 +715,8 @@ fn run_classes_lockstep(
                     }
                 }
             }
-            trips_sim::batch::run_mimd_batch_in(
-                &mut machines,
-                progs,
-                records as u64,
-                &mut scratch.arena,
-            )
+            let records: Vec<u64> = reps.iter().map(|&r| lanes[r].records as u64).collect();
+            trips_sim::batch::run_mimd_batch_in(&mut machines, progs, &records, &mut scratch.arena)
         }
         PreparedVariant::Dataflow(sched) => {
             for machine in &mut machines {
@@ -672,7 +731,10 @@ fn run_classes_lockstep(
                     machine.set_reg(*reg, *v);
                 }
             }
-            let iterations = (padded_records / sched.unroll) as u64;
+            let iterations: Vec<u64> = reps
+                .iter()
+                .map(|&r| (sim_records(prepared, lanes[r].records) / sched.unroll) as u64)
+                .collect();
             let params = &lanes[reps[0]].params;
             scratch.arena.mark_dataflow_block_validated(
                 &sched.block,
@@ -682,23 +744,24 @@ fn run_classes_lockstep(
             trips_sim::batch::run_dataflow_batch_in(
                 &mut machines,
                 &sched.block,
-                iterations,
+                &iterations,
                 &mut scratch.arena,
             )
         }
     };
 
-    // Per-class verification against each class's own reference output.
+    // Per-lane verification against the lane's own record prefix of its
+    // class's reference output.
     Some(
-        results
-            .into_iter()
-            .zip(machines.iter())
-            .zip(workloads.iter())
-            .map(|((res, machine), workload)| {
-                let stats = res?;
-                let got = machine.memory().read_words(memmap::BASE_OUT, records * out_words);
-                let expected = &workload.expected[..records * out_words];
-                Ok((stats, first_mismatch(kernel.output_kind(), &got, expected)))
+        lanes
+            .iter()
+            .zip(class_of)
+            .map(|(lane, &c)| match &results[c] {
+                Ok(stats) => Ok((
+                    *stats,
+                    verify_lane(kernel, &machines[c], &workloads[c], lane.records, out_words),
+                )),
+                Err(e) => Err(e.clone()),
             })
             .collect(),
     )

@@ -645,10 +645,12 @@ impl Sweep {
         // one sequential chain per configuration when the circuit
         // breaker is armed (so "consecutive failures" is well-defined
         // regardless of worker interleaving); lane-*batched* groups of
-        // pending cells sharing one lowering, record count, and
-        // watchdog (dispatched in lockstep through the batched engine —
-        // DESIGN.md §10 — with bit-identical per-cell results); and
-        // singleton chains for everything else. Batching is skipped
+        // pending cells sharing one lowering and watchdog — record
+        // counts may differ, short lanes ride as mask-padded tails
+        // (DESIGN.md §12) — packed greedily into maximal-occupancy
+        // batches and dispatched in lockstep through the batched
+        // engine (DESIGN.md §10) with bit-identical per-cell results;
+        // and singleton chains for everything else. Batching is skipped
         // under a breaker (its failure chains are sequential by
         // definition) and under a soft timeout (a wall-clock budget is
         // per-cell and cannot be attributed inside a shared dispatch).
@@ -673,13 +675,17 @@ impl Sweep {
                         groups.push(DispatchGroup::Chain(vec![i]));
                         continue;
                     }
-                    let key =
-                        (cell_plan[i], self.cells[i].records, self.cells[i].params.watchdog);
+                    let key = (cell_plan[i], self.cells[i].params.watchdog);
                     match pending.iter_mut().find(|(k, _)| *k == key) {
                         Some((_, members)) => members.push(i),
                         None => pending.push((key, vec![i])),
                     }
                 }
+                // Greedy packer: each key's members (push order) fill
+                // batches to the lane-word limit before opening the
+                // next — the maximal-occupancy packing, since lanes
+                // can never cross lowerings. A leftover singleton runs
+                // as a scalar chain.
                 for (_, members) in pending {
                     for chunk in members.chunks(trips_sim::batch::MAX_CLASSES) {
                         if chunk.len() >= 2 {
@@ -704,6 +710,12 @@ impl Sweep {
             .sum();
         let batch_dispatches =
             groups.iter().filter(|g| matches!(g, DispatchGroup::Batch(_))).count();
+        let batch_occupancy = if batch_dispatches == 0 {
+            0.0
+        } else {
+            cells_batched as f64
+                / (batch_dispatches * trips_sim::batch::MAX_CLASSES) as f64
+        };
         let workload_cache =
             if self.workload_cache { Some(Arc::new(WorkloadCache::new())) } else { None };
         let group_results: Vec<Vec<(usize, Resolved)>> = self.parallel_map_with(
@@ -842,6 +854,7 @@ impl Sweep {
             dlq_appended,
             cells_batched,
             batch_dispatches,
+            batch_occupancy,
             cells,
         }
     }
@@ -1214,16 +1227,18 @@ enum DispatchGroup {
     /// Cells processed sequentially in push order by the scalar path
     /// (per-configuration chains under a breaker, singletons otherwise).
     Chain(Vec<usize>),
-    /// Pending cells sharing one lowering, record count, and watchdog,
-    /// dispatched in lockstep through the lane-batched engine.
+    /// Pending cells sharing one lowering and watchdog, dispatched in
+    /// lockstep through the lane-batched engine.
     Batch(Vec<usize>),
 }
 
 /// Batch-eligibility key: plan index (which already pins kernel,
-/// mechanisms, grid, and timing), record count, and watchdog — exactly
-/// the uniformity [`crate::runner::batchable`] requires. Seeds and
-/// fault plans vary freely inside a batch (they become lane classes).
-type BatchKey = (usize, usize, Option<dlp_common::Tick>);
+/// mechanisms, grid, and timing) and watchdog — exactly the uniformity
+/// [`crate::runner::batchable`] requires. Seeds, fault plans, *and
+/// record counts* vary freely inside a batch (seeds and faults become
+/// lane classes; short lanes ride along as mask-padded tails,
+/// DESIGN.md §12).
+type BatchKey = (usize, Option<dlp_common::Tick>);
 
 /// How one cell's outcome was obtained by [`Sweep::run`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -1465,6 +1480,12 @@ pub struct SweepReport {
     pub cells_batched: usize,
     /// Lockstep dispatches those batched cells were grouped into.
     pub batch_dispatches: usize,
+    /// Mean lane occupancy of those dispatches: `cells_batched /
+    /// (batch_dispatches * MAX_CLASSES)`, in `(0, 1]` — how full the
+    /// 64-lane words the greedy packer built were. 0.0 when nothing
+    /// batched. Like the dispatch counters it is a pure function of
+    /// the grid, the policy, and the resolve phase.
+    pub batch_occupancy: f64,
     /// Per-cell results, in push order.
     pub cells: Vec<SweepCell>,
 }
@@ -1526,6 +1547,7 @@ impl SweepReport {
             dlq_appended: 0,
             cells_batched: 0,
             batch_dispatches: 0,
+            batch_occupancy: 0.0,
             cells: self
                 .cells
                 .iter()
@@ -1699,6 +1721,37 @@ mod tests {
         for (cell, records) in report.cells.iter().zip([512, 768, 1024]) {
             let fresh = uncached("convert", MachineConfig::SO, records);
             assert_eq!(cell.outcome.stats(), Some(&fresh), "cached == uncached at {records}");
+        }
+    }
+
+    #[test]
+    fn record_varying_cells_pack_into_one_lockstep_dispatch() {
+        // Cross-record batch packing (DESIGN.md §12): cells differing
+        // only in record count share a lowering (the unroll-cap
+        // coarsening) and now also a lockstep dispatch — the shorter
+        // lanes ride along as mask-padded tails. Before the packer
+        // dropped record counts from the batch key these cells never
+        // batched at all (`cells_batched` would be 0 here).
+        let params = ExperimentParams::default();
+        let mut sweep = Sweep::with_threads(2);
+        let id = sweep.add_kernel_by_name("convert").expect("suite kernel");
+        for records in [512, 768, 1024] {
+            sweep.push_config(id, MachineConfig::SO, records, &params);
+        }
+        let report = sweep.run();
+        assert_eq!(report.plans_prepared, 1, "one shared dataflow lowering");
+        assert_eq!(report.cells_batched, 3, "all three record counts share one dispatch");
+        assert_eq!(report.batch_dispatches, 1);
+        let expected = 3.0 / trips_sim::batch::MAX_CLASSES as f64;
+        assert!(
+            (report.batch_occupancy - expected).abs() < 1e-12,
+            "occupancy {} != {expected}",
+            report.batch_occupancy
+        );
+        report.ensure_verified().expect("verifies");
+        for (cell, records) in report.cells.iter().zip([512, 768, 1024]) {
+            let fresh = uncached("convert", MachineConfig::SO, records);
+            assert_eq!(cell.outcome.stats(), Some(&fresh), "batched == scalar at {records}");
         }
     }
 

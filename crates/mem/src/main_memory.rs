@@ -2,12 +2,22 @@
 
 use dlp_common::Value;
 
+/// Words per page. Kernels address a sparse space — inputs near zero,
+/// outputs at [`BASE_OUT`-style megaword bases] — so the backing store is
+/// paged: a write only materialises (and zeroes) the 16 Ki-word page it
+/// lands on, never the gap below it. A dense `Vec` here cost milliseconds
+/// per machine on the first high-address store (allocate + zero + realloc
+/// copies of megabytes), which dominated the lane-batched engine's
+/// dispatch time.
+const PAGE_WORDS: usize = 1 << 14;
+
 /// Word-addressed main memory.
 ///
 /// All data in the simulated machine lives here; the caches are pure timing
 /// models (tags without data arrays), so there is never a coherence question
-/// between model layers. The store grows on demand; reads of never-written
-/// words return zero, like freshly mapped pages.
+/// between model layers. The store grows on demand page by page; reads of
+/// never-written words return zero, like freshly mapped pages, and cloning
+/// copies only the pages that have been touched.
 ///
 /// # Example
 ///
@@ -22,7 +32,9 @@ use dlp_common::Value;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MainMemory {
-    words: Vec<Value>,
+    pages: Vec<Option<Box<[Value]>>>,
+    /// Highest written word address plus one.
+    footprint: usize,
 }
 
 impl MainMemory {
@@ -35,10 +47,15 @@ impl MainMemory {
     /// Read the word at `addr` (word address).
     #[must_use]
     pub fn read(&self, addr: u64) -> Value {
-        self.words.get(addr as usize).copied().unwrap_or(Value::ZERO)
+        let idx = addr as usize;
+        match self.pages.get(idx / PAGE_WORDS) {
+            Some(Some(page)) => page[idx % PAGE_WORDS],
+            _ => Value::ZERO,
+        }
     }
 
-    /// Write `value` at `addr` (word address), growing as needed.
+    /// Write `value` at `addr` (word address), materialising the page on
+    /// first touch.
     ///
     /// # Panics
     ///
@@ -49,10 +66,14 @@ impl MainMemory {
         const LIMIT: u64 = 1 << 30;
         assert!(addr < LIMIT, "address {addr:#x} exceeds simulated memory limit");
         let idx = addr as usize;
-        if idx >= self.words.len() {
-            self.words.resize(idx + 1, Value::ZERO);
+        let pi = idx / PAGE_WORDS;
+        if pi >= self.pages.len() {
+            self.pages.resize(pi + 1, None);
         }
-        self.words[idx] = value;
+        let page = self.pages[pi]
+            .get_or_insert_with(|| vec![Value::ZERO; PAGE_WORDS].into_boxed_slice());
+        page[idx % PAGE_WORDS] = value;
+        self.footprint = self.footprint.max(idx + 1);
     }
 
     /// Write a slice of words starting at `base`.
@@ -71,7 +92,7 @@ impl MainMemory {
     /// Highest written word address plus one (the memory footprint).
     #[must_use]
     pub fn footprint_words(&self) -> usize {
-        self.words.len()
+        self.footprint
     }
 }
 

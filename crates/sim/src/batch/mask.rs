@@ -1,0 +1,300 @@
+//! Branch-free, word-at-a-time passes over the lane-class stride.
+//!
+//! Every function here takes per-class columns (`state[.. * nc + c]`,
+//! class innermost) plus a `u64` lane mask and updates the masked
+//! classes with bitwise select — no per-lane `if`, no early `continue`
+//! — so the autovectorizer can emit SIMD over the class dimension.
+//! The loops are tagged with `detlint: simd-loop-begin`/`-end` markers:
+//! detlint forbids per-lane `continue` inside them, and
+//! `cargo xtask asmcheck` greps the release assembly of these
+//! `#[inline(never)]` symbols for vector instructions.
+//!
+//! Bit-identity note: each pass writes class `c`'s column from class
+//! `c`'s inputs only, exactly as the scalar per-class loop it replaced;
+//! masked-off lanes are preserved via select rather than skipped via
+//! control flow, which cannot change any per-class value.
+
+use dlp_common::{Tick, Value};
+use trips_isa::Opcode;
+
+/// Bit `c` of `mask` expanded to an all-ones/all-zero select word.
+#[inline(always)]
+fn lane_word(mask: u64, c: usize) -> u64 {
+    ((mask >> c) & 1).wrapping_neg()
+}
+
+/// Masked copy: `dst[c] = src[c]` for masked classes, else unchanged —
+/// the operand-latch / register-writeback pass.
+#[inline(never)]
+pub(crate) fn simd_latch_lanes(dst: &mut [Value], src: &[Value], mask: u64) {
+    let n = dst.len().min(src.len());
+    // detlint: simd-loop-begin
+    for c in 0..n {
+        let w = lane_word(mask, c);
+        dst[c] = Value::from_bits((src[c].bits() & w) | (dst[c].bits() & !w));
+    }
+    // detlint: simd-loop-end
+}
+
+/// Masked operand gather: `out[c] = vals[c]` where `present` has bit
+/// `c`, else the uniform `default` (an immediate or zero) — the operand
+/// delivery pass feeding [`simd_eval_lanes`].
+#[inline(never)]
+pub(crate) fn simd_select_lanes(out: &mut [Value], vals: &[Value], present: u64, default: Value) {
+    let n = out.len().min(vals.len());
+    // detlint: simd-loop-begin
+    for c in 0..n {
+        let w = lane_word(present, c);
+        out[c] = Value::from_bits((vals[c].bits() & w) | (default.bits() & !w));
+    }
+    // detlint: simd-loop-end
+}
+
+/// Masked `+= 1` over a `u32` column (executed counts, program
+/// counters).
+#[inline(never)]
+pub(crate) fn simd_add_one_u32(col: &mut [u32], mask: u64) {
+    // detlint: simd-loop-begin
+    for c in 0..col.len() {
+        col[c] = col[c].wrapping_add(((mask >> c) & 1) as u32);
+    }
+    // detlint: simd-loop-end
+}
+
+/// Masked `-= 1` over a `u32` column (outstanding-event counts).
+#[inline(never)]
+pub(crate) fn simd_sub_one_u32(col: &mut [u32], mask: u64) {
+    // detlint: simd-loop-begin
+    for c in 0..col.len() {
+        col[c] = col[c].wrapping_sub(((mask >> c) & 1) as u32);
+    }
+    // detlint: simd-loop-end
+}
+
+/// Masked `+= 1` over a `u64` column — the stat-accumulation pass
+/// (useful/overhead op counts, fetches, step budgets).
+#[inline(never)]
+pub(crate) fn simd_add_one_u64(col: &mut [u64], mask: u64) {
+    // detlint: simd-loop-begin
+    for c in 0..col.len() {
+        col[c] += (mask >> c) & 1;
+    }
+    // detlint: simd-loop-end
+}
+
+/// Masked `col[c] = max(col[c], t)` over a tick column (frame/run
+/// last-tick tracking).
+#[inline(never)]
+pub(crate) fn simd_max_tick(col: &mut [Tick], t: Tick, mask: u64) {
+    // detlint: simd-loop-begin
+    for c in 0..col.len() {
+        let w = lane_word(mask, c);
+        let m = col[c].max(t);
+        col[c] = (m & w) | (col[c] & !w);
+    }
+    // detlint: simd-loop-end
+}
+
+/// Classes whose `col[c]` exceeds `bound[c]`, as a mask word (step
+/// budget screening — the slow path walks only the returned bits).
+#[inline(never)]
+pub(crate) fn simd_over_mask(col: &[u64], bound: &[u64], nc: usize) -> u64 {
+    let n = nc.min(col.len()).min(bound.len());
+    let mut over = 0u64;
+    // detlint: simd-loop-begin
+    for c in 0..n {
+        over |= u64::from(col[c] > bound[c]) << c;
+    }
+    // detlint: simd-loop-end
+    over
+}
+
+/// Evaluate one ALU opcode across every lane: `out[c] = eval(op, l[c],
+/// r[c], p[c])`.
+///
+/// The opcode match is hoisted out of the lane loop so each arm is a
+/// single branch-free pass the autovectorizer can handle. Every arm
+/// restates [`trips_isa::exec::eval`]'s expression *verbatim* — the
+/// `eval_lanes_matches_scalar_eval` test pins the equivalence per
+/// opcode — and opcodes whose semantics do not vectorize profitably
+/// (division, floating point) fall back to the scalar `eval` per lane,
+/// which is bit-identical by construction.
+///
+/// # Panics
+///
+/// Panics (in the scalar fallback) when called with an engine-evaluated
+/// opcode (`MovI`/`Iter`/`Nop`/memory ops) — callers dispatch those
+/// before reaching the ALU pass, exactly like the scalar engines.
+#[inline(never)]
+#[allow(clippy::many_single_char_names)]
+pub(crate) fn simd_eval_lanes(op: Opcode, l: &[Value], r: &[Value], p: &[Value], out: &mut [Value]) {
+    let n = out.len().min(l.len()).min(r.len()).min(p.len());
+    macro_rules! map2 {
+        (|$a:ident, $b:ident| $e:expr) => {{
+            // detlint: simd-loop-begin
+            for c in 0..n {
+                let $a = l[c];
+                let $b = r[c];
+                out[c] = $e;
+            }
+            // detlint: simd-loop-end
+        }};
+    }
+    macro_rules! map1 {
+        (|$a:ident| $e:expr) => {{
+            // detlint: simd-loop-begin
+            for c in 0..n {
+                let $a = l[c];
+                out[c] = $e;
+            }
+            // detlint: simd-loop-end
+        }};
+    }
+    use Opcode::*;
+    match op {
+        Add => map2!(|a, b| Value::from_u64(a.as_u64().wrapping_add(b.as_u64()))),
+        Sub => map2!(|a, b| Value::from_u64(a.as_u64().wrapping_sub(b.as_u64()))),
+        Mul => map2!(|a, b| Value::from_u64(a.as_u64().wrapping_mul(b.as_u64()))),
+        Add32 => map2!(|a, b| Value::from_u32(a.as_u32().wrapping_add(b.as_u32()))),
+        Sub32 => map2!(|a, b| Value::from_u32(a.as_u32().wrapping_sub(b.as_u32()))),
+        Mul32 => map2!(|a, b| Value::from_u32(a.as_u32().wrapping_mul(b.as_u32()))),
+        RotL32 => map2!(|a, b| Value::from_u32(a.as_u32().rotate_left(b.as_u32() % 32))),
+        RotR32 => map2!(|a, b| Value::from_u32(a.as_u32().rotate_right(b.as_u32() % 32))),
+        And => map2!(|a, b| Value::from_u64(a.as_u64() & b.as_u64())),
+        Or => map2!(|a, b| Value::from_u64(a.as_u64() | b.as_u64())),
+        Xor => map2!(|a, b| Value::from_u64(a.as_u64() ^ b.as_u64())),
+        Not => map1!(|a| Value::from_u64(!a.as_u64())),
+        Shl => map2!(|a, b| Value::from_u64(a.as_u64() << (b.as_u64() & 63))),
+        Shr => map2!(|a, b| Value::from_u64(a.as_u64() >> (b.as_u64() & 63))),
+        Sra => map2!(|a, b| Value::from_i64(a.as_i64() >> (b.as_u64() & 63))),
+        Teq => map2!(|a, b| Value::from_u64(u64::from(a.as_u64() == b.as_u64()))),
+        Tne => map2!(|a, b| Value::from_u64(u64::from(a.as_u64() != b.as_u64()))),
+        Tlt => map2!(|a, b| Value::from_u64(u64::from(a.as_i64() < b.as_i64()))),
+        Tle => map2!(|a, b| Value::from_u64(u64::from(a.as_i64() <= b.as_i64()))),
+        Tgt => map2!(|a, b| Value::from_u64(u64::from(a.as_i64() > b.as_i64()))),
+        Tge => map2!(|a, b| Value::from_u64(u64::from(a.as_i64() >= b.as_i64()))),
+        Tltu => map2!(|a, b| Value::from_u64(u64::from(a.as_u64() < b.as_u64()))),
+        Tgeu => map2!(|a, b| Value::from_u64(u64::from(a.as_u64() >= b.as_u64()))),
+        Mov => map1!(|a| a),
+        Sel => {
+            // detlint: simd-loop-begin
+            for c in 0..n {
+                let w = u64::from(p[c].is_true()).wrapping_neg();
+                out[c] = Value::from_bits((l[c].bits() & w) | (r[c].bits() & !w));
+            }
+            // detlint: simd-loop-end
+        }
+        _ => {
+            // Division, floating point, conversions: scalar `eval` per
+            // lane (bit-identical by construction; these arms carry
+            // hardware-level corner cases not worth restating).
+            for c in 0..n {
+                out[c] = trips_isa::exec::eval(op, l[c], r[c], p[c]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Interesting corners for every integer/float reinterpretation the
+    /// ISA uses.
+    const SAMPLES: &[u64] = &[
+        0,
+        1,
+        2,
+        3,
+        63,
+        64,
+        65,
+        0x7F,
+        0x80,
+        0xFFFF_FFFF,
+        0x8000_0000,
+        0x7FFF_FFFF,
+        0x1_0000_0000,
+        0xAAAA_5555_AAAA_5555,
+        0x8000_0000_0000_0000,
+        0x7FFF_FFFF_FFFF_FFFF,
+        u64::MAX,
+        0x3F80_0000,        // 1.0f32
+        0xBF80_0000,        // -1.0f32
+        0x7FC0_0000,        // f32 NaN
+        0x7F80_0000,        // f32 +inf
+        0x4F00_0000,        // 2^31 as f32
+        0xCF00_0000,        // -2^31 as f32
+    ];
+
+    #[test]
+    fn eval_lanes_matches_scalar_eval() {
+        use Opcode::*;
+        let all = [
+            Add, Sub, Mul, Div, Rem, Add32, Sub32, Mul32, RotL32, RotR32, And, Or, Xor, Not, Shl,
+            Shr, Sra, Teq, Tne, Tlt, Tle, Tgt, Tge, Tltu, Tgeu, FAdd, FSub, FMul, FDiv, FSqrt,
+            FMin, FMax, FNeg, FAbs, FFloor, FTeq, FTlt, FTle, I2F, F2I, Mov, Sel,
+        ];
+        // Lanes sweep (l, r, p) through rotations of the sample corners
+        // so every pairwise combination appears in some lane.
+        let n = SAMPLES.len();
+        let l: Vec<Value> = (0..n * n).map(|i| Value::from_bits(SAMPLES[i % n])).collect();
+        let r: Vec<Value> = (0..n * n).map(|i| Value::from_bits(SAMPLES[i / n])).collect();
+        let p: Vec<Value> = (0..n * n).map(|i| Value::from_bits(SAMPLES[(i + 7) % n])).collect();
+        let mut out = vec![Value::ZERO; n * n];
+        for op in all {
+            simd_eval_lanes(op, &l, &r, &p, &mut out);
+            for c in 0..n * n {
+                let want = trips_isa::exec::eval(op, l[c], r[c], p[c]);
+                assert_eq!(
+                    out[c].bits(),
+                    want.bits(),
+                    "{op:?} lane {c}: l={:#x} r={:#x} p={:#x}",
+                    l[c].bits(),
+                    r[c].bits(),
+                    p[c].bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn masked_passes_touch_only_masked_lanes() {
+        let mask = 0b1010_0110u64;
+        let src: Vec<Value> = (0..8).map(|i| Value::from_u64(100 + i)).collect();
+        let mut dst: Vec<Value> = (0..8).map(Value::from_u64).collect();
+        simd_latch_lanes(&mut dst, &src, mask);
+        for c in 0..8 {
+            let want = if mask >> c & 1 != 0 { 100 + c as u64 } else { c as u64 };
+            assert_eq!(dst[c].as_u64(), want, "lane {c}");
+        }
+
+        let mut counts = vec![10u32; 8];
+        simd_add_one_u32(&mut counts, mask);
+        simd_sub_one_u32(&mut counts, !mask);
+        for c in 0..8 {
+            let want = if mask >> c & 1 != 0 { 11 } else { 9 };
+            assert_eq!(counts[c], want, "lane {c}");
+        }
+
+        let mut ticks = vec![5u64; 8];
+        simd_max_tick(&mut ticks, 9, mask);
+        for c in 0..8 {
+            assert_eq!(ticks[c], if mask >> c & 1 != 0 { 9 } else { 5 }, "lane {c}");
+        }
+
+        let mut col = vec![0u64; 8];
+        simd_add_one_u64(&mut col, mask);
+        assert_eq!(col.iter().sum::<u64>(), mask.count_ones() as u64);
+
+        let bound = vec![0u64; 8];
+        assert_eq!(simd_over_mask(&col, &bound, 8), mask);
+
+        let mut out = vec![Value::ZERO; 8];
+        simd_select_lanes(&mut out, &src, mask, Value::from_u64(7));
+        for c in 0..8 {
+            let want = if mask >> c & 1 != 0 { 100 + c as u64 } else { 7 };
+            assert_eq!(out[c].as_u64(), want, "lane {c}");
+        }
+    }
+}

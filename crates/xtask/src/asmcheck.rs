@@ -1,0 +1,208 @@
+//! `cargo xtask asmcheck` — the autovectorization gate for the tagged
+//! word-at-a-time passes in `crates/sim/src/batch/mask.rs`.
+//!
+//! The batch engine's bit-identity contract is cheap only because the
+//! mask passes compile to SIMD: they are written branch-free (detlint's
+//! `simd-loop` rule keeps them that way) precisely so LLVM's
+//! autovectorizer can turn each lane loop into vector arithmetic. That
+//! property is invisible to `cargo test` — a stray bounds check or a
+//! per-lane branch silently degrades every pass to scalar code while
+//! all results stay bit-identical. This check makes the property a CI
+//! fact instead of a hope:
+//!
+//! 1. Emit release assembly for the `trips-sim` crate alone
+//!    (`cargo rustc -p trips-sim --release -- --emit asm`) into a
+//!    dedicated target directory (`target/asmcheck`) so the normal
+//!    build cache is untouched. One codegen unit keeps every symbol in
+//!    a single `.s` file; on x86-64 the baseline is raised to
+//!    `x86-64-v3` (AVX2), the floor CI's runners and any development
+//!    box this decade actually execute — the gate verifies the loops
+//!    *are vectorizable at that floor*, which is what the branch-free
+//!    contract promises.
+//! 2. Every tagged pass is `#[inline(never)]`, so each has its own
+//!    mangled symbol containing the function name as a substring. The
+//!    scanner slices the assembly into per-symbol bodies and counts
+//!    vector-register references (`xmm`/`ymm`/`zmm`, or NEON lane
+//!    suffixes on aarch64) in each.
+//! 3. A tagged pass whose body contains *no* vector op fails the
+//!    check, with a per-pass report either way.
+
+use std::process::{Command, ExitCode};
+
+/// The tagged SIMD passes. Each is `#[inline(never)]`, so each owns a
+/// symbol; mangled Rust symbols keep the function name as a substring.
+const TAGGED: &[&str] = &[
+    "simd_latch_lanes",
+    "simd_select_lanes",
+    "simd_add_one_u32",
+    "simd_sub_one_u32",
+    "simd_add_one_u64",
+    "simd_max_tick",
+    "simd_over_mask",
+    "simd_eval_lanes",
+];
+
+/// Emit release assembly for `trips-sim` and require every tagged pass
+/// to contain vector instructions.
+pub fn run() -> ExitCode {
+    let root = crate::detlint::workspace_root();
+    let target = root.join("target").join("asmcheck");
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(&root)
+        .env("CARGO_TARGET_DIR", &target)
+        .args(["rustc", "-p", "trips-sim", "--release", "--quiet", "--"])
+        .args(["--emit", "asm", "-Ccodegen-units=1"]);
+    if cfg!(target_arch = "x86_64") {
+        cmd.arg("-Ctarget-cpu=x86-64-v3");
+    }
+    match cmd.status() {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("asmcheck: cargo rustc failed with {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("asmcheck: cannot spawn cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let Some(asm_file) = newest_asm(&target.join("release").join("deps")) else {
+        eprintln!("asmcheck: no trips_sim-*.s emitted under target/asmcheck/release/deps");
+        return ExitCode::FAILURE;
+    };
+    let asm = match std::fs::read_to_string(&asm_file) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("asmcheck: cannot read {}: {e}", asm_file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let counts = vector_counts(&asm);
+    let mut failures = 0usize;
+    for &name in TAGGED {
+        match counts.get(name) {
+            Some(&(vector, total)) if vector > 0 => {
+                println!("asmcheck: {name}: {vector} vector ops / {total} insns");
+            }
+            Some(&(_, total)) => {
+                failures += 1;
+                eprintln!(
+                    "asmcheck: {name}: NO vector ops in {total} insns — the pass fell back \
+                     to scalar code (a per-lane branch or bounds check defeated the \
+                     autovectorizer?)"
+                );
+            }
+            None => {
+                failures += 1;
+                eprintln!("asmcheck: {name}: symbol not found in {}", asm_file.display());
+            }
+        }
+    }
+    if failures == 0 {
+        println!("asmcheck: all {} tagged passes vectorize", TAGGED.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("asmcheck: {failures} tagged passes failed");
+        ExitCode::FAILURE
+    }
+}
+
+/// The most recently written `trips_sim-*.s` under `deps` (stale dumps
+/// from earlier source revisions may coexist in the cache directory).
+fn newest_asm(deps: &std::path::Path) -> Option<std::path::PathBuf> {
+    let entries = std::fs::read_dir(deps).ok()?;
+    let mut best: Option<(std::time::SystemTime, std::path::PathBuf)> = None;
+    for entry in entries.flatten() {
+        let p = entry.path();
+        let name = p.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if !(name.starts_with("trips_sim-") && name.ends_with(".s")) {
+            continue;
+        }
+        let Ok(modified) = entry.metadata().and_then(|m| m.modified()) else { continue };
+        if best.as_ref().is_none_or(|(t, _)| modified > *t) {
+            best = Some((modified, p));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// Per-tagged-symbol `(vector instruction lines, total instruction
+/// lines)`, sliced out of the emitted assembly. A function body starts
+/// at a column-0 label whose name contains the tagged substring and
+/// ends at `.cfi_endproc` or the next column-0 label.
+fn vector_counts(asm: &str) -> std::collections::BTreeMap<&'static str, (usize, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    let mut current: Option<&'static str> = None;
+    for line in asm.lines() {
+        let trimmed = line.trim_end();
+        let is_label = trimmed.ends_with(':')
+            && !trimmed.starts_with(|c: char| c.is_whitespace())
+            && !trimmed.starts_with('.');
+        if is_label {
+            current = TAGGED.iter().copied().find(|n| trimmed.contains(n));
+            continue;
+        }
+        if trimmed.contains(".cfi_endproc") {
+            current = None;
+            continue;
+        }
+        let Some(name) = current else { continue };
+        // Count instruction lines only: indented and not a directive.
+        let body = line.trim_start();
+        if body.is_empty() || body.starts_with('.') || line == body {
+            continue;
+        }
+        let entry = counts.entry(name).or_insert((0usize, 0usize));
+        entry.1 += 1;
+        if is_vector_line(body) {
+            entry.0 += 1;
+        }
+    }
+    counts
+}
+
+/// Does one instruction line touch a vector register? x86: any
+/// `xmm`/`ymm`/`zmm` operand. aarch64: a NEON arrangement suffix like
+/// `v7.2d` or `v0.16b`.
+fn is_vector_line(line: &str) -> bool {
+    if line.contains("xmm") || line.contains("ymm") || line.contains("zmm") {
+        return true;
+    }
+    [".2d", ".4s", ".2s", ".8h", ".4h", ".16b", ".8b"]
+        .iter()
+        .any(|suffix| line.contains(suffix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ASM: &str = "\t.text\n\
+_ZN9trips_sim5batch4mask16simd_latch_lanes17h0123456789abcdefE:\n\
+\t.cfi_startproc\n\
+\tvmovdqu (%rdi), %ymm0\n\
+\tvpand %ymm1, %ymm0, %ymm0\n\
+\tretq\n\
+\t.cfi_endproc\n\
+_ZN9trips_sim5batch4mask15simd_add_one_u3217hfedcba9876543210E:\n\
+\t.cfi_startproc\n\
+\taddl $1, (%rdi)\n\
+\tretq\n\
+\t.cfi_endproc\n";
+
+    #[test]
+    fn bodies_are_sliced_per_symbol() {
+        let counts = vector_counts(ASM);
+        assert_eq!(counts.get("simd_latch_lanes"), Some(&(2, 3)));
+        assert_eq!(counts.get("simd_add_one_u32"), Some(&(0, 2)));
+    }
+
+    #[test]
+    fn neon_arrangements_count_as_vector() {
+        assert!(is_vector_line("add v0.2d, v1.2d, v2.2d"));
+        assert!(is_vector_line("vpaddq %xmm0, %xmm1, %xmm2"));
+        assert!(!is_vector_line("addq %rax, %rbx"));
+    }
+}

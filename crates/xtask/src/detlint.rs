@@ -24,7 +24,7 @@
 //!   allowlist.
 //!
 //! Additionally forbidden in the lane-batched engine
-//! (`crates/sim/src/batch.rs`), whose bit-identity contract (DESIGN.md
+//! (`crates/sim/src/batch/`), whose bit-identity contract (DESIGN.md
 //! §10) rests on every observable per-class step walking lane classes in
 //! ascending index order:
 //!
@@ -36,6 +36,12 @@
 //!   their positions.
 //! * `.keys()` / `.values()` — map iteration hides what order classes
 //!   are visited in; iterate the class index range instead.
+//! * `continue` between `detlint: simd-loop-begin` / `simd-loop-end`
+//!   markers — the tagged word-at-a-time passes (DESIGN.md §12) are
+//!   branch-free by contract so the autovectorizer can keep them SIMD
+//!   (`cargo xtask asmcheck` greps the release assembly for vector
+//!   ops); a per-lane early-`continue` reintroduces control flow.
+//!   Select with a mask word instead.
 //!
 //! Additionally forbidden in the persistence layer
 //! (`crates/core/src/store/`), whose crash-consistency contract
@@ -109,10 +115,18 @@ const STORE_TOKENS: &[(&str, &str)] = &[
     ("File::create", "bare creation bypasses the atomic writer; use AppendWriter"),
 ];
 
-/// The lane-batched engine source, held to the strictest rule set.
-const BATCH_FILE: &str = "crates/sim/src/batch.rs";
+/// The lane-batched engine sources, held to the strictest rule set.
+const BATCH_DIR: &str = "crates/sim/src/batch/";
 
-/// Tokens forbidden in [`BATCH_FILE`]: anything that iterates lane
+/// Raw-source markers bracketing the tagged SIMD loops in the batch
+/// engine's word-at-a-time passes. Comments are stripped before token
+/// scanning, so the marker search runs on the raw source while the
+/// `continue` search runs on the stripped code between the markers.
+const SIMD_BEGIN: &str = "detlint: simd-loop-begin";
+/// Closing marker; see [`SIMD_BEGIN`].
+const SIMD_END: &str = "detlint: simd-loop-end";
+
+/// Tokens forbidden in [`BATCH_DIR`]: anything that iterates lane
 /// classes in other than ascending index order (or an unspecified
 /// order) can desync the batched engines from their scalar twins while
 /// every test still passes on symmetric workloads.
@@ -167,8 +181,9 @@ pub fn run(allow_path: &str) -> ExitCode {
             if hot {
                 scan(&rel, &code, HASH_TOKENS, &mut findings);
             }
-            if rel == BATCH_FILE {
+            if rel.starts_with(BATCH_DIR) {
                 scan(&rel, &code, BATCH_TOKENS, &mut findings);
+                scan_simd_continue(&rel, &source, &code, &mut findings);
             }
             if rel.starts_with(STORE_DIR) {
                 scan(&rel, before_tests(&code), STORE_TOKENS, &mut findings);
@@ -216,7 +231,7 @@ pub fn run(allow_path: &str) -> ExitCode {
 /// The workspace root: this binary lives at `crates/xtask`, and CI runs
 /// it through the `cargo xtask` alias from the root, so prefer the
 /// manifest-relative location and fall back to the current directory.
-fn workspace_root() -> PathBuf {
+pub(crate) fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
         .parent()
@@ -291,6 +306,34 @@ fn rust_files(dir: &Path) -> Vec<PathBuf> {
 /// corrupt bytes directly.
 fn before_tests(code: &str) -> &str {
     code.find("#[cfg(test)]").map_or(code, |at| &code[..at])
+}
+
+/// Flag `continue` inside the tagged SIMD loops of a batch-engine file.
+///
+/// Markers live in comments (which [`strip_comments_and_strings`]
+/// blanks), so marker state tracks the *raw* source while the token
+/// search reads the stripped *code* of the same line — prose about
+/// `continue` never fires, and a marker can't be smuggled inside a
+/// string. The allowlist escape hatch works like every other rule: an
+/// entry `<file> continue # <why the branch cannot reach a vector
+/// lane>` admits one justified site.
+fn scan_simd_continue(path: &str, raw: &str, code: &str, out: &mut Vec<Finding>) {
+    let mut inside = false;
+    for (i, (raw_line, code_line)) in raw.lines().zip(code.lines()).enumerate() {
+        if raw_line.contains(SIMD_BEGIN) {
+            inside = true;
+        } else if raw_line.contains(SIMD_END) {
+            inside = false;
+        } else if inside && code_line.contains("continue") {
+            out.push(Finding {
+                path: path.to_string(),
+                line: i + 1,
+                token: "continue",
+                why: "per-lane early-continue inside a tagged SIMD loop reintroduces \
+                      control flow the autovectorizer cannot remove; select with a mask word",
+            });
+        }
+    }
 }
 
 /// Record every line of `code` containing one of `tokens`.
@@ -476,9 +519,22 @@ let m: HashMap<u32, u32> = HashMap::new();
     fn batch_tokens_catch_lane_order_dependence() {
         let mut findings = Vec::new();
         let code = "for c in (0..nc).rev() {\n}\nlive.swap_remove(i);\n";
-        scan(BATCH_FILE, code, BATCH_TOKENS, &mut findings);
+        scan("crates/sim/src/batch/mimd.rs", code, BATCH_TOKENS, &mut findings);
         let tokens: Vec<&str> = findings.iter().map(|f| f.token).collect();
         assert_eq!(tokens, vec![".rev()", "swap_remove"]);
+    }
+
+    #[test]
+    fn simd_continue_fires_only_between_markers() {
+        let raw = "loop {\n    continue;\n}\n// detlint: simd-loop-begin\nfor c in 0..nc {\n    \
+                   if skip { continue; }\n    // a comment about continue\n}\n\
+                   // detlint: simd-loop-end\nif x { continue; }\n";
+        let code = strip_comments_and_strings(raw);
+        let mut findings = Vec::new();
+        scan_simd_continue("crates/sim/src/batch/mask.rs", raw, &code, &mut findings);
+        assert_eq!(findings.len(), 1, "only the in-marker code continue fires");
+        assert_eq!(findings[0].line, 6);
+        assert_eq!(findings[0].token, "continue");
     }
 
     #[test]

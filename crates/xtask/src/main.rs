@@ -16,9 +16,14 @@
 //!   uninterrupted run's; plus a seeded randomized kill campaign.
 //! * `storeck` — run the store fsck (scan, quarantine, gc, restamp) on
 //!   a result-store directory and print its report.
+//! * `asmcheck` — the autovectorization gate: emits release assembly
+//!   for `trips-sim` and requires every tagged SIMD pass in the batch
+//!   engine (`crates/sim/src/batch/mask.rs`, DESIGN.md §12) to contain
+//!   vector instructions.
 
 use std::process::ExitCode;
 
+mod asmcheck;
 mod chaos;
 mod detlint;
 
@@ -32,10 +37,11 @@ fn main() -> ExitCode {
         Some("verify-grid") => verify_grid(),
         Some("chaos") => chaos::run(&args[1..]),
         Some("storeck") => chaos::storeck(&args[1..]),
+        Some("asmcheck") => asmcheck::run(),
         _ => {
             eprintln!(
                 "usage: cargo xtask <detlint [allowlist] | verify-grid | \
-                 chaos [--quick] [--seed N] [--trials N] | storeck <dir>>"
+                 chaos [--quick] [--seed N] [--trials N] | storeck <dir> | asmcheck>"
             );
             ExitCode::FAILURE
         }

@@ -7,9 +7,16 @@
 //!    genuinely divergent lanes (distinct workload seeds → distinct
 //!    uniformity classes → the lockstep path).
 //! 2. Uniform lanes (the collapse path) replicate the scalar result.
-//! 3. Property: arbitrary fault plans with distinct per-lane salts —
-//!    including plans that kill some lanes and not others — batch
-//!    identically on both engine families at lane counts 1, 2, and 8.
+//! 3. Mixed record counts in one batch (cross-record packing,
+//!    DESIGN.md §12): exhausted lanes mask off as padded tails, and
+//!    lanes whose counts pad to the same unroll multiple collapse into
+//!    one class while each still verifies its own prefix.
+//! 4. Properties: arbitrary fault plans with distinct per-lane salts —
+//!    including plans that kill some lanes and not others — and
+//!    arbitrary per-lane record counts batch identically on both engine
+//!    families. Bit-identity to the scalar runs is exactly the
+//!    statement that a padded-off (masked) lane never contributes to
+//!    any sibling's stat counter.
 
 use std::sync::OnceLock;
 
@@ -77,15 +84,54 @@ fn uniform_lanes_collapse_to_the_scalar_result() {
 }
 
 #[test]
-fn non_uniform_shapes_are_not_batchable_but_still_correct() {
-    // Mixed record counts: `batchable` refuses, and the entry point
-    // falls back to per-class scalar runs with per-lane fidelity.
+fn mixed_record_counts_batch_in_lockstep() {
+    // Cross-record packing: records 8 / 24 / 64 join one batch. The
+    // short lanes exhaust first and ride along as mask-padded tails
+    // while the 64-record lane keeps the shared queue busy; distinct
+    // seeds keep the lanes in distinct uniformity classes so the
+    // lockstep path (not uniform collapse) carries the batch.
+    let base = ExperimentParams::default();
+    let k = suite().into_iter().find(|k| k.name() == "convert").expect("suite kernel");
+    for config in [MachineConfig::S, MachineConfig::M] {
+        let prepared =
+            prepare_kernel(k.as_ref(), config.mechanisms(), 64, &base).expect("lowers");
+        let lanes: Vec<BatchLane> = [8usize, 24, 64]
+            .iter()
+            .enumerate()
+            .map(|(i, &records)| BatchLane {
+                records,
+                params: ExperimentParams { seed: base.seed.wrapping_add(i as u64), ..base },
+            })
+            .collect();
+        assert!(batchable(&lanes), "mixed record counts must be batchable on {config}");
+        let mut scratch = RunScratch::new();
+        let scalar: Vec<_> = lanes
+            .iter()
+            .map(|l| run_prepared_in(k.as_ref(), &prepared, l.records, &l.params, &mut scratch))
+            .collect();
+        let batched = run_prepared_batch_in(k.as_ref(), &prepared, &lanes, &mut scratch);
+        assert_eq!(
+            batched, scalar,
+            "mixed-record batch on {config}: every lane bit-identical to its scalar run"
+        );
+    }
+}
+
+#[test]
+fn padded_tails_share_a_class_yet_verify_their_own_prefix() {
+    // Two lanes whose record counts pad to the same unroll multiple
+    // collapse into a single uniformity class (one simulation serves
+    // both), but each lane is still verified against its *own* record
+    // prefix — the padding records must stay invisible.
     let params = ExperimentParams::default();
     let k = suite().into_iter().find(|k| k.name() == "convert").expect("suite kernel");
     let prepared =
-        prepare_kernel(k.as_ref(), MachineConfig::S.mechanisms(), 16, &params).expect("lowers");
-    let lanes = vec![BatchLane { records: 16, params }, BatchLane { records: 8, params }];
-    assert!(!batchable(&lanes));
+        prepare_kernel(k.as_ref(), MachineConfig::S.mechanisms(), 64, &params).expect("lowers");
+    let u = prepared.unroll();
+    let hi = 4 * u;
+    let lo = hi - (u.saturating_sub(1)); // pads back up to `hi` when u > 1
+    let lanes = vec![BatchLane { records: hi, params }, BatchLane { records: lo, params }];
+    assert!(batchable(&lanes));
     let mut scratch = RunScratch::new();
     let scalar: Vec<_> = lanes
         .iter()
@@ -105,6 +151,23 @@ fn fuzz_programs() -> &'static (PreparedProgram, PreparedProgram, ExperimentPara
             prepare_kernel(k.as_ref(), MachineConfig::Baseline.mechanisms(), 8, &params)
                 .expect("convert lowers on baseline");
         let mimd = prepare_kernel(k.as_ref(), MachineConfig::M.mechanisms(), 8, &params)
+            .expect("convert lowers on M");
+        (dataflow, mimd, params)
+    })
+}
+
+/// Prepared programs for the tail-padding property test, lowered once
+/// with a record cap of 64 so any record count in `1..=64` is in
+/// contract.
+fn tail_programs() -> &'static (PreparedProgram, PreparedProgram, ExperimentParams) {
+    static CELL: OnceLock<(PreparedProgram, PreparedProgram, ExperimentParams)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let params = ExperimentParams::default();
+        let k = suite().into_iter().find(|k| k.name() == "convert").expect("suite kernel");
+        let dataflow =
+            prepare_kernel(k.as_ref(), MachineConfig::Baseline.mechanisms(), 64, &params)
+                .expect("convert lowers on baseline");
+        let mimd = prepare_kernel(k.as_ref(), MachineConfig::M.mechanisms(), 64, &params)
             .expect("convert lowers on M");
         (dataflow, mimd, params)
     })
@@ -166,6 +229,41 @@ proptest! {
                     },
                 })
                 .collect();
+            let mut scratch = RunScratch::new();
+            let scalar: Vec<_> = lanes
+                .iter()
+                .map(|l| run_prepared_in(k.as_ref(), prepared, l.records, &l.params, &mut scratch))
+                .collect();
+            let batched = run_prepared_batch_in(k.as_ref(), prepared, &lanes, &mut scratch);
+            prop_assert_eq!(batched, scalar);
+        }
+    }
+
+    /// Arbitrary per-lane record counts in one batch: every lane's
+    /// stats, mismatch index, and errors are bit-identical to its
+    /// scalar run. The scalar run never sees the sibling lanes, so
+    /// equality is precisely the property that a padded-off (masked)
+    /// lane contributes to no stat counter while its longer siblings
+    /// drain the queue.
+    #[test]
+    fn padded_off_lanes_never_contribute_to_stats(
+        recs in proptest::collection::vec(1usize..65, 2..9),
+    ) {
+        let (dataflow, mimd, base) = tail_programs();
+        let k = kernel("convert");
+        for prepared in [dataflow, mimd] {
+            let lanes: Vec<BatchLane> = recs
+                .iter()
+                .enumerate()
+                .map(|(i, &records)| BatchLane {
+                    records,
+                    params: ExperimentParams {
+                        seed: base.seed.wrapping_add(i as u64),
+                        ..*base
+                    },
+                })
+                .collect();
+            prop_assert!(batchable(&lanes));
             let mut scratch = RunScratch::new();
             let scalar: Vec<_> = lanes
                 .iter()
