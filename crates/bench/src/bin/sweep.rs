@@ -20,6 +20,9 @@
 //! Flags:
 //!
 //! * `--quick` — smoke-scale workloads (24 records per kernel).
+//! * `--scale N` — multiply every kernel's default record count by N
+//!   (ignored under `--quick`); heavier grids for scheduling and
+//!   wall-clock experiments.
 //! * `--threads N` — worker-thread count (default: one per CPU, max 8).
 //!   `--threads 1` is the serial reference; any N produces bit-identical
 //!   statistics.
@@ -27,6 +30,11 @@
 //!   Statistics are bit-identical either way (the CI purity check
 //!   compares the two paths); the flag exists for A/B wall-clock
 //!   comparisons.
+//! * `--no-lpt` — dispatch cells in push (arrival) order instead of
+//!   the default longest-predicted-first order driven by the static
+//!   cost model (DESIGN.md §13). Statistics and the canonical report
+//!   are bit-identical either way; the flag exists for A/B wall-clock
+//!   comparisons (EXPERIMENTS.md).
 //! * `--out PATH` — JSON destination (default `BENCH_sweep.json`).
 //! * `--canonical` — write the provenance-free canonical form of the
 //!   report (see [`SweepReport::canonical`]): byte-identical across
@@ -85,6 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let out_path = flag("--out").cloned().unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let scale: usize = flag("--scale").map_or(Ok(1), |s| s.parse())?;
     let watchdog: Option<u64> = flag("--watchdog").map(|s| s.parse()).transpose()?;
     let breaker: Option<u32> = flag("--breaker").map(|s| s.parse()).transpose()?;
 
@@ -95,6 +104,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sweep = threads.map_or_else(Sweep::new, Sweep::with_threads);
     if args.iter().any(|a| a == "--no-workload-cache") {
         sweep.set_workload_cache(false);
+    }
+    if args.iter().any(|a| a == "--no-lpt") {
+        sweep.set_lpt_schedule(false);
     }
     let mut policy = SweepPolicy::default();
     if let Some(n) = breaker {
@@ -108,7 +120,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if kernel_filter.as_ref().is_some_and(|names| !names.contains(&name.as_str())) {
             continue;
         }
-        let records = records_for(&name, quick);
+        let records = if quick {
+            records_for(&name, quick)
+        } else {
+            dlp_core::default_records(&name, scale)
+        };
         sweep.push_config(id, MachineConfig::Baseline, records, &params);
         for config in MachineConfig::DLP {
             sweep.push_config(id, config, records, &params);

@@ -304,7 +304,7 @@ fn best_window(mut body: impl FnMut()) -> f64 {
 /// times `iters` batched dispatches of `lanes` identical lanes each —
 /// interleaved on the same prepared lowering and scratch, so the
 /// scalar-vs-batched comparison is apples-to-apples. Each engine's
-/// wall time is the best of [`TIMING_WINDOWS`] windows.
+/// wall time is the best of `TIMING_WINDOWS` windows.
 ///
 /// # Panics
 ///

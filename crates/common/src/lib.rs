@@ -51,6 +51,7 @@ mod rng;
 mod stats;
 mod value;
 pub mod vcode;
+pub mod wcode;
 
 pub use error::DlpError;
 pub use fault::{FatalFault, FaultInjector, FaultPlan, FaultRate, FaultSite, FaultStats};

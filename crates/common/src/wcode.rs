@@ -1,0 +1,88 @@
+//! The stable `W*` warning taxonomy of the semantic static analyzer.
+//!
+//! Where [`vcode`](crate::vcode) names the *rejections* of the legality
+//! verifier, these codes name the *advisories* of `dlp-analyze`: findings
+//! that do not make a lowering illegal but flag dead computation, indices
+//! the interval interpreter cannot prove in bounds, channel traffic that
+//! cannot balance per loop iteration, or cost-model pressure worth a
+//! look. Codes are append-only: `W01xx` covers the kernel-IR abstract
+//! interpretation, `W02xx` covers MIMD channel-flow findings, and
+//! `W03xx` covers the static cost model; a code, once published, never
+//! changes meaning. `cargo xtask analyze-grid --deny-warnings` turns any
+//! of them into a hard failure.
+
+/// IR: a node's value is never used by any output (dead operand).
+pub const DEAD_NODE: &str = "W0101-dead-node";
+/// IR: a table-read index cannot be proven within the table.
+pub const UNPROVABLE_TABLE_INDEX: &str = "W0102-unprovable-table-index";
+/// IR: a table-read index is provably *always* out of bounds.
+pub const TABLE_INDEX_ALWAYS_OOB: &str = "W0103-table-index-always-out-of-bounds";
+/// IR: an irregular-load address cannot be proven within the window.
+pub const UNPROVABLE_IRREGULAR_ADDRESS: &str = "W0104-unprovable-irregular-address";
+/// IR: an instruction's operands are all constants — foldable at build
+/// time.
+pub const FOLDABLE_CONSTANT: &str = "W0105-foldable-constant";
+/// IR: an output word is a compile-time constant.
+pub const CONSTANT_OUTPUT: &str = "W0106-constant-output";
+/// IR: a select's predicate is constant, so one arm is dead.
+pub const DEGENERATE_SELECT: &str = "W0107-degenerate-select";
+
+/// MIMD: sends and receives between a rank pair do not balance inside
+/// one loop body (they may still balance whole-program).
+pub const LOOP_CHANNEL_IMBALANCE: &str = "W0201-loop-channel-imbalance";
+/// MIMD: a rank's reachable code neither sends nor stores — it can
+/// contribute nothing to the observable result.
+pub const DEAD_RANK: &str = "W0202-dead-rank";
+
+/// Cost model: the static lower bound consumes most of the watchdog
+/// budget — the cell is one perturbation away from a spurious trip.
+pub const WATCHDOG_MARGIN: &str = "W0301-watchdog-margin";
+/// Cost model: per-node issue pressure exceeds the critical path — the
+/// placement serializes on one node, not on the dataflow.
+pub const ISSUE_HOTSPOT: &str = "W0302-issue-hotspot";
+
+/// Every published code with a one-line description, in code order —
+/// the source of the DESIGN.md warning-registry table.
+pub const ALL: &[(&str, &str)] = &[
+    (DEAD_NODE, "node value unused by any output"),
+    (UNPROVABLE_TABLE_INDEX, "table-read index not provably in bounds"),
+    (TABLE_INDEX_ALWAYS_OOB, "table-read index provably always out of bounds"),
+    (UNPROVABLE_IRREGULAR_ADDRESS, "irregular-load address not provably in window"),
+    (FOLDABLE_CONSTANT, "all-constant operands: foldable at build time"),
+    (CONSTANT_OUTPUT, "output word is a compile-time constant"),
+    (DEGENERATE_SELECT, "constant select predicate leaves one arm dead"),
+    (LOOP_CHANNEL_IMBALANCE, "sends and receives do not balance inside a loop body"),
+    (DEAD_RANK, "rank's reachable code neither sends nor stores"),
+    (WATCHDOG_MARGIN, "static bound consumes most of the watchdog budget"),
+    (ISSUE_HOTSPOT, "issue pressure on one node exceeds the critical path"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = Vec::new();
+        for (code, desc) in ALL {
+            assert!(code.starts_with('W'), "{code}");
+            let digits = &code[1..5];
+            assert!(digits.chars().all(|c| c.is_ascii_digit()), "{code}");
+            assert!(code.as_bytes()[5] == b'-', "{code} has a slug after the number");
+            assert!(!desc.is_empty());
+            assert!(!seen.contains(code), "{code} listed twice");
+            seen.push(code);
+        }
+        assert!(ALL.len() >= 10, "taxonomy covers IR, MIMD, and cost families");
+    }
+
+    #[test]
+    fn families_partition_by_prefix() {
+        for (code, _) in ALL {
+            assert!(
+                code.starts_with("W01") || code.starts_with("W02") || code.starts_with("W03"),
+                "{code} outside the published families"
+            );
+        }
+    }
+}

@@ -7,6 +7,7 @@ use dlp_common::{DlpError, FaultPlan, GridShape, SimStats, Tick, TimingParams, V
 use dlp_kernels::{first_mismatch, memmap, DlpKernel, MimdTarget, Workload};
 use serde::{Deserialize, Serialize};
 use trips_isa::MimdProgram;
+use trips_sched::verify::analyze::{self, AnalysisReport};
 use trips_sched::{
     replicate_mimd, schedule_dataflow, LayoutPlan, ScheduleOptions, ScheduledKernel,
 };
@@ -162,6 +163,7 @@ pub fn run_kernel_mech(
 pub struct PreparedProgram {
     mech: MechanismSet,
     variant: PreparedVariant,
+    analysis: AnalysisReport,
 }
 
 #[derive(Clone)]
@@ -186,6 +188,42 @@ impl PreparedProgram {
         match &self.variant {
             PreparedVariant::Dataflow(sched) => sched.unroll,
             PreparedVariant::Mimd { .. } => 1,
+        }
+    }
+
+    /// What the static analyzer learned about this lowering: warnings
+    /// from every pass plus the cost model ([`prepare_kernel`] runs the
+    /// analyses once per plan, alongside the legality verifier).
+    #[must_use]
+    pub fn analysis(&self) -> &AnalysisReport {
+        &self.analysis
+    }
+
+    /// Sound lower bound on `SimStats::sim_cycles()` for a run over
+    /// `records` records: the dataflow bound covers
+    /// `ceil(records / unroll)` block iterations; the MIMD bound is
+    /// record-count independent (each rank's per-record loop lives
+    /// inside its program). Proven against the whole experiment grid by
+    /// `tests/cost_soundness`.
+    #[must_use]
+    pub fn bound_cycles(&self, records: usize) -> u64 {
+        self.analysis.bound_cycles(self.iterations(records))
+    }
+
+    /// Scheduling estimate in ticks for a run over `records` records —
+    /// the longest-predicted-first ordering key of the sweep engine.
+    /// Unlike [`PreparedProgram::bound_cycles`] this is *not* sound
+    /// (the MIMD term extrapolates per-record work).
+    #[must_use]
+    pub fn estimate_ticks(&self, records: usize) -> u64 {
+        self.analysis.estimate_ticks(records as u64, self.iterations(records))
+    }
+
+    /// Block iterations a run over `records` records executes.
+    fn iterations(&self, records: usize) -> u64 {
+        match &self.variant {
+            PreparedVariant::Dataflow(sched) => records.div_ceil(sched.unroll) as u64,
+            PreparedVariant::Mimd { .. } => records as u64,
         }
     }
 }
@@ -237,18 +275,24 @@ pub fn prepare_kernel(
     records: usize,
     params: &ExperimentParams,
 ) -> Result<PreparedProgram, DlpError> {
-    if mech.local_pc {
+    let watchdog = params.watchdog.unwrap_or(trips_sim::WATCHDOG_TICKS);
+    let mut analysis = AnalysisReport::default();
+    let (_, mut warnings) = analyze::analyze_kernel(&kernel.ir());
+    analysis.warnings.append(&mut warnings);
+    let prepared = if mech.local_pc {
         let prog = kernel.mimd_program(MimdTarget { tables_in_l0: mech.l0_data_store })?;
         let progs = replicate_mimd(&prog, params.grid.nodes());
         let vparams = trips_sched::verify::MimdVerifyParams {
             n_ranks: params.grid.nodes(),
             num_regs: trips_sched::verify::MIMD_NUM_REGS,
             l0_inst_capacity: params.timing.core.l0_inst_capacity,
-            watchdog: params.watchdog.unwrap_or(trips_sim::WATCHDOG_TICKS),
+            watchdog,
         };
         trips_sched::verify::verify_mimd(&progs, &vparams)?;
+        analysis.warnings.extend(analyze::analyze_mimd_channels(&progs));
+        analysis.mimd_cost = Some(analyze::MimdCost::of(&progs, &params.timing));
         let table = kernel.mimd_table_image();
-        Ok(PreparedProgram { mech, variant: PreparedVariant::Mimd { progs, table } })
+        PreparedProgram { mech, variant: PreparedVariant::Mimd { progs, table }, analysis }
     } else {
         let sched = schedule_dataflow(
             &kernel.ir(),
@@ -258,8 +302,26 @@ pub fn prepare_kernel(
             dataflow_layout(),
             ScheduleOptions { max_unroll: Some(records), ..ScheduleOptions::default() },
         )?;
-        Ok(PreparedProgram { mech, variant: PreparedVariant::Dataflow(sched) })
+        let (cost, mut cost_warnings) = analyze::DataflowCost::of(
+            &sched.block,
+            params.grid,
+            &params.timing,
+            mech.inst_revitalization,
+            mech.operand_revitalization,
+        );
+        analysis.warnings.append(&mut cost_warnings);
+        analysis.dataflow_cost = Some(cost);
+        PreparedProgram { mech, variant: PreparedVariant::Dataflow(sched), analysis }
+    };
+    // With zero records the estimate degenerates to the sound tick
+    // bound for the full prepared record count — the right side to hold
+    // against the watchdog budget.
+    let mut prepared = prepared;
+    let bound = prepared.analysis.estimate_ticks(0, prepared.iterations(records));
+    if let Some(w) = analyze::cost::watchdog_margin(kernel.name(), bound, watchdog) {
+        prepared.analysis.warnings.push(w);
     }
+    Ok(prepared)
 }
 
 /// The unroll factor [`prepare_kernel`] would pick for `kernel` on `mech`

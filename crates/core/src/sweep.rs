@@ -153,6 +153,7 @@ pub struct Sweep {
     manifest: Option<Arc<ManifestWriter>>,
     resume: Option<SweepManifest>,
     dlq: Option<Arc<DeadLetterQueue>>,
+    lpt_schedule: bool,
 }
 
 /// Degradation policy for failing cells: how hard a sweep tries before
@@ -264,6 +265,7 @@ impl Sweep {
             manifest: None,
             resume: None,
             dlq: None,
+            lpt_schedule: true,
         }
     }
 
@@ -290,6 +292,18 @@ impl Sweep {
     /// the CI purity cross-check, not correctness.
     pub fn set_workload_cache(&mut self, enabled: bool) {
         self.workload_cache = enabled;
+    }
+
+    /// Enable or disable longest-predicted-first dispatch ordering
+    /// (on by default). When enabled, phase 2 sorts its work-stealing
+    /// groups by descending static cycle bound (DESIGN.md §13) so the
+    /// slowest lowerings start first and no worker idles behind one
+    /// giant cell stranded at the tail of the queue. Disabling falls
+    /// back to push (arrival) order. Either way the report — and every
+    /// determinism contract over it — is bit-identical: results are
+    /// keyed by cell index, so ordering only moves wall-clock.
+    pub fn set_lpt_schedule(&mut self, enabled: bool) {
+        self.lpt_schedule = enabled;
     }
 
     /// Whether [`Sweep::run`] will share workloads through a
@@ -716,6 +730,42 @@ impl Sweep {
             cells_batched as f64
                 / (batch_dispatches * trips_sim::batch::MAX_CLASSES) as f64
         };
+        // ---- Longest-predicted-first (LPT) dispatch order. Weight
+        // each group by the largest static cycle estimate among its
+        // pending members (the analyzer's sound bound extrapolated
+        // per record — DESIGN.md §13) and hand the heaviest groups to
+        // the work-stealing drain first, so a giant cell can't start
+        // last and strand one worker past the others' finish line.
+        // Already-resolved cells and failed lowerings weigh nothing.
+        // The sort is stable (ties keep push order) and per-cell
+        // results are keyed by index, so the report and every
+        // determinism contract over it are order-invariant; only
+        // wall-clock moves.
+        let groups: Vec<DispatchGroup> = if self.lpt_schedule {
+            let weight = |members: &[usize]| -> u64 {
+                members
+                    .iter()
+                    .map(|&i| match (&resolved[i], &plans[cell_plan[i]]) {
+                        (None, Some(Ok(p))) => p.estimate_ticks(self.cells[i].records),
+                        _ => 0,
+                    })
+                    .max()
+                    .unwrap_or(0)
+            };
+            let mut keyed: Vec<(u64, DispatchGroup)> = groups
+                .into_iter()
+                .map(|g| {
+                    let w = match &g {
+                        DispatchGroup::Batch(m) | DispatchGroup::Chain(m) => weight(m),
+                    };
+                    (w, g)
+                })
+                .collect();
+            keyed.sort_by_key(|&(w, _)| std::cmp::Reverse(w));
+            keyed.into_iter().map(|(_, g)| g).collect()
+        } else {
+            groups
+        };
         let workload_cache =
             if self.workload_cache { Some(Arc::new(WorkloadCache::new())) } else { None };
         let group_results: Vec<Vec<(usize, Resolved)>> = self.parallel_map_with(
@@ -822,18 +872,31 @@ impl Sweep {
         let cells_skipped =
             cell_results.iter().filter(|r| r.origin == Origin::Skipped).count();
         let dlq_appended = self.dlq.as_ref().map_or(0, |d| d.appended());
+        // Provenance, like the cache counters: a warm run prepares no
+        // plans and so carries no warnings or predictions.
+        let analysis_warnings: u64 = plans
+            .iter()
+            .flatten()
+            .filter_map(|p| p.as_ref().ok())
+            .map(|p| p.analysis().warnings.len() as u64)
+            .sum();
 
         let cells = self
             .cells
             .iter()
+            .enumerate()
             .zip(cell_results)
-            .map(|(spec, result)| SweepCell {
+            .map(|((i, spec), result)| SweepCell {
                 kernel: self.kernels[spec.kernel].name().to_string(),
                 config: spec.config_name(),
                 label: spec.label.clone(),
                 records: spec.records,
                 outcome: result.outcome,
                 wall_ms: result.wall_ms,
+                predicted_cycles: match &plans[cell_plan[i]] {
+                    Some(Ok(p)) => Some(p.bound_cycles(spec.records)),
+                    _ => None,
+                },
             })
             .collect();
 
@@ -855,6 +918,7 @@ impl Sweep {
             cells_batched,
             batch_dispatches,
             batch_occupancy,
+            analysis_warnings,
             cells,
         }
     }
@@ -1406,6 +1470,13 @@ pub struct SweepCell {
     /// Host wall-clock for this cell, milliseconds (informational; not
     /// part of the deterministic output).
     pub wall_ms: f64,
+    /// The analyzer's sound static lower bound on this cell's simulated
+    /// cycles (DESIGN.md §13), when its lowering was prepared during
+    /// this run. `None` for cells served without preparing a plan
+    /// (store or resume hits) and for cells whose lowering failed —
+    /// provenance, like `wall_ms`, zeroed by
+    /// [`SweepReport::canonical`].
+    pub predicted_cycles: Option<u64>,
 }
 
 /// The full result of a [`Sweep::run`] — the serializable artifact
@@ -1486,6 +1557,10 @@ pub struct SweepReport {
     /// batched. Like the dispatch counters it is a pure function of
     /// the grid, the policy, and the resolve phase.
     pub batch_occupancy: f64,
+    /// Total analyzer warnings (`W*` codes, DESIGN.md §13) across the
+    /// lowerings prepared during this run. Provenance, like the cache
+    /// counters: a fully-warm run prepares no plans and reports 0.
+    pub analysis_warnings: u64,
     /// Per-cell results, in push order.
     pub cells: Vec<SweepCell>,
 }
@@ -1548,10 +1623,11 @@ impl SweepReport {
             cells_batched: 0,
             batch_dispatches: 0,
             batch_occupancy: 0.0,
+            analysis_warnings: 0,
             cells: self
                 .cells
                 .iter()
-                .map(|c| SweepCell { wall_ms: 0.0, ..c.clone() })
+                .map(|c| SweepCell { wall_ms: 0.0, predicted_cycles: None, ..c.clone() })
                 .collect(),
         }
     }

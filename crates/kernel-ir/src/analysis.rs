@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{ControlClass, IrOp, KernelIr};
+use crate::{ControlClass, IrFacts, IrOp, KernelIr};
 
 /// The attributes the paper characterizes kernels by (Table 2).
 ///
@@ -44,44 +44,14 @@ impl KernelIr {
     /// Compute this kernel's Table 2 attributes.
     #[must_use]
     pub fn attributes(&self) -> KernelAttributes {
-        let counted = |op: &IrOp| {
-            matches!(
-                op,
-                IrOp::Un { .. } | IrOp::Bin { .. } | IrOp::Sel { .. } | IrOp::TableRead { .. } | IrOp::IrregularLoad { .. }
-            )
-        };
-        let insts = self.nodes.iter().filter(|n| counted(&n.op)).count();
-        // Dataflow height over counted nodes: leaves (inputs/constants) are
-        // depth 0; a counted node is one level above its deepest operand.
-        let mut depth = vec![0u32; self.nodes.len()];
-        let mut height = 0u32;
-        for (i, node) in self.nodes.iter().enumerate() {
-            let mut d = 0;
-            let mut dep = |r: crate::IrRef| d = d.max(depth[r.index()]);
-            match node.op {
-                IrOp::RecordIn(_) | IrOp::Const(_) | IrOp::Imm(_) => {}
-                IrOp::TableRead { index, .. } => dep(index),
-                IrOp::IrregularLoad { addr } => dep(addr),
-                IrOp::Un { a, .. } => dep(a),
-                IrOp::Bin { a, b, .. } => {
-                    dep(a);
-                    dep(b);
-                }
-                IrOp::Sel { p, a, b } => {
-                    dep(p);
-                    dep(a);
-                    dep(b);
-                }
-            }
-            depth[i] = if counted(&node.op) { d + 1 } else { d };
-            height = height.max(depth[i]);
-        }
-        let ilp = if height == 0 { 0.0 } else { insts as f64 / f64::from(height) };
+        let facts = IrFacts::compute(self);
+        let ilp =
+            if facts.height == 0 { 0.0 } else { facts.insts as f64 / f64::from(facts.height) };
         let irregular =
             self.nodes.iter().filter(|n| matches!(n.op, IrOp::IrregularLoad { .. })).count();
         KernelAttributes {
             name: self.name.clone(),
-            insts,
+            insts: facts.insts,
             ilp,
             record_read: self.record_in_words,
             record_write: self.record_out_words,

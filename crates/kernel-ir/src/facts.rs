@@ -1,0 +1,141 @@
+//! Shared dataflow facts over a kernel DAG.
+//!
+//! One source of truth for the dependence structure every analysis
+//! consumes: which refs an operation reads, which nodes count as
+//! instructions, per-node dataflow depth, and output liveness. The
+//! Table 2 attribute generator ([`crate::KernelAttributes`]) and the
+//! semantic analyzer in `dlp-verify` both build on these, so the two can
+//! never disagree about what "height" or "dead" means.
+
+use crate::{IrOp, IrRef, KernelIr};
+
+impl IrOp {
+    /// The operand references this operation reads, in port order.
+    ///
+    /// Leaves ([`IrOp::RecordIn`], [`IrOp::Const`], [`IrOp::Imm`]) read
+    /// nothing.
+    pub fn operands(&self) -> impl Iterator<Item = IrRef> {
+        let refs: [Option<IrRef>; 3] = match *self {
+            IrOp::RecordIn(_) | IrOp::Const(_) | IrOp::Imm(_) => [None, None, None],
+            IrOp::TableRead { index, .. } => [Some(index), None, None],
+            IrOp::IrregularLoad { addr } => [Some(addr), None, None],
+            IrOp::Un { a, .. } => [Some(a), None, None],
+            IrOp::Bin { a, b, .. } => [Some(a), Some(b), None],
+            IrOp::Sel { p, a, b } => [Some(p), Some(a), Some(b)],
+        };
+        refs.into_iter().flatten()
+    }
+
+    /// Whether this operation is an *instruction* in the Table 2 sense:
+    /// ALU ops, selects, table reads and irregular loads execute; inputs,
+    /// constants and immediates are operand injections.
+    #[must_use]
+    pub fn is_instruction(&self) -> bool {
+        matches!(
+            self,
+            IrOp::Un { .. }
+                | IrOp::Bin { .. }
+                | IrOp::Sel { .. }
+                | IrOp::TableRead { .. }
+                | IrOp::IrregularLoad { .. }
+        )
+    }
+}
+
+/// Dependence facts computed in one pass over a (topologically ordered)
+/// kernel DAG.
+#[derive(Clone, Debug)]
+pub struct IrFacts {
+    /// Per-node dataflow depth counted in *instructions*: leaves are
+    /// depth 0, an instruction is one level above its deepest operand,
+    /// and a non-instruction inherits its deepest operand's depth.
+    pub depth: Vec<u32>,
+    /// The DAG height: `max(depth)` — the length of the longest
+    /// instruction chain.
+    pub height: u32,
+    /// Instruction count (nodes with [`IrOp::is_instruction`]).
+    pub insts: usize,
+    /// Per-node output liveness: `live[i]` iff node `i` transitively
+    /// feeds some record output.
+    pub live: Vec<bool>,
+}
+
+impl IrFacts {
+    /// Compute the facts for `ir`.
+    #[must_use]
+    pub fn compute(ir: &KernelIr) -> Self {
+        let nodes = ir.nodes();
+        let mut depth = vec![0u32; nodes.len()];
+        let mut height = 0u32;
+        let mut insts = 0usize;
+        for (i, node) in nodes.iter().enumerate() {
+            let d = node.op.operands().map(|r| depth[r.index()]).max().unwrap_or(0);
+            depth[i] = if node.op.is_instruction() {
+                insts += 1;
+                d + 1
+            } else {
+                d
+            };
+            height = height.max(depth[i]);
+        }
+        // Backward sweep: a node is live iff an output names it or a live
+        // consumer reads it. Reverse topological order makes one pass
+        // sufficient.
+        let mut live = vec![false; nodes.len()];
+        for &(_, r) in ir.outputs() {
+            live[r.index()] = true;
+        }
+        for (i, node) in nodes.iter().enumerate().rev() {
+            if live[i] {
+                for r in node.op.operands() {
+                    live[r.index()] = true;
+                }
+            }
+        }
+        IrFacts { depth, height, insts, live }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControlClass, Domain, IrBuilder};
+    use dlp_common::Value;
+    use trips_isa::Opcode;
+
+    #[test]
+    fn operands_follow_port_order() {
+        let mut b = IrBuilder::new("ops", Domain::Scientific, 2, 1);
+        let x = b.input(0);
+        let y = b.input(1);
+        let p = b.bin(Opcode::Tltu, x, y);
+        let s = b.sel(p, x, y);
+        b.output(0, s);
+        let ir = b.finish(ControlClass::Straight).unwrap();
+        let sel = ir.nodes().last().unwrap();
+        let got: Vec<usize> = sel.op.operands().map(IrRef::index).collect();
+        assert_eq!(got, vec![p.index(), x.index(), y.index()]);
+        assert!(sel.op.is_instruction());
+        assert!(!ir.nodes()[x.index()].op.is_instruction());
+    }
+
+    #[test]
+    fn facts_track_depth_and_liveness() {
+        // x -> +1 -> +1 live chain, plus one dead add on the side.
+        let mut b = IrBuilder::new("facts", Domain::Scientific, 1, 1);
+        let one = b.imm(Value::from_u64(1));
+        let x = b.input(0);
+        let a1 = b.bin(Opcode::Add, x, one);
+        let a2 = b.bin(Opcode::Add, a1, one);
+        let dead = b.bin(Opcode::Add, x, x);
+        b.output(0, a2);
+        let ir = b.finish(ControlClass::Straight).unwrap();
+        let f = IrFacts::compute(&ir);
+        assert_eq!(f.insts, 3);
+        assert_eq!(f.height, 2, "dead node does not extend the live chain's depth");
+        assert_eq!(f.depth[a2.index()], 2);
+        assert_eq!(f.depth[x.index()], 0, "leaves sit at depth 0");
+        assert!(f.live[a2.index()] && f.live[a1.index()] && f.live[x.index()]);
+        assert!(!f.live[dead.index()], "side computation is dead");
+    }
+}

@@ -48,8 +48,10 @@
 
 mod analysis;
 mod builder;
+mod facts;
 mod ir;
 
 pub use analysis::KernelAttributes;
+pub use facts::IrFacts;
 pub use builder::IrBuilder;
 pub use ir::{ControlClass, Domain, IrNode, IrOp, IrRef, KernelIr, TableSpec};

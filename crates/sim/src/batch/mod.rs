@@ -2,7 +2,7 @@
 //! lockstep through a single shared calendar queue (DESIGN.md §10, §12).
 //!
 //! A *lane class* is one complete scalar run — same block or programs,
-//! its own [`Machine`] (memory image, registers, router, caches, fault
+//! its own `Machine` (memory image, registers, router, caches, fault
 //! injector) — and up to [`MAX_CLASSES`] classes execute simultaneously.
 //! Queue events carry a class **bitmask**: classes whose schedules agree
 //! share one event (one queue entry, one bucket walk, one readiness
@@ -17,7 +17,7 @@
 //! throttles are `[resource][class]`. The hot passes — operand latch,
 //! per-event bookkeeping, ALU evaluation, and stat accumulation — are
 //! branch-free word-at-a-time loops over the class stride
-//! ([`mask`]), written so the autovectorizer emits SIMD for them
+//! (the `mask` module), written so the autovectorizer emits SIMD for them
 //! (`cargo xtask asmcheck` greps the release asm for vector ops on the
 //! tagged functions). Divergence handling (watchdog trips, latched
 //! fatal faults) is hoisted out of the inner loops into mask fixup:

@@ -1,0 +1,195 @@
+//! Symbolic channel-flow analysis over MIMD partitions.
+//!
+//! The legality verifier balances static send/recv counts over the
+//! *whole program* per ordered rank pair (`V0213`). That misses a class
+//! of livelock-prone programs whose totals balance but whose *loops* do
+//! not: a send inside a loop body matched by a recv outside it drifts
+//! one message per iteration until someone blocks. This pass balances
+//! each loop region separately ([`wcode::LOOP_CHANNEL_IMBALANCE`]) and
+//! flags ranks whose code can contribute nothing to the observable
+//! result ([`wcode::DEAD_RANK`]).
+//!
+//! A *loop region* is the instruction range `[target, branch]` of a
+//! retreating edge (a branch whose resolved target does not exceed its
+//! own index). Partitions are replicated programs in this workspace, so
+//! a region occupies the same index range on every rank and cross-rank
+//! matching by range is exact; for hand-built heterogeneous partitions
+//! the matching is conservative and may warn spuriously — warnings
+//! advise, they do not reject.
+
+use std::collections::BTreeMap;
+
+use dlp_common::wcode;
+use trips_isa::{MimdOp, MimdProgram};
+
+use super::Warning;
+
+/// Analyze a partition's channel flow; returns the findings.
+#[must_use]
+pub fn analyze_mimd_channels(progs: &[MimdProgram]) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+
+    // Loop regions keyed by (lo, hi) instruction range; each accumulates
+    // sends and recvs per ordered (from, to) rank pair.
+    type PairCounts = BTreeMap<(usize, usize), (usize, usize)>;
+    let mut regions: BTreeMap<(usize, usize), PairCounts> = BTreeMap::new();
+    for prog in progs {
+        for (pc, inst) in prog.insts().iter().enumerate() {
+            if let MimdOp::Jmp | MimdOp::Bez | MimdOp::Bnz = inst.op {
+                let target = inst.imm.max(0) as usize;
+                if target <= pc {
+                    regions.entry((target, pc)).or_default();
+                }
+            }
+        }
+    }
+    for (rank, prog) in progs.iter().enumerate() {
+        for (pc, inst) in prog.insts().iter().enumerate() {
+            let pair = match inst.op {
+                MimdOp::Send => (rank, inst.imm.max(0) as usize),
+                MimdOp::Recv => (inst.imm.max(0) as usize, rank),
+                _ => continue,
+            };
+            for (&(lo, hi), counts) in &mut regions {
+                if (lo..=hi).contains(&pc) {
+                    let entry = counts.entry(pair).or_insert((0, 0));
+                    match inst.op {
+                        MimdOp::Send => entry.0 += 1,
+                        _ => entry.1 += 1,
+                    }
+                }
+            }
+        }
+    }
+    for (&(lo, hi), counts) in &regions {
+        for (&(from, to), &(sends, recvs)) in counts {
+            if sends != recvs {
+                warnings.push(Warning::new(
+                    wcode::LOOP_CHANNEL_IMBALANCE,
+                    format!("loop {lo}..={hi} rank {from} -> rank {to}"),
+                    format!(
+                        "{sends} sends but {recvs} recvs inside the loop body: \
+                         the channel drifts every iteration"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (rank, prog) in progs.iter().enumerate() {
+        if prog.is_empty() {
+            continue; // idle rank, excluded from the run by the engine
+        }
+        let contributes = prog
+            .insts()
+            .iter()
+            .any(|i| matches!(i.op, MimdOp::Send | MimdOp::St(_)));
+        if !contributes {
+            warnings.push(Warning::new(
+                wcode::DEAD_RANK,
+                format!("rank {rank}"),
+                "program neither sends nor stores: it cannot affect the result".to_string(),
+            ));
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trips_isa::{MemSpace, MimdAsm, Opcode};
+
+    fn codes(warnings: &[Warning]) -> Vec<&'static str> {
+        warnings.iter().map(|w| w.code).collect()
+    }
+
+    /// Two ranks whose totals balance but whose loops do not: rank 0
+    /// sends inside its loop, rank 1 receives *outside* its own loop.
+    /// The whole-program `V0213` totals (1 send, 1 recv) pass; the
+    /// per-loop balance does not.
+    #[test]
+    fn loop_imbalance_caught_where_totals_balance() {
+        let mut a0 = MimdAsm::new();
+        a0.li(1, 2);
+        a0.label("top");
+        a0.send(1, 1); // in-loop send
+        a0.alui(Opcode::Sub, 1, 1, 1);
+        a0.bnz(1, "top");
+        a0.halt();
+        let p0 = a0.assemble().unwrap();
+
+        let mut a1 = MimdAsm::new();
+        a1.li(1, 2);
+        a1.label("top");
+        a1.recv(2, 0); // same index range as rank 0's loop => in-region
+        a1.alui(Opcode::Sub, 1, 1, 1);
+        a1.bnz(1, "top");
+        a1.st(MemSpace::Smc, 2, 0, 2);
+        a1.halt();
+        let p1 = a1.assemble().unwrap();
+
+        // Balanced replica-style pair: no loop warnings.
+        assert_eq!(codes(&analyze_mimd_channels(&[p0.clone(), p1])), Vec::<&str>::new());
+
+        // Move the recv after the loop: totals still balance (2 sends
+        // in rank 0's two iterations vs... statically 1 send / 1 recv),
+        // but the loop body now sends with no matching in-loop recv.
+        let mut a2 = MimdAsm::new();
+        a2.li(1, 2);
+        a2.label("top");
+        a2.alui(Opcode::Add, 2, 2, 0);
+        a2.alui(Opcode::Sub, 1, 1, 1);
+        a2.bnz(1, "top");
+        a2.recv(2, 0); // post-loop recv
+        a2.st(MemSpace::Smc, 2, 0, 2);
+        a2.halt();
+        let p2 = a2.assemble().unwrap();
+        let warnings = analyze_mimd_channels(&[p0, p2]);
+        assert_eq!(codes(&warnings), vec![wcode::LOOP_CHANNEL_IMBALANCE]);
+        assert!(warnings[0].span.contains("rank 0 -> rank 1"), "{}", warnings[0].span);
+    }
+
+    #[test]
+    fn dead_rank_detected() {
+        let mut a0 = MimdAsm::new();
+        a0.li(1, 7);
+        a0.st(MemSpace::Smc, 1, 0, 1);
+        a0.halt();
+        let alive = a0.assemble().unwrap();
+
+        let mut a1 = MimdAsm::new();
+        a1.li(1, 7);
+        a1.alui(Opcode::Add, 1, 1, 1);
+        a1.halt();
+        let dead = a1.assemble().unwrap();
+
+        let warnings = analyze_mimd_channels(&[alive, dead, MimdProgram::default()]);
+        assert_eq!(codes(&warnings), vec![wcode::DEAD_RANK]);
+        assert_eq!(warnings[0].span, "rank 1");
+    }
+
+    #[test]
+    fn nested_loops_check_each_region() {
+        // Outer loop balanced, inner loop sends one extra message.
+        let mut asm = MimdAsm::new();
+        asm.li(1, 2);
+        asm.label("outer");
+        asm.li(2, 2);
+        asm.label("inner");
+        asm.send(2, 0);
+        asm.recv(3, 0);
+        asm.send(2, 0); // extra in-inner send
+        asm.alui(Opcode::Sub, 2, 2, 1);
+        asm.bnz(2, "inner");
+        asm.recv(3, 0); // rebalances the outer region and the totals
+        asm.alui(Opcode::Sub, 1, 1, 1);
+        asm.bnz(1, "outer");
+        asm.st(MemSpace::Smc, 3, 0, 3);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let warnings = analyze_mimd_channels(&[p]);
+        assert_eq!(codes(&warnings), vec![wcode::LOOP_CHANNEL_IMBALANCE]);
+        assert!(warnings[0].span.starts_with("loop 2..=6"), "{}", warnings[0].span);
+    }
+}

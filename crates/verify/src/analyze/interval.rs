@@ -1,0 +1,478 @@
+//! Interval abstract interpretation over the kernel IR.
+//!
+//! One forward pass over the (topologically ordered) DAG computes an
+//! [`AbstractValue`] per node — a constant, an unsigned interval, or
+//! `Top` — using transfer functions that over-approximate the exact
+//! semantics in `trips_isa::exec::eval`. The pass then judges:
+//!
+//! * table reads: index provably in bounds (silent), provably *never*
+//!   in bounds ([`wcode::TABLE_INDEX_ALWAYS_OOB`]), or unprovable
+//!   ([`wcode::UNPROVABLE_TABLE_INDEX`]) — the *dynamic*-index upgrade
+//!   of the legality verifier's static-immediate `V0123` check;
+//! * irregular loads whose address the domain cannot bound at all
+//!   ([`wcode::UNPROVABLE_IRREGULAR_ADDRESS`]);
+//! * dead instructions ([`wcode::DEAD_NODE`], via
+//!   [`dlp_kernel_ir::IrFacts`] liveness), foldable constants
+//!   ([`wcode::FOLDABLE_CONSTANT`]), constant outputs
+//!   ([`wcode::CONSTANT_OUTPUT`]) and constant-predicate selects
+//!   ([`wcode::DEGENERATE_SELECT`]).
+//!
+//! ## Soundness of the domain
+//!
+//! Every abstract value must contain the concrete value for **every**
+//! input record. Intervals are over the `u64` view (the view table
+//! indexing and addressing use). Transfer functions either fold exactly
+//! (all-constant operands go through `exec::eval` itself) or widen:
+//! anything sign-dependent, floating-point, or wrap-prone returns `Top`
+//! unless the operand intervals exclude the hazard (e.g. `Sub` stays an
+//! interval only when `lo(a) >= hi(b)` rules out wraparound).
+
+use dlp_common::{wcode, Value};
+use dlp_kernel_ir::{IrFacts, IrOp, KernelIr};
+use trips_isa::{exec, Opcode};
+
+use super::Warning;
+
+/// One lattice point of the interval domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AbstractValue {
+    /// Exactly this value on every record.
+    Const(Value),
+    /// Unsigned interval: the `u64` view lies in `lo..=hi`.
+    Range {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// No information.
+    Top,
+}
+
+impl AbstractValue {
+    /// The interval view: `Const` is a point, `Top` is unbounded.
+    #[must_use]
+    pub fn bounds(self) -> Option<(u64, u64)> {
+        match self {
+            AbstractValue::Const(v) => Some((v.as_u64(), v.as_u64())),
+            AbstractValue::Range { lo, hi } => Some((lo, hi)),
+            AbstractValue::Top => None,
+        }
+    }
+
+    /// The constant, when exactly known.
+    #[must_use]
+    pub fn constant(self) -> Option<Value> {
+        match self {
+            AbstractValue::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn range(lo: u64, hi: u64) -> AbstractValue {
+        if lo == hi {
+            AbstractValue::Const(Value::from_u64(lo))
+        } else {
+            AbstractValue::Range { lo, hi }
+        }
+    }
+
+    /// Least upper bound of two abstract values.
+    #[must_use]
+    pub fn join(self, other: AbstractValue) -> AbstractValue {
+        if let (AbstractValue::Const(a), AbstractValue::Const(b)) = (self, other) {
+            if a == b {
+                return AbstractValue::Const(a);
+            }
+        }
+        match (self.bounds(), other.bounds()) {
+            (Some((la, ha)), Some((lb, hb))) => AbstractValue::range(la.min(lb), ha.max(hb)),
+            _ => AbstractValue::Top,
+        }
+    }
+}
+
+/// Bit-length mask: the largest value expressible in as many bits as
+/// `m`, i.e. an upper bound for `x | y` and `x ^ y` when `x, y <= m`.
+fn bitlen_mask(m: u64) -> u64 {
+    if m == 0 {
+        0
+    } else {
+        u64::MAX >> m.leading_zeros()
+    }
+}
+
+/// Transfer function for a binary ALU opcode on non-constant operands.
+fn bin_transfer(op: Opcode, a: AbstractValue, b: AbstractValue) -> AbstractValue {
+    use Opcode::*;
+    let ab = a.bounds();
+    let bb = b.bounds();
+    match op {
+        Add => match (ab, bb) {
+            (Some((la, ha)), Some((lb, hb))) => match ha.checked_add(hb) {
+                Some(hi) => AbstractValue::range(la + lb, hi),
+                None => AbstractValue::Top,
+            },
+            _ => AbstractValue::Top,
+        },
+        Sub => match (ab, bb) {
+            // Interval only when wraparound is impossible for every pair.
+            (Some((la, ha)), Some((lb, hb))) if la >= hb => {
+                AbstractValue::range(la - hb, ha - lb)
+            }
+            _ => AbstractValue::Top,
+        },
+        Mul => match (ab, bb) {
+            (Some((la, ha)), Some((lb, hb))) => match ha.checked_mul(hb) {
+                Some(hi) => AbstractValue::range(la * lb, hi),
+                None => AbstractValue::Top,
+            },
+            _ => AbstractValue::Top,
+        },
+        // Unsigned quotient never exceeds the dividend (0 when r == 0).
+        Div => match ab {
+            Some((_, ha)) => AbstractValue::range(0, ha),
+            None => AbstractValue::Top,
+        },
+        Rem => match (ab, bb) {
+            (_, Some((_, 0))) => AbstractValue::Const(Value::ZERO),
+            (Some((_, ha)), Some((_, hb))) => AbstractValue::range(0, ha.min(hb - 1)),
+            (Some((_, ha)), None) => AbstractValue::range(0, ha),
+            (None, Some((_, hb))) => AbstractValue::range(0, hb - 1),
+            (None, None) => AbstractValue::Top,
+        },
+        // 32-bit results are zero-extended.
+        Add32 | Sub32 | Mul32 | RotL32 | RotR32 => AbstractValue::range(0, u64::from(u32::MAX)),
+        And => match (ab, bb) {
+            (Some((_, ha)), Some((_, hb))) => AbstractValue::range(0, ha.min(hb)),
+            (Some((_, ha)), None) => AbstractValue::range(0, ha),
+            (None, Some((_, hb))) => AbstractValue::range(0, hb),
+            (None, None) => AbstractValue::Top,
+        },
+        // or/xor cannot set a bit above either operand's bit length.
+        Or | Xor => match (ab, bb) {
+            (Some((_, ha)), Some((_, hb))) => AbstractValue::range(0, bitlen_mask(ha.max(hb))),
+            _ => AbstractValue::Top,
+        },
+        Shr => match ab {
+            // Logical right shift never grows; refine by the minimum
+            // shift when the count cannot wrap `& 63`.
+            Some((_, ha)) => {
+                let hi = match bb {
+                    Some((lb, hb)) if hb < 64 => ha >> lb,
+                    _ => ha,
+                };
+                AbstractValue::range(0, hi)
+            }
+            None => AbstractValue::Top,
+        },
+        Teq | Tne | Tlt | Tle | Tgt | Tge | Tltu | Tgeu | FTeq | FTlt | FTle => {
+            AbstractValue::range(0, 1)
+        }
+        // Shl overflows, Sra sign-extends, FP bit patterns are opaque.
+        _ => AbstractValue::Top,
+    }
+}
+
+/// Transfer function for a unary ALU opcode on a non-constant operand.
+fn un_transfer(op: Opcode, a: AbstractValue) -> AbstractValue {
+    match op {
+        Opcode::Mov => a,
+        // Not flips high bits; FP and conversions are sign/NaN-laden.
+        _ => AbstractValue::Top,
+    }
+}
+
+/// Run the interval interpreter over `ir` and report findings.
+///
+/// `ir` must be valid ([`KernelIr::validate`]); node spans in the
+/// returned warnings are IR node indices.
+#[must_use]
+pub fn analyze_kernel(ir: &KernelIr) -> (Vec<AbstractValue>, Vec<Warning>) {
+    let facts = IrFacts::compute(ir);
+    let nodes = ir.nodes();
+    let mut vals: Vec<AbstractValue> = Vec::with_capacity(nodes.len());
+    let mut warnings = Vec::new();
+    let mut flagged = vec![false; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        let span = |i: usize| format!("{} node {i}", ir.name());
+        let before = warnings.len();
+        let v = match node.op {
+            IrOp::RecordIn(_) => AbstractValue::Top,
+            IrOp::Const(c) => AbstractValue::Const(ir.constants()[c as usize].1),
+            IrOp::Imm(v) => AbstractValue::Const(v),
+            IrOp::TableRead { table, index } => {
+                let t = &ir.tables()[table as usize];
+                let len = t.entries.len() as u64;
+                match vals[index.index()].bounds() {
+                    Some((lo, _)) if lo >= len => {
+                        warnings.push(Warning::new(
+                            wcode::TABLE_INDEX_ALWAYS_OOB,
+                            span(i),
+                            format!(
+                                "index of table '{}' is always >= its {len} entries \
+                                 (lower bound {lo}); every read returns zero",
+                                t.name
+                            ),
+                        ));
+                        AbstractValue::Const(Value::ZERO)
+                    }
+                    Some((lo, hi)) if hi < len => {
+                        // Provably in bounds: the result is confined to the
+                        // reachable entries.
+                        if let Some(c) = vals[index.index()].constant() {
+                            AbstractValue::Const(t.entries[c.as_u64() as usize])
+                        } else {
+                            let slice = &t.entries[lo as usize..=hi as usize];
+                            let els = slice.iter().map(|v| v.as_u64());
+                            AbstractValue::range(
+                                els.clone().min().unwrap_or(0),
+                                els.max().unwrap_or(0),
+                            )
+                        }
+                    }
+                    got => {
+                        let shown = match got {
+                            Some((lo, hi)) => format!("[{lo}, {hi}]"),
+                            None => "unbounded".to_string(),
+                        };
+                        warnings.push(Warning::new(
+                            wcode::UNPROVABLE_TABLE_INDEX,
+                            span(i),
+                            format!(
+                                "index of table '{}' ({len} entries) is {shown}: \
+                                 not provably in bounds",
+                                t.name
+                            ),
+                        ));
+                        // Out-of-bounds reads yield zero, so the result
+                        // still joins the in-bounds image with zero.
+                        let els = t.entries.iter().map(|v| v.as_u64());
+                        AbstractValue::range(0, els.max().unwrap_or(0))
+                    }
+                }
+            }
+            IrOp::IrregularLoad { addr } => {
+                if vals[addr.index()].bounds().is_none() {
+                    warnings.push(Warning::new(
+                        wcode::UNPROVABLE_IRREGULAR_ADDRESS,
+                        span(i),
+                        "irregular-load address is unbounded: the interval domain \
+                         cannot confine it to any window"
+                            .to_string(),
+                    ));
+                }
+                AbstractValue::Top
+            }
+            IrOp::Un { op, a } => match vals[a.index()].constant() {
+                Some(av) => AbstractValue::Const(exec::eval(op, av, Value::ZERO, Value::ZERO)),
+                None => un_transfer(op, vals[a.index()]),
+            },
+            IrOp::Bin { op, a, b } => {
+                match (vals[a.index()].constant(), vals[b.index()].constant()) {
+                    (Some(av), Some(bv)) => {
+                        AbstractValue::Const(exec::eval(op, av, bv, Value::ZERO))
+                    }
+                    _ => bin_transfer(op, vals[a.index()], vals[b.index()]),
+                }
+            }
+            IrOp::Sel { p, a, b } => match vals[p.index()].constant() {
+                Some(pv) => {
+                    let (taken, arm) = if pv.is_true() { (a, "false") } else { (b, "true") };
+                    warnings.push(Warning::new(
+                        wcode::DEGENERATE_SELECT,
+                        span(i),
+                        format!("select predicate is the constant {pv:?}; the {arm} arm is dead"),
+                    ));
+                    vals[taken.index()]
+                }
+                None => vals[a.index()].join(vals[b.index()]),
+            },
+        };
+        vals.push(v);
+        flagged[i] = warnings.len() > before;
+    }
+
+    for (i, node) in nodes.iter().enumerate() {
+        if !node.op.is_instruction() {
+            continue;
+        }
+        if !facts.live[i] {
+            warnings.push(Warning::new(
+                wcode::DEAD_NODE,
+                format!("{} node {i}", ir.name()),
+                "instruction's value never reaches a record output".to_string(),
+            ));
+        } else if flagged[i] {
+            // Already diagnosed above (e.g. an always-OOB read folding to
+            // zero); a second "foldable" advisory would be noise.
+        } else if let Some(c) = vals[i].constant() {
+            warnings.push(Warning::new(
+                wcode::FOLDABLE_CONSTANT,
+                format!("{} node {i}", ir.name()),
+                format!("instruction always computes {c:?}: foldable at build time"),
+            ));
+        }
+    }
+    for &(w, r) in ir.outputs() {
+        if let Some(c) = vals[r.index()].constant() {
+            warnings.push(Warning::new(
+                wcode::CONSTANT_OUTPUT,
+                format!("{} out {w}", ir.name()),
+                format!("output word {w} is the compile-time constant {c:?}"),
+            ));
+        }
+    }
+    (vals, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlp_kernel_ir::{ControlClass, Domain, IrBuilder};
+
+    fn finish(b: IrBuilder) -> KernelIr {
+        b.finish(ControlClass::Straight).expect("valid IR")
+    }
+
+    fn codes(warnings: &[Warning]) -> Vec<&'static str> {
+        warnings.iter().map(|w| w.code).collect()
+    }
+
+    #[test]
+    fn masked_index_is_proven_in_bounds() {
+        // in[0] & 0x7f indexes a 128-entry table: provable, no warning.
+        let mut b = IrBuilder::new("masked", Domain::Network, 1, 1);
+        let t = b.table("sbox", (0..128).map(Value::from_u64).collect());
+        let x = b.input(0);
+        let mask = b.imm(Value::from_u64(0x7f));
+        let idx = b.bin(Opcode::And, x, mask);
+        let v = b.table_read(t, idx);
+        b.output(0, v);
+        let (vals, warnings) = analyze_kernel(&finish(b));
+        assert_eq!(codes(&warnings), Vec::<&str>::new());
+        // The table image itself bounds the result.
+        assert_eq!(vals.last().unwrap().bounds(), Some((0, 127)));
+    }
+
+    #[test]
+    fn unmasked_index_is_flagged() {
+        let mut b = IrBuilder::new("wild", Domain::Network, 1, 1);
+        let t = b.table("sbox", (0..16).map(Value::from_u64).collect());
+        let x = b.input(0);
+        let v = b.table_read(t, x);
+        b.output(0, v);
+        let (vals, warnings) = analyze_kernel(&finish(b));
+        assert_eq!(codes(&warnings), vec![wcode::UNPROVABLE_TABLE_INDEX]);
+        // OOB reads return zero, already inside the table's [0, 15] image.
+        assert_eq!(vals.last().unwrap().bounds(), Some((0, 15)));
+    }
+
+    #[test]
+    fn always_oob_index_is_distinguished() {
+        let mut b = IrBuilder::new("oob", Domain::Network, 1, 1);
+        let t = b.table("tiny", vec![Value::from_u64(9); 4]);
+        let idx = b.imm(Value::from_u64(100));
+        let v = b.table_read(t, idx);
+        let x = b.input(0);
+        let s = b.bin(Opcode::Add, v, x);
+        b.output(0, s);
+        let (vals, warnings) = analyze_kernel(&finish(b));
+        assert_eq!(codes(&warnings), vec![wcode::TABLE_INDEX_ALWAYS_OOB]);
+        // eval_record returns zero for OOB reads; the domain agrees.
+        assert_eq!(vals[1].constant(), Some(Value::ZERO));
+    }
+
+    #[test]
+    fn dead_and_foldable_nodes_reported() {
+        let mut b = IrBuilder::new("deadfold", Domain::Scientific, 1, 2);
+        let x = b.input(0);
+        let two = b.imm(Value::from_u64(2));
+        let three = b.imm(Value::from_u64(3));
+        let folded = b.bin(Opcode::Mul, two, three); // 6, live via output 1
+        let _dead = b.bin(Opcode::Add, x, two); // never used
+        let sum = b.bin(Opcode::Add, x, folded);
+        b.output(0, sum);
+        b.output(1, folded);
+        let (vals, warnings) = analyze_kernel(&finish(b));
+        assert_eq!(vals[folded.index()].constant(), Some(Value::from_u64(6)));
+        let cs = codes(&warnings);
+        assert!(cs.contains(&wcode::DEAD_NODE));
+        assert!(cs.contains(&wcode::FOLDABLE_CONSTANT));
+        assert!(cs.contains(&wcode::CONSTANT_OUTPUT));
+    }
+
+    #[test]
+    fn constant_predicate_select_reported() {
+        let mut b = IrBuilder::new("degsel", Domain::Graphics, 2, 1);
+        let x = b.input(0);
+        let y = b.input(1);
+        let p = b.imm(Value::from_u64(1));
+        let s = b.sel(p, x, y);
+        b.output(0, s);
+        let (_, warnings) = analyze_kernel(&finish(b));
+        assert_eq!(codes(&warnings), vec![wcode::DEGENERATE_SELECT]);
+    }
+
+    #[test]
+    fn unbounded_irregular_address_reported() {
+        let mut b = IrBuilder::new("irr", Domain::Scientific, 1, 1);
+        let x = b.input(0);
+        let v = b.irregular_load(x);
+        b.output(0, v);
+        let (_, warnings) = analyze_kernel(&finish(b));
+        assert_eq!(codes(&warnings), vec![wcode::UNPROVABLE_IRREGULAR_ADDRESS]);
+
+        // A masked address is bounded, so no warning fires.
+        let mut b = IrBuilder::new("irr2", Domain::Scientific, 1, 1);
+        let x = b.input(0);
+        let mask = b.imm(Value::from_u64(0xff));
+        let a = b.bin(Opcode::And, x, mask);
+        let v = b.irregular_load(a);
+        b.output(0, v);
+        let (_, warnings) = analyze_kernel(&finish(b));
+        assert_eq!(codes(&warnings), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn interval_arithmetic_is_sound_on_samples() {
+        // mod-then-add: ((in[0] % 10) + 5) in [5, 14].
+        let mut b = IrBuilder::new("arith", Domain::Scientific, 1, 1);
+        let x = b.input(0);
+        let ten = b.imm(Value::from_u64(10));
+        let five = b.imm(Value::from_u64(5));
+        let m = b.bin(Opcode::Rem, x, ten);
+        let s = b.bin(Opcode::Add, m, five);
+        b.output(0, s);
+        let ir = finish(b);
+        let (vals, _) = analyze_kernel(&ir);
+        let (lo, hi) = vals.last().unwrap().bounds().expect("bounded");
+        assert_eq!((lo, hi), (5, 14));
+        for sample in [0u64, 1, 9, 10, 12345, u64::MAX] {
+            let out = ir.eval_record(&[Value::from_u64(sample)], &|_| Value::ZERO);
+            let got = out[0].as_u64();
+            assert!((lo..=hi).contains(&got), "{sample} -> {got} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn sub_widens_to_top_when_wrap_is_possible() {
+        let a = AbstractValue::Range { lo: 0, hi: 5 };
+        let b = AbstractValue::Range { lo: 0, hi: 3 };
+        assert_eq!(bin_transfer(Opcode::Sub, a, b), AbstractValue::Top);
+        let safe = AbstractValue::Range { lo: 10, hi: 12 };
+        assert_eq!(
+            bin_transfer(Opcode::Sub, safe, b),
+            AbstractValue::Range { lo: 7, hi: 12 }
+        );
+    }
+
+    #[test]
+    fn join_behaves_like_a_lattice() {
+        let c1 = AbstractValue::Const(Value::from_u64(4));
+        let c2 = AbstractValue::Const(Value::from_u64(9));
+        assert_eq!(c1.join(c1), c1);
+        assert_eq!(c1.join(c2), AbstractValue::Range { lo: 4, hi: 9 });
+        assert_eq!(c1.join(AbstractValue::Top), AbstractValue::Top);
+    }
+}

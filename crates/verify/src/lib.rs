@@ -55,6 +55,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
+
 use std::collections::HashMap;
 use std::fmt;
 

@@ -67,6 +67,8 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use serde::Serialize;
+
 /// Crates whose hot paths must not iterate hash containers.
 const HOT_CRATES: &[&str] = &["crates/sim", "crates/noc", "crates/mem"];
 
@@ -154,9 +156,66 @@ struct AllowEntry {
     used: bool,
 }
 
+/// How findings are rendered.
+#[derive(Clone, Copy, PartialEq)]
+pub enum Format {
+    /// One line per violation on stderr — the interactive default.
+    Human,
+    /// A single JSON document on stdout (every finding, allowed or
+    /// not, plus allowlist problems) for downstream tooling.
+    Json,
+    /// GitHub Actions workflow commands (`::error file=…,line=…::…`),
+    /// so CI renders violations as inline source annotations.
+    Github,
+}
+
+/// One finding in the `--format json` report.
+#[derive(Serialize)]
+struct JsonFinding {
+    path: String,
+    line: usize,
+    token: String,
+    why: String,
+    allowed: bool,
+}
+
+/// The `--format json` document.
+#[derive(Serialize)]
+struct JsonReport {
+    findings: Vec<JsonFinding>,
+    problems: Vec<String>,
+    allowed: usize,
+    violations: usize,
+}
+
+/// Entry point: parse `[allowlist] [--format human|json|github]`.
+pub fn main(args: &[String]) -> ExitCode {
+    let mut allow = "detlint.allow".to_string();
+    let mut format = Format::Human;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                other => {
+                    eprintln!(
+                        "detlint: --format expects human, json, or github (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+            path => allow = path.to_string(),
+        }
+    }
+    run(&allow, format)
+}
+
 /// Run the lint from the workspace root. Returns a failing exit code on
 /// any unallowed finding, unjustified allowlist entry, or stale entry.
-pub fn run(allow_path: &str) -> ExitCode {
+pub fn run(allow_path: &str, format: Format) -> ExitCode {
     let root = workspace_root();
     let (mut allow, mut errors) = parse_allowlist(&root.join(allow_path), allow_path);
 
@@ -193,16 +252,21 @@ pub fn run(allow_path: &str) -> ExitCode {
 
     let mut violations = 0usize;
     let mut allowed = 0usize;
+    let mut classified: Vec<(&Finding, bool)> = Vec::with_capacity(findings.len());
     for f in &findings {
-        if let Some(entry) =
-            allow.iter_mut().find(|e| e.path == f.path && e.token == f.token)
-        {
-            entry.used = true;
-            allowed += 1;
-        } else {
-            violations += 1;
-            eprintln!("detlint: {}:{}: forbidden `{}` ({})", f.path, f.line, f.token, f.why);
-        }
+        let entry = allow.iter_mut().find(|e| e.path == f.path && e.token == f.token);
+        let is_allowed = match entry {
+            Some(entry) => {
+                entry.used = true;
+                allowed += 1;
+                true
+            }
+            None => {
+                violations += 1;
+                false
+            }
+        };
+        classified.push((f, is_allowed));
     }
     for e in &allow {
         if !e.used {
@@ -212,15 +276,67 @@ pub fn run(allow_path: &str) -> ExitCode {
             ));
         }
     }
-    for e in &errors {
-        eprintln!("{e}");
+
+    match format {
+        Format::Human => {
+            for (f, is_allowed) in &classified {
+                if !is_allowed {
+                    eprintln!(
+                        "detlint: {}:{}: forbidden `{}` ({})",
+                        f.path, f.line, f.token, f.why
+                    );
+                }
+            }
+            for e in &errors {
+                eprintln!("{e}");
+            }
+            println!(
+                "detlint: {} findings ({allowed} allowlisted, {violations} violations, {} \
+                 allowlist problems)",
+                findings.len(),
+                errors.len()
+            );
+        }
+        Format::Json => {
+            let report = JsonReport {
+                findings: classified
+                    .iter()
+                    .map(|(f, is_allowed)| JsonFinding {
+                        path: f.path.clone(),
+                        line: f.line,
+                        token: f.token.to_string(),
+                        why: f.why.to_string(),
+                        allowed: *is_allowed,
+                    })
+                    .collect(),
+                problems: errors.clone(),
+                allowed,
+                violations,
+            };
+            println!("{}", dlp_common::json::to_string(&report));
+        }
+        Format::Github => {
+            // Workflow commands render as inline annotations on the PR
+            // diff; the run still fails through the exit code.
+            for (f, is_allowed) in &classified {
+                if !is_allowed {
+                    println!(
+                        "::error file={},line={},title=detlint::forbidden `{}` ({})",
+                        f.path, f.line, f.token, f.why
+                    );
+                }
+            }
+            for e in &errors {
+                println!("::error title=detlint allowlist::{e}");
+            }
+            println!(
+                "detlint: {} findings ({allowed} allowlisted, {violations} violations, {} \
+                 allowlist problems)",
+                findings.len(),
+                errors.len()
+            );
+        }
     }
-    println!(
-        "detlint: {} findings ({allowed} allowlisted, {violations} violations, {} allowlist \
-         problems)",
-        findings.len(),
-        errors.len()
-    );
     if violations == 0 && errors.is_empty() {
         ExitCode::SUCCESS
     } else {

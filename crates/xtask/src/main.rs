@@ -10,6 +10,12 @@
 //! * `verify-grid` — static-verifier smoke: lowers every suite kernel
 //!   for every published machine configuration and requires the program
 //!   verifier to accept all of them.
+//! * `analyze-grid` — the semantic analyzer over the same grid
+//!   (DESIGN.md §13): prints every `W*` warning, the sound static
+//!   cycle bound per cell, and per-kernel analysis time;
+//!   `--deny-warnings` / `--budget N` gate CI, `--json <path>` writes
+//!   the machine-readable artifact. Shares its grid walk with
+//!   `verify-grid` (the `grid` module).
 //! * `chaos` — the crash-consistency harness: kills a child sweep at
 //!   every named store crashpoint, fscks the wreckage, resumes, and
 //!   requires the canonical report to be byte-identical to an
@@ -26,55 +32,25 @@ use std::process::ExitCode;
 mod asmcheck;
 mod chaos;
 mod detlint;
+mod grid;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("detlint") => {
-            let allow = args.get(1).map_or("detlint.allow", String::as_str);
-            detlint::run(allow)
-        }
-        Some("verify-grid") => verify_grid(),
+        Some("detlint") => detlint::main(&args[1..]),
+        Some("verify-grid") => grid::verify_grid(),
+        Some("analyze-grid") => grid::analyze_grid(&args[1..]),
         Some("chaos") => chaos::run(&args[1..]),
         Some("storeck") => chaos::storeck(&args[1..]),
         Some("asmcheck") => asmcheck::run(),
         _ => {
             eprintln!(
-                "usage: cargo xtask <detlint [allowlist] | verify-grid | \
+                "usage: cargo xtask <detlint [allowlist] [--format human|json|github] | \
+                 verify-grid | \
+                 analyze-grid [--deny-warnings] [--budget N] [--json path] | \
                  chaos [--quick] [--seed N] [--trials N] | storeck <dir> | asmcheck>"
             );
             ExitCode::FAILURE
         }
-    }
-}
-
-/// Lower every suite kernel for every published machine configuration;
-/// the static verifier inside `prepare_kernel` must accept them all.
-fn verify_grid() -> ExitCode {
-    let params = dlp_core::ExperimentParams::default();
-    let kernels = dlp_kernels::suite();
-    let mut verified = 0usize;
-    let mut failures = 0usize;
-    for config in dlp_core::MachineConfig::ALL {
-        for kernel in &kernels {
-            match dlp_core::prepare_kernel(kernel.as_ref(), config.mechanisms(), 64, &params) {
-                Ok(_) => verified += 1,
-                Err(e) => {
-                    failures += 1;
-                    eprintln!("verify-grid: {} on {config}: {e}", kernel.name());
-                }
-            }
-        }
-    }
-    println!(
-        "verify-grid: {verified} lowerings statically verified ({} kernels x {} configs)",
-        kernels.len(),
-        dlp_core::MachineConfig::ALL.len()
-    );
-    if failures == 0 {
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("verify-grid: {failures} lowerings rejected");
-        ExitCode::FAILURE
     }
 }

@@ -1,0 +1,159 @@
+//! Mutation tests for the semantic static analyzer: inject one defect
+//! into an otherwise-clean kernel and require the *exact* stable
+//! `W*` code to surface through the public pipeline. These pin the
+//! taxonomy — a renamed or silently dropped code fails here, not in a
+//! downstream consumer parsing `analyze-grid` output.
+
+use dlp_common::{wcode, DlpError, Value};
+use dlp_core::{prepare_kernel, ExperimentParams, MachineConfig};
+use dlp_kernel_ir::{ControlClass, Domain, IrBuilder, KernelIr};
+use dlp_kernels::{DlpKernel, MimdTarget, OutputKind, Workload};
+use trips_isa::{MemSpace, MimdAsm, MimdProgram, Opcode};
+use trips_sched::verify::analyze;
+
+/// Which defect the mutant carries.
+#[derive(Clone, Copy)]
+enum Mutation {
+    /// A live computation plus one instruction nothing consumes.
+    DeadOperand,
+    /// A table read indexed by a raw, unbounded input word.
+    UnprovableIndex,
+    /// No defect — the control arm.
+    None,
+}
+
+/// A minimal kernel whose IR carries exactly one injected defect.
+struct Mutant(Mutation);
+
+impl DlpKernel for Mutant {
+    fn name(&self) -> &'static str {
+        "mutant"
+    }
+
+    fn description(&self) -> &'static str {
+        "analyzer mutation probe"
+    }
+
+    fn ir(&self) -> KernelIr {
+        let mut b = IrBuilder::new("mutant", Domain::Network, 1, 1);
+        let x = b.input(0);
+        let one = b.imm(Value::from_u64(1));
+        let live = b.bin(Opcode::Add, x, one);
+        let out = match self.0 {
+            Mutation::DeadOperand => {
+                let _dead = b.bin(Opcode::Mul, x, one);
+                live
+            }
+            Mutation::UnprovableIndex => {
+                let t = b.table("wild", (0..16).map(Value::from_u64).collect());
+                b.table_read(t, live)
+            }
+            Mutation::None => live,
+        };
+        b.output(0, out);
+        b.finish(ControlClass::Straight).expect("mutant IR is well-formed")
+    }
+
+    fn mimd_program(&self, _target: MimdTarget) -> Result<MimdProgram, DlpError> {
+        let mut asm = MimdAsm::new();
+        asm.halt();
+        asm.assemble()
+    }
+
+    fn workload(&self, records: usize, _seed: u64) -> Workload {
+        let input_words = vec![Value::ZERO; records];
+        let expected = vec![Value::from_u64(1); records];
+        Workload { records, input_words, tex_words: Vec::new(), expected }
+    }
+
+    fn output_kind(&self) -> OutputKind {
+        OutputKind::ExactBits
+    }
+}
+
+/// Prepare a mutant for a dataflow configuration and return the codes
+/// the analyzer attached to the plan.
+fn codes(mutation: Mutation) -> Vec<&'static str> {
+    let params = ExperimentParams::default();
+    let prepared =
+        prepare_kernel(&Mutant(mutation), MachineConfig::S.mechanisms(), 16, &params)
+            .expect("mutant lowers cleanly; warnings never reject");
+    prepared.analysis().warnings.iter().map(|w| w.code).collect()
+}
+
+#[test]
+fn dead_operand_mutation_pins_its_code() {
+    let control = codes(Mutation::None);
+    assert!(!control.contains(&"W0101-dead-node"), "control arm is clean: {control:?}");
+    let mutated = codes(Mutation::DeadOperand);
+    assert!(
+        mutated.contains(&"W0101-dead-node"),
+        "dead operand must surface as W0101 through prepare_kernel, got {mutated:?}"
+    );
+    assert_eq!(wcode::DEAD_NODE, "W0101-dead-node", "published code is frozen");
+}
+
+#[test]
+fn unprovable_index_mutation_pins_its_code() {
+    let control = codes(Mutation::None);
+    assert!(!control.contains(&"W0102-unprovable-table-index"), "{control:?}");
+    let mutated = codes(Mutation::UnprovableIndex);
+    assert!(
+        mutated.contains(&"W0102-unprovable-table-index"),
+        "unbounded table index must surface as W0102, got {mutated:?}"
+    );
+    assert_eq!(wcode::UNPROVABLE_TABLE_INDEX, "W0102-unprovable-table-index");
+}
+
+#[test]
+fn loop_imbalanced_channel_mutation_pins_its_code() {
+    // Rank 0 sends once per loop iteration; rank 1 receives once per
+    // iteration — balanced, the control arm.
+    let balanced = two_rank_partition(true);
+    let codes: Vec<_> =
+        analyze::analyze_mimd_channels(&balanced).iter().map(|w| w.code).collect();
+    assert!(!codes.contains(&"W0201-loop-channel-imbalance"), "{codes:?}");
+
+    // Mutation: rank 1 hoists its recv out of the loop. Whole-program
+    // totals still balance (one static send, one static recv), so the
+    // legality verifier's V0213 cannot see it — only the per-loop pass.
+    let drifting = two_rank_partition(false);
+    let warnings = analyze::analyze_mimd_channels(&drifting);
+    let codes: Vec<_> = warnings.iter().map(|w| w.code).collect();
+    assert_eq!(
+        codes,
+        vec!["W0201-loop-channel-imbalance"],
+        "exactly the loop-imbalance code, nothing else"
+    );
+    assert_eq!(wcode::LOOP_CHANNEL_IMBALANCE, "W0201-loop-channel-imbalance");
+}
+
+/// A two-rank producer/consumer pair; `recv_in_loop` controls whether
+/// the consumer drains inside the loop (legal) or after it (drifting).
+fn two_rank_partition(recv_in_loop: bool) -> Vec<MimdProgram> {
+    let mut p0 = MimdAsm::new();
+    p0.li(1, 3);
+    p0.label("top");
+    p0.send(1, 1);
+    p0.alui(Opcode::Sub, 1, 1, 1);
+    p0.bnz(1, "top");
+    p0.halt();
+
+    let mut p1 = MimdAsm::new();
+    p1.li(1, 3);
+    p1.label("top");
+    if recv_in_loop {
+        p1.recv(2, 0);
+    } else {
+        p1.alui(Opcode::Add, 2, 2, 0); // same shape, no drain
+    }
+    p1.alui(Opcode::Sub, 1, 1, 1);
+    p1.bnz(1, "top");
+    if !recv_in_loop {
+        p1.recv(2, 0);
+    }
+    p1.st(MemSpace::Smc, 2, 0, 2);
+    p1.halt();
+
+    vec![p0.assemble().unwrap(), p1.assemble().unwrap()]
+}

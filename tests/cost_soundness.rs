@@ -1,0 +1,99 @@
+//! Tier-1 certification of the static cost model: for every cell of
+//! the paper's experiment grid (13 performance-suite kernels × 6
+//! machine configurations), the analyzer's lower bound on simulated
+//! cycles must hold against the engine's measurement — at one worker
+//! and at two, since the bound must survive the sweep's parallel
+//! execution paths (batched lanes, schedule-cache reuse) bit-for-bit.
+//!
+//! The model ([`dlp-verify`'s `analyze::cost`]) mirrors only the
+//! monotone subset of the simulator's timing rules, so any engine
+//! change that legitimately speeds a cell past its bound means the
+//! model's premises broke — fix the model, don't relax this test.
+
+use std::collections::HashMap;
+
+use dlp_core::{prepare_kernel, ExperimentParams, MachineConfig, Sweep};
+use dlp_kernels::suite;
+
+const RECORDS: usize = 64;
+
+/// Bounds for every grid cell, keyed by `(kernel, config name)`.
+fn grid_bounds(params: &ExperimentParams) -> HashMap<(String, String), u64> {
+    let kernels: Vec<_> = suite().into_iter().filter(|k| k.in_perf_suite()).collect();
+    assert_eq!(kernels.len(), 13, "the paper grid has 13 performance kernels");
+    let mut bounds = HashMap::new();
+    for k in &kernels {
+        for config in MachineConfig::ALL {
+            let prepared = prepare_kernel(k.as_ref(), config.mechanisms(), RECORDS, params)
+                .unwrap_or_else(|e| panic!("{} on {config}: {e}", k.name()));
+            let bound = prepared.bound_cycles(RECORDS);
+            assert!(bound > 0, "{} on {config}: degenerate zero bound", k.name());
+            bounds.insert((k.name().to_string(), config.to_string()), bound);
+        }
+    }
+    bounds
+}
+
+#[test]
+fn static_bound_never_exceeds_measured_cycles_across_the_grid() {
+    let params = ExperimentParams::default();
+    let bounds = grid_bounds(&params);
+    assert_eq!(bounds.len(), 78);
+
+    for threads in [1, 2] {
+        let mut sweep = Sweep::with_threads(threads);
+        let ids = sweep.add_perf_suite();
+        for &id in &ids {
+            for config in MachineConfig::ALL {
+                sweep.push_config(id, config, RECORDS, &params);
+            }
+        }
+        let report = sweep.run();
+        report.ensure_verified().expect("grid verifies");
+        assert_eq!(report.cells.len(), 78);
+        for cell in &report.cells {
+            let stats = cell
+                .outcome
+                .stats()
+                .unwrap_or_else(|| panic!("{} on {}: did not run", cell.kernel, cell.config));
+            let bound = bounds[&(cell.kernel.clone(), cell.config.clone())];
+            assert!(
+                bound <= stats.cycles(),
+                "{} on {} at {threads} workers: static bound {bound} exceeds measured {} \
+                 cycles — the cost model is unsound for this cell",
+                cell.kernel,
+                cell.config,
+                stats.cycles()
+            );
+        }
+    }
+}
+
+/// The bound is not just sound but *useful*: across the grid it must
+/// capture a meaningful fraction of the measured cycles, or LPT
+/// ordering would be sorting noise. This pins a conservative floor
+/// (the grid currently sits far above it).
+#[test]
+fn static_bound_is_a_meaningful_fraction_of_measured_cycles() {
+    let params = ExperimentParams::default();
+    let bounds = grid_bounds(&params);
+    let mut sweep = Sweep::with_threads(1);
+    let ids = sweep.add_perf_suite();
+    for &id in &ids {
+        for config in MachineConfig::ALL {
+            sweep.push_config(id, config, RECORDS, &params);
+        }
+    }
+    let report = sweep.run();
+    let (mut bound_total, mut measured_total) = (0u64, 0u64);
+    for cell in &report.cells {
+        let stats = cell.outcome.stats().expect("cell ran");
+        bound_total += bounds[&(cell.kernel.clone(), cell.config.clone())];
+        measured_total += stats.cycles();
+    }
+    assert!(
+        bound_total * 10 >= measured_total,
+        "bounds sum to {bound_total} cycles vs {measured_total} measured: \
+         under 10% coverage makes the model useless for scheduling"
+    );
+}
